@@ -1,0 +1,79 @@
+// Command loadgen is the live open-loop load generator (mutilate-like, §4):
+// it sends UDP requests with a configurable fake-work distribution at a
+// Poisson rate and reports the client-observed latency profile.
+//
+// Usage:
+//
+//	loadgen -dispatcher 127.0.0.1:9000 -rps 20000 -n 100000 \
+//	        -dist bimodal:0.995:5µs:100µs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+
+	"mindgap/internal/dist"
+	"mindgap/internal/live"
+)
+
+func main() {
+	var (
+		dispatcher = flag.String("dispatcher", "127.0.0.1:9000", "dispatcher UDP address")
+		rps        = flag.Float64("rps", 10_000, "offered load (requests per second)")
+		sweep      = flag.String("sweep", "", "comma-separated list of rates to sweep (overrides -rps)")
+		n          = flag.Int("n", 50_000, "total requests to send per rate")
+		distSpec   = flag.String("dist", "fixed:20µs", "service-time distribution (see internal/dist.Parse)")
+		seed       = flag.Uint64("seed", 1, "workload RNG seed")
+		timeout    = flag.Duration("timeout", 10*time.Second, "straggler timeout after last send")
+	)
+	flag.Parse()
+
+	svc, err := dist.Parse(*distSpec)
+	if err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+	addr, err := net.ResolveUDPAddr("udp4", *dispatcher)
+	if err != nil {
+		log.Fatalf("loadgen: resolve dispatcher: %v", err)
+	}
+
+	rates := []float64{*rps}
+	if *sweep != "" {
+		rates = rates[:0]
+		for _, f := range strings.Split(*sweep, ",") {
+			r, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil || r <= 0 {
+				log.Fatalf("loadgen: bad sweep rate %q", f)
+			}
+			rates = append(rates, r)
+		}
+	}
+
+	fmt.Printf("%12s %9s %9s %12s %12s %12s %12s\n",
+		"offered", "sent", "recv", "achieved", "p50", "p99", "max")
+	for i, rate := range rates {
+		rep, err := live.RunClient(live.ClientConfig{
+			Dispatcher: addr,
+			RPS:        rate,
+			Service:    svc,
+			Requests:   *n,
+			Seed:       *seed + uint64(i),
+			Timeout:    *timeout,
+		})
+		if err != nil {
+			log.Fatalf("loadgen: %v", err)
+		}
+		loss := ""
+		if rep.Received < rep.Sent {
+			loss = fmt.Sprintf("  (%d lost)", rep.Sent-rep.Received)
+		}
+		fmt.Printf("%12.0f %9d %9d %12.0f %12v %12v %12v%s\n",
+			rate, rep.Sent, rep.Received, rep.AchievedRPS,
+			rep.Latency.P50(), rep.Latency.P99(), rep.Latency.Max(), loss)
+	}
+}

@@ -1,0 +1,138 @@
+// Command mindgap-bench regenerates every figure and in-text measurement of
+// the paper's evaluation section (see DESIGN.md's experiment index) and
+// prints the series to stdout, optionally as CSV.
+//
+// Usage:
+//
+//	mindgap-bench                    # every figure and table, full quality
+//	mindgap-bench -fig 2             # one figure
+//	mindgap-bench -table timer       # one table
+//	mindgap-bench -quick             # reduced sample counts (CI-sized)
+//	mindgap-bench -csv               # machine-readable output
+//	mindgap-bench -plot              # ASCII charts of the tail curves
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mindgap/internal/experiment"
+	"mindgap/internal/params"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "", "figure to run: 2, 3, 3burst, 4, 5, 6, 6cxl, 6linerate, baselines (empty = all)")
+		table = flag.String("table", "", "table to run: timer, ipc, wait, latency, dispersion, policy (empty = all)")
+		quick = flag.Bool("quick", false, "reduced sample counts")
+		csv   = flag.Bool("csv", false, "CSV output for figures")
+		plot  = flag.Bool("plot", false, "ASCII chart output for figures")
+		only  = flag.Bool("figs-only", false, "skip tables")
+	)
+	flag.Parse()
+
+	q := experiment.Full
+	if *quick {
+		q = experiment.Quick
+	}
+
+	figures := map[string]func(experiment.Quality) experiment.Figure{
+		"2":         experiment.Figure2,
+		"3":         experiment.Figure3,
+		"3burst":    experiment.Figure3Burst,
+		"4":         experiment.Figure4,
+		"5":         experiment.Figure5,
+		"6":         experiment.Figure6,
+		"6cxl":      experiment.Figure6CXL,
+		"6linerate": experiment.Figure6LineRate,
+		"baselines": experiment.BaselineComparison,
+	}
+	order := []string{"2", "3", "3burst", "4", "5", "6", "6cxl", "6linerate", "baselines"}
+
+	runFigure := func(id string) {
+		build, ok := figures[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mindgap-bench: unknown figure %q\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		f := build(q)
+		switch {
+		case *csv:
+			if err := f.WriteCSV(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "mindgap-bench: %v\n", err)
+				os.Exit(1)
+			}
+		case *plot:
+			f.Plot(os.Stdout, 72, 20)
+			fmt.Println()
+		default:
+			f.Render(os.Stdout)
+			fmt.Printf("   (wall time %v)\n\n", time.Since(start).Round(time.Millisecond))
+		}
+	}
+
+	runTables := func(which string) {
+		p := params.Default()
+		if which == "" || which == "timer" {
+			fmt.Println("== T1: §3.4.4 timer/interrupt costs (host clock 2.3 GHz)")
+			fmt.Printf("%-26s %12s %12s %12s %12s %10s\n",
+				"operation", "linux(cyc)", "direct(cyc)", "linux", "direct", "reduction")
+			for _, r := range experiment.TimerCosts(p) {
+				fmt.Printf("%-26s %12.0f %12.0f %12v %12v %9.0f%%\n",
+					r.Operation, r.LinuxCycles, r.DirectCycles, r.LinuxTime, r.DirectTime, r.Reduction*100)
+			}
+			fmt.Println()
+		}
+		if which == "" || which == "ipc" {
+			fmt.Println("== T2: §2.2 inter-thread communication overhead (paper: ≈2µs added tail)")
+			r := experiment.IPCOverhead(q)
+			fmt.Printf("shinjuku p99 = %v, single-thread (rss) p99 = %v, overhead = %v\n\n",
+				r.ShinjukuP99, r.RSSP99, r.Overhead)
+		}
+		if which == "" || which == "wait" {
+			fmt.Println("== T3: §4 worker wait time at saturation (paper: 1µs workload waits 110% more)")
+			r := experiment.WorkerWait(q)
+			fmt.Printf("idle@100µs = %.1f%%, idle@1µs = %.1f%%, extra waiting = %.0f%%\n\n",
+				r.IdleAt100us*100, r.IdleAt1us*100, r.ExtraWaitFrac*100)
+		}
+		if which == "" || which == "latency" {
+			fmt.Println("== T4: §3.3 NIC↔host one-way latency")
+			r := experiment.CommLatency(p)
+			fmt.Printf("modelled = %v, paper = %v\n\n", r.Modelled, r.Paper)
+		}
+		if which == "" || which == "policy" {
+			fmt.Println("== X10: worker-selection policy ablation (bimodal, k=6, no preemption, ρ=0.75)")
+			fmt.Printf("%-26s %12s %12s %14s\n", "policy", "p50", "p99", "achieved")
+			for _, r := range experiment.PolicyAblation(q) {
+				fmt.Printf("%-26s %12v %12v %14.0f\n", r.Policy, r.P50, r.P99, r.Achieved)
+			}
+			fmt.Println()
+		}
+		if which == "" || which == "dispersion" {
+			fmt.Println("== X7: preemption win vs service-time dispersion (mean 10µs, ρ=0.7, 4 workers)")
+			fmt.Printf("%-36s %8s %16s %16s %8s\n", "workload", "cv²", "short p99 (pre)", "short p99 (rtc)", "win")
+			for _, r := range experiment.DispersionSensitivity(q) {
+				fmt.Printf("%-36s %8.2f %16v %16v %7.1fx\n",
+					r.Workload, r.CV2, r.PreemptShortP99, r.NoPreemptShortP99, r.Win)
+			}
+			fmt.Println()
+		}
+	}
+
+	switch {
+	case *fig != "":
+		runFigure(*fig)
+	case *table != "":
+		runTables(*table)
+	default:
+		for _, id := range order {
+			runFigure(id)
+		}
+		if !*only {
+			runTables("")
+		}
+	}
+}

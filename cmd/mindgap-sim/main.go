@@ -1,0 +1,95 @@
+// Command mindgap-sim runs a single simulated configuration and prints its
+// measured point — the interactive counterpart to mindgap-bench's fixed
+// figure grids.
+//
+// Usage:
+//
+//	mindgap-sim -system offload -workers 4 -outstanding 4 -slice 10µs \
+//	            -dist bimodal:0.995:5µs:100µs -rps 400000
+//	mindgap-sim -system shinjuku -workers 3 -rps 300000
+//	mindgap-sim -system rss|zygos|flowdir|rpcvalet -workers 4 ...
+//	mindgap-sim -system idealnic -cxl -linerate ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"mindgap/internal/dist"
+	"mindgap/internal/experiment"
+	"mindgap/internal/params"
+	"mindgap/internal/systems/idealnic"
+)
+
+func main() {
+	var (
+		system      = flag.String("system", "offload", "offload, shinjuku, rss, zygos, flowdir, rpcvalet, idealnic")
+		workers     = flag.Int("workers", 4, "worker cores")
+		outstanding = flag.Int("outstanding", 4, "per-worker outstanding limit (offload/idealnic)")
+		slice       = flag.Duration("slice", 10*time.Microsecond, "preemption quantum (0 disables)")
+		distSpec    = flag.String("dist", "bimodal:0.995:5µs:100µs", "service-time distribution")
+		rps         = flag.Float64("rps", 400_000, "offered load")
+		warmup      = flag.Int("warmup", 20_000, "warmup completions to discard")
+		measure     = flag.Int("measure", 100_000, "completions to measure")
+		seed        = flag.Uint64("seed", 7, "workload seed")
+		zipfN       = flag.Int("zipf-keys", 0, "key-space size for zipf keys (0 = no keys)")
+		zipfS       = flag.Float64("zipf-skew", 0.99, "zipf skew")
+		cxl         = flag.Bool("cxl", false, "idealnic: coherent-memory communication (§5.1-2)")
+		lineRate    = flag.Bool("linerate", false, "idealnic: hardware line-rate scheduler (§5.1-1)")
+		directIRQ   = flag.Bool("directirq", false, "idealnic: NIC-posted interrupts (§5.1-3)")
+	)
+	flag.Parse()
+
+	svc, err := dist.Parse(*distSpec)
+	if err != nil {
+		log.Fatalf("mindgap-sim: %v", err)
+	}
+	p := params.Default()
+
+	var factory experiment.Factory
+	switch *system {
+	case "offload":
+		factory = experiment.OffloadFactory(p, *workers, *outstanding, *slice)
+	case "shinjuku":
+		factory = experiment.ShinjukuFactory(p, *workers, *slice)
+	case "rss":
+		factory = experiment.RSSFactory(p, *workers)
+	case "zygos":
+		factory = experiment.ZygOSFactory(p, *workers)
+	case "flowdir":
+		factory = experiment.FlowDirFactory(p, *workers)
+	case "rpcvalet":
+		factory = experiment.RPCValetFactory(p, *workers)
+	case "idealnic":
+		factory = experiment.IdealNICFactory(idealnic.Config{
+			P: p, Workers: *workers, Outstanding: *outstanding, Slice: *slice,
+			CXL: *cxl, LineRate: *lineRate, DirectInterrupts: *directIRQ,
+		})
+	default:
+		fmt.Fprintf(os.Stderr, "mindgap-sim: unknown system %q\n", *system)
+		os.Exit(2)
+	}
+
+	cfg := experiment.PointConfig{
+		Factory:    factory,
+		Service:    svc,
+		OfferedRPS: *rps,
+		Warmup:     *warmup,
+		Measure:    *measure,
+		Seed:       *seed,
+	}
+	if *zipfN > 0 {
+		cfg.Keys = dist.NewZipfKeys(*zipfN, *zipfS)
+	}
+
+	start := time.Now()
+	r := experiment.RunPoint(cfg)
+	fmt.Printf("system=%s workload=%v offered=%.0f rps\n", r.SystemName, svc, *rps)
+	fmt.Printf("%s\n", r.Point)
+	fmt.Printf("mean=%v max=%v preemptions=%d drops=%d simtime=%v walltime=%v\n",
+		r.Mean, r.Max, r.Preemptions, r.Dropped,
+		r.SimTime.Round(time.Millisecond), time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,109 @@
+// Command mindgap-trace runs a short traced simulation of Shinjuku-Offload
+// and prints complete request lifecycles — a debugging lens into the
+// scheduler: arrival, NIC ingress, central-queue entry, dispatch, worker
+// start, preemptions, completion, and client response, each with its
+// simulated timestamp.
+//
+// Usage:
+//
+//	mindgap-trace                      # trace 5 requests on the default mix
+//	mindgap-trace -n 3 -dist fixed:30µs -slice 10µs -show preempted
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"mindgap/internal/core"
+	"mindgap/internal/dist"
+	"mindgap/internal/loadgen"
+	"mindgap/internal/params"
+	"mindgap/internal/sim"
+	"mindgap/internal/task"
+	"mindgap/internal/trace"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 5, "number of request lifecycles to print")
+		workers  = flag.Int("workers", 2, "worker cores")
+		k        = flag.Int("outstanding", 2, "per-worker outstanding limit")
+		slice    = flag.Duration("slice", 10*time.Microsecond, "preemption quantum")
+		distSpec = flag.String("dist", "bimodal:0.8:3µs:40µs", "service-time distribution")
+		rps      = flag.Float64("rps", 200_000, "offered load")
+		show     = flag.String("show", "any", "which lifecycles: any, preempted")
+	)
+	flag.Parse()
+
+	svc, err := dist.Parse(*distSpec)
+	if err != nil {
+		log.Fatalf("mindgap-trace: %v", err)
+	}
+
+	eng := sim.New()
+	buf := trace.New(0)
+	completions := 0
+	sys := core.NewOffload(eng, core.OffloadConfig{
+		P:           params.Default(),
+		Workers:     *workers,
+		Outstanding: *k,
+		Slice:       *slice,
+		Tracer:      buf,
+	}, nil, func(*task.Request) {
+		completions++
+		if completions >= 500 {
+			eng.Halt()
+		}
+	})
+	loadgen.New(eng, loadgen.Config{RPS: *rps, Service: svc, Seed: 7}, sys.Inject).Start()
+	eng.Run()
+
+	if err := buf.ValidateAll(); err != nil {
+		log.Fatalf("mindgap-trace: causality violation: %v", err)
+	}
+
+	printed := 0
+	for _, id := range buf.Requests() {
+		if printed >= *n {
+			break
+		}
+		lc := buf.Lifecycle(id)
+		if len(lc) == 0 || lc[len(lc)-1].Kind != trace.Respond {
+			continue // still in flight at halt
+		}
+		if *show == "preempted" {
+			preempted := false
+			for _, e := range lc {
+				if e.Kind == trace.Preempt {
+					preempted = true
+				}
+			}
+			if !preempted {
+				continue
+			}
+		}
+		fmt.Printf("request %d (%d events, latency %v):\n", id,
+			len(lc), lc[len(lc)-1].At.Sub(lc[0].At))
+		fmt.Print(indent(buf.Format(id)))
+		printed++
+	}
+	if printed == 0 {
+		fmt.Println("no matching lifecycles; try -show any or a longer run")
+	}
+	fmt.Printf("traced %d events across %d requests (%d truncated)\n",
+		buf.Len(), len(buf.Requests()), buf.Truncated())
+}
+
+func indent(s string) string {
+	out := ""
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out += "  " + s[start:i+1]
+			start = i + 1
+		}
+	}
+	return out
+}

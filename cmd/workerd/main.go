@@ -1,0 +1,67 @@
+// Command workerd runs one or more live mindgap workers: they register with
+// a dispatcher, execute fake work (§4.1), cooperatively preempt at the time
+// slice, and respond to clients directly.
+//
+// Usage:
+//
+//	workerd -dispatcher 127.0.0.1:9000 -id 0 -n 4 -slice 50µs
+//
+// starts workers 0..3 in one process (each with its own socket).
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+
+	"mindgap/internal/live"
+)
+
+func main() {
+	var (
+		dispatcher = flag.String("dispatcher", "127.0.0.1:9000", "dispatcher UDP address")
+		id         = flag.Int("id", 0, "first worker ID")
+		n          = flag.Int("n", 1, "number of workers to run in this process")
+		slice      = flag.Duration("slice", 0, "cooperative preemption quantum (0 = run to completion)")
+	)
+	flag.Parse()
+
+	addr, err := net.ResolveUDPAddr("udp4", *dispatcher)
+	if err != nil {
+		log.Fatalf("workerd: resolve dispatcher: %v", err)
+	}
+
+	var workers []*live.Worker
+	for i := 0; i < *n; i++ {
+		w, err := live.NewWorker(live.WorkerConfig{
+			ID:         uint32(*id + i),
+			Dispatcher: addr,
+			Slice:      *slice,
+		})
+		if err != nil {
+			log.Fatalf("workerd: worker %d: %v", *id+i, err)
+		}
+		log.Printf("workerd: worker %d on %v (slice %v)", *id+i, w.Addr(), *slice)
+		go func() {
+			if err := w.Serve(); err != nil {
+				log.Printf("workerd: %v", err)
+			}
+		}()
+		workers = append(workers, w)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	for _, w := range workers {
+		_ = w.Close()
+	}
+	var done, pre uint64
+	for _, w := range workers {
+		done += w.Completed()
+		pre += w.Preempted()
+	}
+	log.Printf("workerd: completed=%d preempted=%d", done, pre)
+}

@@ -1,0 +1,3 @@
+module mindgap
+
+go 1.22

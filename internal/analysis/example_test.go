@@ -1,0 +1,20 @@
+package analysis_test
+
+import (
+	"fmt"
+	"time"
+
+	"mindgap/internal/analysis"
+)
+
+// Closed-form queueing results used to validate the simulator.
+func ExampleErlangC() {
+	// Probability an arrival waits in an M/M/4 queue at 70% utilization.
+	fmt.Printf("P(wait) = %.3f\n", analysis.ErlangC(4, 0.7))
+	// Mean queueing delay for 10µs mean service.
+	w := analysis.MMcMeanWait(4, 0.7, 10*time.Microsecond)
+	fmt.Printf("mean wait = %v\n", w.Round(100*time.Nanosecond))
+	// Output:
+	// P(wait) = 0.429
+	// mean wait = 3.6µs
+}

@@ -1,0 +1,71 @@
+// Package analysis provides closed-form queueing-theory results used to
+// validate the simulator: if an idealized configuration of the event
+// engine does not match M/M/c theory, no figure built on it can be
+// trusted. The tests in this package run that cross-check.
+package analysis
+
+import (
+	"math"
+	"time"
+)
+
+// ErlangC returns the probability that an arriving customer waits in an
+// M/M/c queue with c servers and total utilization rho = lambda/(c*mu),
+// 0 <= rho < 1.
+func ErlangC(c int, rho float64) float64 {
+	if c <= 0 {
+		panic("analysis: need at least one server")
+	}
+	if rho < 0 || rho >= 1 {
+		panic("analysis: utilization must be in [0,1)")
+	}
+	a := float64(c) * rho // offered load in Erlangs
+	// Sum a^k/k! for k<c, computed iteratively for stability.
+	sum := 0.0
+	term := 1.0
+	for k := 0; k < c; k++ {
+		sum += term
+		term *= a / float64(k+1)
+	}
+	// term is now a^c/c!.
+	top := term / (1 - rho)
+	return top / (sum + top)
+}
+
+// MMcMeanWait returns the mean queueing delay (excluding service) of an
+// M/M/c queue with the given per-server mean service time and utilization.
+func MMcMeanWait(c int, rho float64, meanService time.Duration) time.Duration {
+	pw := ErlangC(c, rho)
+	w := pw / (float64(c) * (1 - rho)) * float64(meanService)
+	return time.Duration(w)
+}
+
+// MM1MeanResponse returns the mean response time (wait + service) of an
+// M/M/1 queue.
+func MM1MeanResponse(rho float64, meanService time.Duration) time.Duration {
+	if rho < 0 || rho >= 1 {
+		panic("analysis: utilization must be in [0,1)")
+	}
+	return time.Duration(float64(meanService) / (1 - rho))
+}
+
+// MG1MeanWait returns the Pollaczek–Khinchine mean wait of an M/G/1 queue
+// given the service-time mean, its squared coefficient of variation cs2,
+// and utilization rho.
+func MG1MeanWait(rho, cs2 float64, meanService time.Duration) time.Duration {
+	if rho < 0 || rho >= 1 {
+		panic("analysis: utilization must be in [0,1)")
+	}
+	w := rho / (1 - rho) * (1 + cs2) / 2 * float64(meanService)
+	return time.Duration(w)
+}
+
+// MM1ResponseQuantile returns the q-quantile of M/M/1 response time
+// (exponentially distributed with mean MM1MeanResponse).
+func MM1ResponseQuantile(rho float64, meanService time.Duration, q float64) time.Duration {
+	if q <= 0 || q >= 1 {
+		panic("analysis: quantile must be in (0,1)")
+	}
+	mean := float64(MM1MeanResponse(rho, meanService))
+	return time.Duration(-mean * math.Log(1-q))
+}

@@ -1,0 +1,250 @@
+// Package core implements the paper's primary contribution: informed,
+// centralized, preemptive request scheduling at the NIC.
+//
+// The package has two halves:
+//
+//   - Logic is the pure scheduling state machine — the centralized FIFO task
+//     queue, per-worker outstanding-request credits (the queuing
+//     optimization of §3.4.5), worker selection, and the host load-feedback
+//     interface (§3.1/§3.2 requirement 2). It has no dependency on the
+//     simulator, so the live UDP implementation (internal/live) runs the
+//     exact same scheduler the simulation evaluates.
+//
+//   - Offload assembles Logic onto the simulated Stingray SmartNIC: the
+//     networking subsystem and the three-core dispatcher pipeline (§3.4.1)
+//     on ARM stage servers, packet-based dispatcher↔worker communication
+//     (§3.4.2), self-armed APIC-timer preemption on workers (§3.4.4), and
+//     request stashing in worker RX rings (§3.4.5).
+package core
+
+import (
+	"fmt"
+
+	"mindgap/internal/queue"
+	"mindgap/internal/sim"
+	"mindgap/internal/task"
+)
+
+// Policy selects how the scheduler picks a worker for the request at the
+// head of the central queue.
+type Policy int
+
+const (
+	// LeastOutstanding picks the worker with the fewest outstanding
+	// requests (ties broken round-robin). With per-worker credit k=1 this
+	// degenerates to Shinjuku's "assign to an idle worker".
+	LeastOutstanding Policy = iota
+	// RoundRobin cycles through workers with available credit regardless of
+	// how loaded they are; it isolates the value of informed selection.
+	RoundRobin
+	// InformedLeastLoaded picks the worker with the smallest reported
+	// instantaneous load (host→NIC feedback, §3.1), falling back to
+	// outstanding counts for workers that have not reported.
+	InformedLeastLoaded
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case LeastOutstanding:
+		return "least-outstanding"
+	case RoundRobin:
+		return "round-robin"
+	case InformedLeastLoaded:
+		return "informed-least-loaded"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// Assignment is one scheduling decision: send req to worker.
+type Assignment struct {
+	Worker int
+	Req    *task.Request
+}
+
+// Logic is the centralized scheduler state machine. It is deliberately
+// synchronous and allocation-light: each input event returns the
+// assignments it triggers, and the caller provides the transport (ARM
+// stages + packets in simulation, UDP sockets in live mode).
+//
+// Invariants (checked by tests):
+//   - 0 <= outstanding[w] <= k for every worker.
+//   - A request is either in the central queue or covered by exactly one
+//     credit; it is never both, never neither, until completed.
+//   - The central queue drains in FIFO order.
+type Logic struct {
+	k      int
+	policy Policy
+
+	outstanding []int
+	load        []int64
+	hasLoad     []bool
+	rrNext      int
+	affinity    bool
+
+	q queue.FIFO[*task.Request]
+
+	assigned  uint64
+	completed uint64
+	requeued  uint64
+}
+
+// NewLogic creates scheduler state for the given worker count and
+// per-worker outstanding-credit limit k (the queuing optimization; k=1
+// means a worker never has a request stashed while executing another).
+func NewLogic(workers, k int, policy Policy) *Logic {
+	if workers <= 0 {
+		panic("core: need at least one worker")
+	}
+	if k <= 0 {
+		panic("core: outstanding credit limit must be positive")
+	}
+	return &Logic{
+		k:           k,
+		policy:      policy,
+		outstanding: make([]int, workers),
+		load:        make([]int64, workers),
+		hasLoad:     make([]bool, workers),
+	}
+}
+
+// EnableAffinity makes the scheduler prefer resuming a preempted request
+// on the worker that last ran it when that worker has spare credit — §3.1's
+// "good scheduling affinity": the request's context is still warm in that
+// core's caches. Fresh requests are unaffected.
+func (l *Logic) EnableAffinity() { l.affinity = true }
+
+// Workers returns the number of workers.
+func (l *Logic) Workers() int { return len(l.outstanding) }
+
+// CreditLimit returns k, the per-worker outstanding-request limit.
+func (l *Logic) CreditLimit() int { return l.k }
+
+// QueueLen returns the central queue depth.
+func (l *Logic) QueueLen() int { return l.q.Len() }
+
+// Outstanding returns worker w's outstanding request count.
+func (l *Logic) Outstanding(w int) int { return l.outstanding[w] }
+
+// Assigned returns the total number of assignments emitted.
+func (l *Logic) Assigned() uint64 { return l.assigned }
+
+// Enqueue admits a new request at the tail of the central queue and returns
+// any assignment it enables (at most one).
+func (l *Logic) Enqueue(now sim.Time, req *task.Request) []Assignment {
+	req.Enqueued = now
+	l.q.Push(req)
+	return l.drain(nil)
+}
+
+// Complete processes a FINISH notification from worker w: the credit is
+// released, possibly dispatching the queue head (at most one assignment).
+func (l *Logic) Complete(w int) []Assignment {
+	l.release(w)
+	l.completed++
+	return l.drain(nil)
+}
+
+// Preempted processes a PREEMPTED notification: worker w's credit is
+// released and req re-enters the tail of the central queue (§3.4.1 — "once
+// the request reaches the front of the queue again, it can be assigned to
+// any worker").
+func (l *Logic) Preempted(now sim.Time, w int, req *task.Request) []Assignment {
+	l.release(w)
+	l.requeued++
+	req.Enqueued = now
+	l.q.Push(req)
+	return l.drain(nil)
+}
+
+// ReportLoad records host load feedback for worker w — the instantaneous
+// load information an informed NIC folds into its decisions (§3.1). The
+// unit is caller-defined (the simulation reports remaining work in ns).
+func (l *Logic) ReportLoad(w int, load int64) {
+	l.load[w] = load
+	l.hasLoad[w] = true
+}
+
+func (l *Logic) release(w int) {
+	if l.outstanding[w] <= 0 {
+		panic(fmt.Sprintf("core: credit underflow on worker %d", w))
+	}
+	l.outstanding[w]--
+}
+
+// drain dispatches from the queue head while a worker has spare credit.
+func (l *Logic) drain(out []Assignment) []Assignment {
+	for l.q.Len() > 0 {
+		head, _ := l.q.Peek()
+		w := -1
+		if l.affinity && head.Preemptions > 0 &&
+			head.LastWorker >= 0 && head.LastWorker < len(l.outstanding) &&
+			l.outstanding[head.LastWorker] < l.k {
+			w = head.LastWorker
+		} else {
+			w = l.pick()
+		}
+		if w < 0 {
+			break
+		}
+		req, _ := l.q.Pop()
+		l.outstanding[w]++
+		l.assigned++
+		out = append(out, Assignment{Worker: w, Req: req})
+	}
+	return out
+}
+
+// pick returns the chosen worker, or -1 if no worker has spare credit.
+func (l *Logic) pick() int {
+	n := len(l.outstanding)
+	switch l.policy {
+	case RoundRobin:
+		for i := 0; i < n; i++ {
+			w := (l.rrNext + i) % n
+			if l.outstanding[w] < l.k {
+				l.rrNext = (w + 1) % n
+				return w
+			}
+		}
+		return -1
+	case InformedLeastLoaded:
+		best, bestLoad := -1, int64(0)
+		for i := 0; i < n; i++ {
+			w := (l.rrNext + i) % n
+			if l.outstanding[w] >= l.k {
+				continue
+			}
+			ld := l.load[w]
+			if !l.hasLoad[w] {
+				// No feedback yet: approximate load by outstanding count.
+				ld = int64(l.outstanding[w]) * 1_000_000
+			}
+			if best < 0 || ld < bestLoad {
+				best, bestLoad = w, ld
+			}
+		}
+		if best >= 0 {
+			l.rrNext = (best + 1) % n
+		}
+		return best
+	default: // LeastOutstanding
+		best, bestOut := -1, 0
+		for i := 0; i < n; i++ {
+			w := (l.rrNext + i) % n
+			if l.outstanding[w] >= l.k {
+				continue
+			}
+			if best < 0 || l.outstanding[w] < bestOut {
+				best, bestOut = w, l.outstanding[w]
+				if bestOut == 0 {
+					break // cannot do better than an idle worker
+				}
+			}
+		}
+		if best >= 0 {
+			l.rrNext = (best + 1) % n
+		}
+		return best
+	}
+}

@@ -1,0 +1,513 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"mindgap/internal/cores"
+	"mindgap/internal/fabric"
+	"mindgap/internal/nicmodel"
+	"mindgap/internal/params"
+	"mindgap/internal/sim"
+	"mindgap/internal/stats"
+	"mindgap/internal/task"
+	"mindgap/internal/trace"
+)
+
+// OffloadConfig describes one Shinjuku-Offload deployment (§3.4).
+type OffloadConfig struct {
+	// P is the hardware cost model.
+	P params.Params
+	// Workers is the number of host worker cores (the offload frees the
+	// host cores the vanilla system burns on networking + dispatch, which
+	// is why the paper's figures give Shinjuku-Offload one extra worker).
+	Workers int
+	// Outstanding is the per-worker outstanding-request limit k of the
+	// queuing optimization (§3.4.5, Figure 3).
+	Outstanding int
+	// Slice is the preemption quantum; zero disables preemption (the
+	// paper's fixed-service-time figures turn preemption off).
+	Slice time.Duration
+	// Policy is the worker-selection policy; the paper's prototype uses
+	// LeastOutstanding (idle-first FIFO dispatch).
+	Policy Policy
+	// DirectInterrupts switches to the §5.1(3) ideal-NIC ablation: the NIC
+	// posts preemption interrupts to cores directly instead of workers
+	// arming local APIC timers. Delivery latency is P.CXLOneWay.
+	DirectInterrupts bool
+	// LoadFeedback enables periodic host→NIC load reports that upgrade the
+	// selection policy to InformedLeastLoaded data (only meaningful when
+	// Policy == InformedLeastLoaded).
+	LoadFeedback bool
+	// DispatchBurst is the queue-manager core's DPDK-style burst size: how
+	// many events it drains from one input ring before polling the other.
+	// 1 (the default) alternates fairly; the paper's prototype processes
+	// rx_burst-sized batches, which delays credit handling under a flood
+	// of new arrivals (see the Figure 3 burst ablation). 0 means 1.
+	DispatchBurst int
+	// DDIOToL1 models §5.2: because the scheduler bounds outstanding
+	// requests per core, the NIC can place packets directly into each
+	// worker's L1 without polluting it, waiving the near-cache fetch
+	// penalty on pickup.
+	DDIOToL1 bool
+	// PriorityClasses > 1 switches the central queue to strict priority
+	// classes (§2.2's co-located latency classes); ClassOf maps each
+	// request to a class in [0, PriorityClasses), highest first.
+	PriorityClasses int
+	ClassOf         func(*task.Request) int
+	// AdmissionLimit bounds the central queue: when it holds this many
+	// requests the NIC sheds new arrivals instead of queuing them (the
+	// §5.2 congestion-control co-design idea — the NIC knows the backlog
+	// the instant a request arrives and can push back before the request
+	// consumes host resources). Zero means unbounded.
+	AdmissionLimit int
+	// Tracer, when set, records every request's lifecycle (arrival,
+	// queueing, dispatch, execution, preemption, response) for debugging
+	// and causality checks.
+	Tracer *trace.Buffer
+	// Affinity makes the scheduler resume preempted requests on the worker
+	// that last ran them when possible (§3.1 cache affinity), avoiding the
+	// CtxMigratePenalty of pulling the context across cores.
+	Affinity bool
+}
+
+// qEventKind tags events entering the queue-manager ARM core.
+type qEventKind uint8
+
+const (
+	evNew qEventKind = iota
+	evFinish
+	evPreempted
+	evLoad
+)
+
+// qEvent is one input to the queue-manager stage.
+type qEvent struct {
+	kind   qEventKind
+	worker int
+	req    *task.Request
+	load   int64 // evLoad only: reported instantaneous load (ns)
+}
+
+// Queue-manager input classes: the networker's new-request ring and the RX
+// core's notification ring, polled round-robin.
+const (
+	qcNew = iota
+	qcNotif
+)
+
+// Offload is the simulated Shinjuku-Offload system: Logic running on a
+// modelled Broadcom Stingray, dispatching to host worker cores over
+// packet-based NIC↔host links.
+//
+// The packet path (Figure 1) is modelled stage by stage:
+//
+//	client ──wire──▶ NIC port ──▶ networker(ARM) ──shm──▶ queue mgr(ARM)
+//	     ──shm──▶ TX core(ARM) ──2.56µs──▶ worker RX ring ──▶ worker core
+//	worker ──2.56µs──▶ RX core(ARM) ──shm──▶ queue mgr(ARM)   [notifications]
+//	worker ──wire──▶ client                                    [responses]
+type Offload struct {
+	eng  *sim.Engine
+	cfg  OffloadConfig
+	lgc  SchedulerLogic
+	rec  *stats.Recorder
+	done func(*task.Request)
+	shed uint64
+
+	ingress   *fabric.Link
+	egress    *fabric.Link
+	networker *fabric.Stage[*task.Request]
+	queueMgr  *fabric.MultiStage[qEvent]
+	txCore    *fabric.Stage[Assignment]
+	rxCore    *fabric.Stage[qEvent]
+	shmNetQ   *fabric.Link
+	shmQTx    *fabric.Link
+	shmRxQ    *fabric.Link
+
+	// nic is the modelled Stingray datapath; armFn is the ARM complex's
+	// interface (notifications from workers land here) and each worker
+	// owns one SR-IOV virtual function (§3.4.2).
+	nic   *nicmodel.NIC
+	armFn *nicmodel.Function
+
+	workers []*offWorker
+}
+
+// offWorker is one host worker core: its SR-IOV virtual function (whose RX
+// descriptor ring is where the dispatcher stashes requests, §3.4.5) plus
+// the execution engine.
+type offWorker struct {
+	sys  *Offload
+	id   int
+	vf   *nicmodel.Function
+	exec *cores.Exec
+	// pickupPending guards against double-scheduling the pickup delay.
+	pickupPending bool
+	// post is set while the core is building response/notification packets
+	// after finishing or preempting a request; the core is serial, so the
+	// next pickup waits for it.
+	post bool
+}
+
+// NewOffload builds the system on eng. done is invoked at the instant the
+// client receives each response; rec (optional) accumulates drops and
+// preemption counts.
+func NewOffload(eng *sim.Engine, cfg OffloadConfig, rec *stats.Recorder, done func(*task.Request)) *Offload {
+	if cfg.Workers <= 0 {
+		panic("core: offload needs workers")
+	}
+	if cfg.Outstanding <= 0 {
+		cfg.Outstanding = 1
+	}
+	if done == nil {
+		panic("core: offload needs a completion callback")
+	}
+	p := cfg.P
+	var lgc SchedulerLogic
+	if cfg.PriorityClasses > 1 {
+		pl := NewPriorityLogic(cfg.Workers, cfg.Outstanding, cfg.PriorityClasses, cfg.Policy, cfg.ClassOf)
+		if cfg.Affinity {
+			pl.EnableAffinity()
+		}
+		lgc = pl
+	} else {
+		l := NewLogic(cfg.Workers, cfg.Outstanding, cfg.Policy)
+		if cfg.Affinity {
+			l.EnableAffinity()
+		}
+		lgc = l
+	}
+	s := &Offload{
+		eng:  eng,
+		cfg:  cfg,
+		lgc:  lgc,
+		rec:  rec,
+		done: done,
+	}
+
+	s.ingress = fabric.NewLink(eng, "client→nic", fabric.LinkConfig{
+		Latency: p.ClientWireOneWay, BandwidthBps: p.WireBandwidth,
+	})
+	s.egress = fabric.NewLink(eng, "nic→client", fabric.LinkConfig{
+		Latency: p.ClientWireOneWay, BandwidthBps: p.WireBandwidth,
+	})
+	s.shmNetQ = fabric.NewLink(eng, "shm net→q", fabric.LinkConfig{Latency: p.ArmShm})
+	s.shmQTx = fabric.NewLink(eng, "shm q→tx", fabric.LinkConfig{Latency: p.ArmShm})
+	s.shmRxQ = fabric.NewLink(eng, "shm rx→q", fabric.LinkConfig{Latency: p.ArmShm})
+
+	s.networker = fabric.NewStage[*task.Request](eng, "arm-networker", 0,
+		fabric.FixedCost[*task.Request](p.ArmNetworkerCost),
+		func(r *task.Request) {
+			s.shmNetQ.Send(0, func() { s.queueMgr.Submit(qcNew, qEvent{kind: evNew, req: r}) })
+		})
+
+	// The queue-manager core round-robins between its two input rings so a
+	// saturating arrival flood cannot starve worker notifications.
+	s.queueMgr = fabric.NewMultiStage[qEvent](eng, "arm-queue", 2, nil,
+		func(ev qEvent) time.Duration {
+			switch ev.kind {
+			case evFinish, evLoad:
+				return p.ArmCreditCost
+			default:
+				return p.ArmQueueCost
+			}
+		},
+		s.handleQueueEvent)
+	if cfg.DispatchBurst > 1 {
+		s.queueMgr.SetBurst(cfg.DispatchBurst)
+	}
+
+	// The Stingray datapath: every dispatcher↔worker message is an
+	// Ethernet frame steered by destination MAC through the NIC with the
+	// measured 2.56 µs one-way latency (§3.3).
+	s.nic = nicmodel.New(eng, nicmodel.Config{InternalLatency: p.NicHostOneWay})
+	s.armFn = s.nic.AddFunction("arm", nicmodel.MACForIndex(0), 0)
+	s.armFn.OnRx(func() {
+		// The RX ARM core drains the ring as frames land; its own input
+		// queue provides the backpressure accounting.
+		if f, ok := s.armFn.Poll(); ok {
+			s.rxCore.Submit(f.Payload.(qEvent))
+		}
+	})
+
+	s.txCore = fabric.NewStage[Assignment](eng, "arm-tx", 0,
+		fabric.FixedCost[Assignment](p.ArmTxCost),
+		func(a Assignment) {
+			w := s.workers[a.Worker]
+			s.nic.Send(nicmodel.Frame{
+				Dst:     w.vf.MAC(),
+				Src:     s.armFn.MAC(),
+				Bytes:   p.ControlFrameBytes,
+				Payload: a.Req,
+			})
+		})
+
+	s.rxCore = fabric.NewStage[qEvent](eng, "arm-rx", 0,
+		fabric.FixedCost[qEvent](p.ArmRxCost),
+		func(ev qEvent) {
+			s.shmRxQ.Send(0, func() { s.queueMgr.Submit(qcNotif, ev) })
+		})
+
+	execCfg := cores.ExecConfig{
+		Clock:      p.HostClock,
+		Timer:      p.HostTimer,
+		Slice:      cfg.Slice,
+		SelfArm:    !cfg.DirectInterrupts,
+		CtxSave:    p.CtxSaveCost,
+		CtxResume:  p.CtxResumeCost,
+		CtxMigrate: p.CtxMigratePenalty,
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		w := &offWorker{sys: s, id: i}
+		// The VF ring holds the stashed requests; credits guarantee it
+		// never overflows, and the +1 headroom plus drop accounting guard
+		// the invariant.
+		w.vf = s.nic.AddFunction(fmt.Sprintf("w%d", i),
+			nicmodel.MACForIndex(i+1), cfg.Outstanding+1)
+		w.vf.OnRx(w.maybeStart)
+		w.vf.OnDrop(func(nicmodel.Frame) {
+			if s.rec != nil {
+				s.rec.RecordDrop()
+			}
+		})
+		w.exec = cores.NewExec(eng, i, execCfg, w.onComplete, w.onPreempt)
+		s.workers = append(s.workers, w)
+	}
+	return s
+}
+
+// Name implements the experiment System interface.
+func (s *Offload) Name() string { return "shinjuku-offload" }
+
+// Inject admits a client request at the current instant (its Arrival time).
+func (s *Offload) Inject(req *task.Request) {
+	s.trace(trace.Arrive, req.ID, -1)
+	s.ingress.Send(s.cfg.P.RequestFrameBytes, func() {
+		s.trace(trace.Ingress, req.ID, -1)
+		s.networker.Submit(req)
+	})
+}
+
+// trace records a lifecycle event when tracing is enabled.
+func (s *Offload) trace(kind trace.Kind, reqID uint64, worker int) {
+	if s.cfg.Tracer != nil {
+		s.cfg.Tracer.Record(s.eng.Now(), kind, reqID, worker)
+	}
+}
+
+// handleQueueEvent runs on the queue-manager ARM core.
+func (s *Offload) handleQueueEvent(ev qEvent) {
+	var as []Assignment
+	now := s.eng.Now()
+	switch ev.kind {
+	case evNew:
+		if s.cfg.AdmissionLimit > 0 && s.lgc.QueueLen() >= s.cfg.AdmissionLimit {
+			// NIC-side load shedding: the request is dropped before it
+			// consumes any host resource (§5.2). The client sees no
+			// response — open-loop clients count it as a loss.
+			s.shed++
+			s.trace(trace.Drop, ev.req.ID, -1)
+			if s.rec != nil {
+				s.rec.RecordDrop()
+			}
+			return
+		}
+		s.trace(trace.Enqueue, ev.req.ID, -1)
+		as = s.lgc.Enqueue(now, ev.req)
+	case evFinish:
+		as = s.lgc.Complete(ev.worker)
+	case evPreempted:
+		s.trace(trace.Enqueue, ev.req.ID, -1)
+		as = s.lgc.Preempted(now, ev.worker, ev.req)
+	case evLoad:
+		s.lgc.ReportLoad(ev.worker, ev.load)
+	}
+	for _, a := range as {
+		a := a
+		s.trace(trace.Dispatch, a.Req.ID, a.Worker)
+		s.shmQTx.Send(0, func() { s.txCore.Submit(a) })
+	}
+}
+
+// maybeStart begins the next stashed request if the core is free. The
+// pickup cost models pulling the packet out of the VF's RX ring and
+// spawning or resuming a context (§3.4.3).
+func (w *offWorker) maybeStart() {
+	if w.exec.Busy() || w.post || w.pickupPending || w.vf.Pending() == 0 {
+		return
+	}
+	w.pickupPending = true
+	w.sys.eng.After(w.sys.cfg.P.PickupCost(w.sys.cfg.DDIOToL1), func() {
+		w.pickupPending = false
+		frame, ok := w.vf.Poll()
+		if !ok {
+			return
+		}
+		req := frame.Payload.(*task.Request)
+		w.sys.trace(trace.Start, req.ID, w.id)
+		w.exec.Start(req)
+		if w.sys.cfg.LoadFeedback {
+			w.reportLoad()
+		}
+		if w.sys.cfg.DirectInterrupts && w.sys.cfg.Slice > 0 && req.Remaining > w.sys.cfg.Slice {
+			w.armRemoteSlice(req)
+		}
+	})
+}
+
+// armRemoteSlice models the §5.1(3) ablation: the NIC tracks the slice and
+// posts an interrupt over the low-latency path when it expires.
+func (w *offWorker) armRemoteSlice(req *task.Request) {
+	slice := w.sys.cfg.Slice
+	delivery := w.sys.cfg.P.CXLOneWay
+	w.sys.eng.After(slice+delivery, func() {
+		if w.exec.Current() == req {
+			w.exec.Interrupt()
+		}
+	})
+}
+
+// onComplete handles a finished request: build and send the client response
+// and the FINISH notification, then pick up the next stashed request.
+func (w *offWorker) onComplete(req *task.Request) {
+	p := w.sys.cfg.P
+	sys := w.sys
+	sys.trace(trace.Complete, req.ID, w.id)
+	w.post = true
+	sys.eng.After(p.WorkerResponseCost, func() {
+		sys.egress.Send(p.ResponseFrameBytes, func() {
+			sys.trace(trace.Respond, req.ID, -1)
+			sys.done(req)
+		})
+		sys.eng.After(p.WorkerNotifyCost, func() {
+			w.notifyDispatcher(qEvent{kind: evFinish, worker: w.id})
+			w.post = false
+			w.maybeStart()
+		})
+	})
+	if sys.cfg.LoadFeedback {
+		w.reportLoad()
+	}
+}
+
+// onPreempt handles a slice expiry: notify the dispatcher (the request body
+// and context stay in host DRAM; only the descriptor travels, §3.4.3) and
+// start the next stashed request.
+func (w *offWorker) onPreempt(req *task.Request) {
+	p := w.sys.cfg.P
+	sys := w.sys
+	sys.trace(trace.Preempt, req.ID, w.id)
+	if sys.rec != nil {
+		sys.rec.RecordPreemption()
+	}
+	w.post = true
+	sys.eng.After(p.WorkerNotifyCost, func() {
+		w.notifyDispatcher(qEvent{kind: evPreempted, worker: w.id, req: req})
+		w.post = false
+		w.maybeStart()
+	})
+	if sys.cfg.LoadFeedback {
+		w.reportLoad()
+	}
+}
+
+// notifyDispatcher sends a worker→dispatcher control frame through the NIC
+// to the ARM complex's interface.
+func (w *offWorker) notifyDispatcher(ev qEvent) {
+	w.sys.nic.Send(nicmodel.Frame{
+		Dst:     w.sys.armFn.MAC(),
+		Src:     w.vf.MAC(),
+		Bytes:   w.sys.cfg.P.ControlFrameBytes,
+		Payload: ev,
+	})
+}
+
+// reportLoad sends the worker's instantaneous load (remaining work in ns,
+// executing plus stashed) to the NIC — the fine-grained feedback of §3.1.
+func (w *offWorker) reportLoad() {
+	var load int64
+	if cur := w.exec.Current(); cur != nil {
+		load += int64(cur.Remaining)
+	}
+	w.vf.Each(func(f nicmodel.Frame) {
+		if r, ok := f.Payload.(*task.Request); ok {
+			load += int64(r.Remaining)
+		}
+	})
+	id := w.id
+	w.sys.nic.Send(nicmodel.Frame{
+		Dst:     w.sys.armFn.MAC(),
+		Src:     w.vf.MAC(),
+		Bytes:   w.sys.cfg.P.ControlFrameBytes,
+		Payload: qEvent{kind: evLoad, worker: id, load: load},
+	})
+}
+
+// WorkerIdleFraction returns the mean idle fraction across worker cores.
+func (s *Offload) WorkerIdleFraction(now sim.Time) float64 {
+	var sum float64
+	for _, w := range s.workers {
+		sum += w.exec.Track.IdleFraction(now)
+	}
+	return sum / float64(len(s.workers))
+}
+
+// ArmWorkerTrackers starts worker busy-time accounting at now (measurement
+// window start).
+func (s *Offload) ArmWorkerTrackers(now sim.Time) {
+	for _, w := range s.workers {
+		w.exec.Track.Arm(now)
+	}
+}
+
+// QueueLen exposes the central queue depth (tests and debugging).
+func (s *Offload) QueueLen() int { return s.lgc.QueueLen() }
+
+// Shed returns the number of arrivals rejected by NIC-side admission
+// control (only nonzero when AdmissionLimit is set).
+func (s *Offload) Shed() uint64 { return s.shed }
+
+// Scheduler exposes the underlying scheduler state machine.
+func (s *Offload) Scheduler() SchedulerLogic { return s.lgc }
+
+// DispatcherUtilization returns the busy fraction of the queue-manager ARM
+// core since its tracker was armed — the bottleneck metric of §5.1.
+func (s *Offload) DispatcherUtilization(now sim.Time) float64 {
+	return s.queueMgr.BusyTracker().BusyFraction(now)
+}
+
+// ArmDispatcherTracker starts dispatcher utilization accounting.
+func (s *Offload) ArmDispatcherTracker(now sim.Time) {
+	s.queueMgr.BusyTracker().Arm(now)
+	s.networker.BusyTracker().Arm(now)
+	s.txCore.BusyTracker().Arm(now)
+	s.rxCore.BusyTracker().Arm(now)
+}
+
+// Completions returns total completed requests across workers.
+func (s *Offload) Completions() uint64 {
+	var n uint64
+	for _, w := range s.workers {
+		n += w.exec.Completions()
+	}
+	return n
+}
+
+// Preemptions returns total preemptions taken across workers.
+func (s *Offload) Preemptions() uint64 {
+	var n uint64
+	for _, w := range s.workers {
+		n += w.exec.Preemptions()
+	}
+	return n
+}
+
+// Migrations returns how many preempted requests resumed on a different
+// core than they last ran on (each paid the cache-migration penalty).
+func (s *Offload) Migrations() uint64 {
+	var n uint64
+	for _, w := range s.workers {
+		n += w.exec.Migrations()
+	}
+	return n
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+
+	"mindgap/internal/queue"
+	"mindgap/internal/sim"
+	"mindgap/internal/task"
+)
+
+// SchedulerLogic is the surface the Offload assembly (and the live
+// dispatcher) need from a scheduler state machine; *Logic and
+// *PriorityLogic both implement it.
+type SchedulerLogic interface {
+	Enqueue(now sim.Time, req *task.Request) []Assignment
+	Complete(w int) []Assignment
+	Preempted(now sim.Time, w int, req *task.Request) []Assignment
+	ReportLoad(w int, load int64)
+	QueueLen() int
+	Workers() int
+	CreditLimit() int
+}
+
+var (
+	_ SchedulerLogic = (*Logic)(nil)
+	_ SchedulerLogic = (*PriorityLogic)(nil)
+)
+
+// PriorityLogic extends Logic to multiple latency classes — the §2.2
+// scenario of "multiple co-located applications from different latency
+// classes" sharing one server. Each class gets its own FIFO; dispatch
+// drains classes in strict priority order (class 0 highest), so a
+// latency-critical class never waits behind best-effort work in the
+// central queue. Preemption still protects classes from long requests
+// *within* a class.
+//
+// PriorityLogic reuses Logic's credit accounting; only queue selection
+// differs. It is exercised by the faas example and the priority tests.
+type PriorityLogic struct {
+	*Logic
+	classes []queue.FIFO[*task.Request]
+	// classOf maps a request to its class; defaults to class 0.
+	classOf func(*task.Request) int
+}
+
+// NewPriorityLogic creates scheduler state with the given number of strict
+// priority classes. classOf assigns each request a class in [0, classes);
+// out-of-range values are clamped.
+func NewPriorityLogic(workers, k, classes int, policy Policy, classOf func(*task.Request) int) *PriorityLogic {
+	if classes <= 0 {
+		panic("core: need at least one priority class")
+	}
+	if classOf == nil {
+		classOf = func(*task.Request) int { return 0 }
+	}
+	return &PriorityLogic{
+		Logic:   NewLogic(workers, k, policy),
+		classes: make([]queue.FIFO[*task.Request], classes),
+		classOf: classOf,
+	}
+}
+
+// Classes returns the number of priority classes.
+func (l *PriorityLogic) Classes() int { return len(l.classes) }
+
+// QueueLen returns the total queued requests across classes.
+func (l *PriorityLogic) QueueLen() int {
+	total := 0
+	for i := range l.classes {
+		total += l.classes[i].Len()
+	}
+	return total
+}
+
+// ClassQueueLen returns the queue depth of one class.
+func (l *PriorityLogic) ClassQueueLen(c int) int { return l.classes[c].Len() }
+
+// clamp maps a request to a valid class index.
+func (l *PriorityLogic) clamp(req *task.Request) int {
+	c := l.classOf(req)
+	if c < 0 {
+		return 0
+	}
+	if c >= len(l.classes) {
+		return len(l.classes) - 1
+	}
+	return c
+}
+
+// Enqueue admits a request into its class queue and dispatches if credit
+// is available.
+func (l *PriorityLogic) Enqueue(now sim.Time, req *task.Request) []Assignment {
+	req.Enqueued = now
+	l.classes[l.clamp(req)].Push(req)
+	return l.drainPriority(nil)
+}
+
+// Complete processes a FINISH notification.
+func (l *PriorityLogic) Complete(w int) []Assignment {
+	l.release(w)
+	l.completed++
+	return l.drainPriority(nil)
+}
+
+// Preempted processes a PREEMPTED notification; the request re-enters the
+// tail of its own class queue.
+func (l *PriorityLogic) Preempted(now sim.Time, w int, req *task.Request) []Assignment {
+	l.release(w)
+	l.requeued++
+	req.Enqueued = now
+	l.classes[l.clamp(req)].Push(req)
+	return l.drainPriority(nil)
+}
+
+// drainPriority dispatches from the highest non-empty class while credit
+// lasts.
+func (l *PriorityLogic) drainPriority(out []Assignment) []Assignment {
+	for {
+		var req *task.Request
+		for c := range l.classes {
+			if r, ok := l.classes[c].Peek(); ok {
+				req = r
+				w := -1
+				if l.affinity && r.Preemptions > 0 &&
+					r.LastWorker >= 0 && r.LastWorker < len(l.outstanding) &&
+					l.outstanding[r.LastWorker] < l.k {
+					w = r.LastWorker
+				} else {
+					w = l.pick()
+				}
+				if w < 0 {
+					return out
+				}
+				l.classes[c].Pop()
+				l.outstanding[w]++
+				l.assigned++
+				out = append(out, Assignment{Worker: w, Req: req})
+				break
+			}
+		}
+		if req == nil {
+			return out
+		}
+	}
+}
+
+// String describes the configuration.
+func (l *PriorityLogic) String() string {
+	return fmt.Sprintf("priority-logic(classes=%d, workers=%d, k=%d)",
+		len(l.classes), l.Workers(), l.CreditLimit())
+}

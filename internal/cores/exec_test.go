@@ -1,0 +1,276 @@
+package cores
+
+import (
+	"testing"
+	"time"
+
+	"mindgap/internal/params"
+	"mindgap/internal/sim"
+	"mindgap/internal/task"
+)
+
+func testCfg(slice time.Duration, selfArm bool) ExecConfig {
+	return ExecConfig{
+		Clock:     params.Clock{Hz: 2.3e9},
+		Timer:     params.DirectAPIC,
+		Slice:     slice,
+		SelfArm:   selfArm,
+		CtxSave:   120 * time.Nanosecond,
+		CtxResume: 120 * time.Nanosecond,
+	}
+}
+
+func TestRunToCompletionNoPreemption(t *testing.T) {
+	eng := sim.New()
+	var completedAt sim.Time
+	var got *task.Request
+	e := NewExec(eng, 0, testCfg(0, false), func(r *task.Request) {
+		completedAt = eng.Now()
+		got = r
+	}, nil)
+	req := task.New(1, 0, 5*time.Microsecond)
+	e.Start(req)
+	if !e.Busy() || e.Current() != req {
+		t.Fatal("core not busy after Start")
+	}
+	eng.Run()
+	if completedAt != sim.Time(5000) {
+		t.Fatalf("completed at %v, want 5µs", completedAt)
+	}
+	if got != req || !req.Done() {
+		t.Fatal("wrong request or not done")
+	}
+	if e.Busy() || e.Current() != nil {
+		t.Fatal("core still busy after completion")
+	}
+	if req.Assignments != 1 || req.LastWorker != 0 {
+		t.Fatalf("assignments=%d lastWorker=%d", req.Assignments, req.LastWorker)
+	}
+}
+
+func TestSelfArmShortRequestNoSlice(t *testing.T) {
+	eng := sim.New()
+	var completedAt sim.Time
+	e := NewExec(eng, 0, testCfg(10*time.Microsecond, true),
+		func(*task.Request) { completedAt = eng.Now() },
+		func(*task.Request) { t.Fatal("short request preempted") })
+	e.Start(task.New(1, 0, 5*time.Microsecond))
+	eng.Run()
+	// Arm cost (40 cycles @2.3GHz = 17ns) + 5µs service.
+	if completedAt != sim.Time(5017) {
+		t.Fatalf("completed at %v, want 5.017µs", completedAt)
+	}
+}
+
+func TestSelfArmSliceExpiry(t *testing.T) {
+	eng := sim.New()
+	var preemptedAt sim.Time
+	var preempted *task.Request
+	e := NewExec(eng, 2, testCfg(10*time.Microsecond, true),
+		func(*task.Request) { t.Fatal("long request completed in one slice") },
+		func(r *task.Request) {
+			preemptedAt = eng.Now()
+			preempted = r
+		})
+	req := task.New(1, 0, 25*time.Microsecond)
+	e.Start(req)
+	eng.Run()
+	// arm 17ns + slice 10µs + fire 553ns + save 120ns = 10690ns.
+	if preemptedAt != sim.Time(10690) {
+		t.Fatalf("preempted at %v, want 10.69µs", preemptedAt)
+	}
+	if preempted.Remaining != 15*time.Microsecond {
+		t.Fatalf("remaining = %v, want 15µs", preempted.Remaining)
+	}
+	if preempted.Preemptions != 1 {
+		t.Fatalf("preemptions = %d", preempted.Preemptions)
+	}
+	if e.Busy() {
+		t.Fatal("core busy after preemption")
+	}
+	if e.Preemptions() != 1 || e.Completions() != 0 {
+		t.Fatalf("core counters: %d/%d", e.Preemptions(), e.Completions())
+	}
+}
+
+func TestSelfArmFullLifecycleAcrossSlices(t *testing.T) {
+	eng := sim.New()
+	cfg := testCfg(10*time.Microsecond, true)
+	var done *task.Request
+	var e *Exec
+	// Re-start the request on the same core each time it is preempted,
+	// emulating a trivial scheduler loop.
+	e = NewExec(eng, 0, cfg,
+		func(r *task.Request) { done = r },
+		func(r *task.Request) { e.Start(r) })
+	req := task.New(1, 0, 25*time.Microsecond)
+	e.Start(req)
+	eng.Run()
+	if done == nil || !done.Done() {
+		t.Fatal("request never completed")
+	}
+	if req.Preemptions != 2 {
+		t.Fatalf("preemptions = %d, want 2 (25µs / 10µs slice)", req.Preemptions)
+	}
+	if req.Assignments != 3 {
+		t.Fatalf("assignments = %d, want 3", req.Assignments)
+	}
+	// Resume cost is charged on restarts: total time must exceed 25µs
+	// plus preemption overheads.
+	min := 25 * time.Microsecond
+	if eng.Now().Duration() <= min {
+		t.Fatalf("lifecycle took %v, expected > %v with overheads", eng.Now(), min)
+	}
+}
+
+func TestExternalInterrupt(t *testing.T) {
+	eng := sim.New()
+	var preempted *task.Request
+	var preemptedAt sim.Time
+	e := NewExec(eng, 0, testCfg(0, false),
+		func(*task.Request) { t.Fatal("completed despite interrupt") },
+		func(r *task.Request) {
+			preempted = r
+			preemptedAt = eng.Now()
+		})
+	req := task.New(1, 0, 100*time.Microsecond)
+	e.Start(req)
+	eng.After(10*time.Microsecond, func() {
+		if !e.Interrupt() {
+			t.Fatal("Interrupt() = false on busy core")
+		}
+	})
+	eng.Run()
+	if preempted == nil {
+		t.Fatal("no preemption")
+	}
+	if preempted.Remaining != 90*time.Microsecond {
+		t.Fatalf("remaining = %v, want 90µs", preempted.Remaining)
+	}
+	// fire 553 + save 120 after the 10µs mark.
+	if preemptedAt != sim.Time(10673) {
+		t.Fatalf("preempted at %v, want 10.673µs", preemptedAt)
+	}
+}
+
+func TestInterruptAfterCompletionIsBenign(t *testing.T) {
+	eng := sim.New()
+	completed := false
+	e := NewExec(eng, 0, testCfg(0, false),
+		func(*task.Request) { completed = true },
+		func(*task.Request) { t.Fatal("preempted a finished request") })
+	e.Start(task.New(1, 0, time.Microsecond))
+	eng.Run()
+	if !completed {
+		t.Fatal("not completed")
+	}
+	if e.Interrupt() {
+		t.Fatal("Interrupt on idle core reported success")
+	}
+}
+
+func TestInterruptExactlyAtCompletionInstant(t *testing.T) {
+	// The §3.4.4 race: an interrupt arriving the same instant the request
+	// completes must not preempt.
+	eng := sim.New()
+	completed := false
+	e := NewExec(eng, 0, testCfg(0, false),
+		func(*task.Request) { completed = true },
+		func(*task.Request) { t.Fatal("preempted at completion instant") })
+	e.Start(task.New(1, 0, time.Microsecond))
+	eng.After(time.Microsecond, func() {
+		if e.Interrupt() {
+			t.Fatal("Interrupt succeeded at completion instant")
+		}
+	})
+	eng.Run()
+	if !completed {
+		t.Fatal("not completed")
+	}
+}
+
+func TestResumeCostChargedOnlyAfterPreemption(t *testing.T) {
+	eng := sim.New()
+	var completedAt sim.Time
+	e := NewExec(eng, 0, testCfg(0, false),
+		func(*task.Request) { completedAt = eng.Now() }, func(*task.Request) {})
+	req := task.New(1, 0, 10*time.Microsecond)
+	req.Remaining = 4 * time.Microsecond
+	req.Preemptions = 1 // previously preempted elsewhere
+	e.Start(req)
+	eng.Run()
+	// resume 120ns + 4µs remaining.
+	if completedAt != sim.Time(4120) {
+		t.Fatalf("completed at %v, want 4.12µs", completedAt)
+	}
+}
+
+func TestStartOnBusyCorePanics(t *testing.T) {
+	eng := sim.New()
+	e := NewExec(eng, 0, testCfg(0, false), func(*task.Request) {}, nil)
+	e.Start(task.New(1, 0, time.Microsecond))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Start on busy core did not panic")
+		}
+	}()
+	e.Start(task.New(2, 0, time.Microsecond))
+}
+
+func TestStartCompletedRequestPanics(t *testing.T) {
+	eng := sim.New()
+	e := NewExec(eng, 0, testCfg(0, false), func(*task.Request) {}, nil)
+	req := task.New(1, 0, time.Microsecond)
+	req.Remaining = 0
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Start on done request did not panic")
+		}
+	}()
+	e.Start(req)
+}
+
+func TestBusyTrackingAcrossRequests(t *testing.T) {
+	eng := sim.New()
+	e := NewExec(eng, 0, testCfg(0, false), func(*task.Request) {}, nil)
+	e.Track.Arm(0)
+	e.Start(task.New(1, 0, time.Microsecond))
+	eng.Run() // busy [0, 1µs]
+	eng.RunUntil(sim.Time(3000))
+	e.Start(task.New(2, 0, time.Microsecond))
+	eng.Run() // busy [3µs, 4µs]
+	got := e.Track.BusyFraction(eng.Now())
+	if got != 0.5 {
+		t.Fatalf("busy fraction = %v, want 0.5", got)
+	}
+	if e.Completions() != 2 {
+		t.Fatalf("completions = %d", e.Completions())
+	}
+}
+
+func TestWorkConservation(t *testing.T) {
+	// Total work executed across arbitrary preemption patterns must equal
+	// the request's service time: no work lost, none duplicated.
+	eng := sim.New()
+	cfg := testCfg(3*time.Microsecond, true)
+	var done *task.Request
+	var e *Exec
+	e = NewExec(eng, 0, cfg,
+		func(r *task.Request) { done = r },
+		func(r *task.Request) {
+			// Resume after a random-ish think time.
+			eng.After(time.Duration(r.Preemptions)*500*time.Nanosecond, func() { e.Start(r) })
+		})
+	req := task.New(1, 0, 10*time.Microsecond)
+	e.Start(req)
+	eng.Run()
+	if done == nil {
+		t.Fatal("request never finished")
+	}
+	if req.Preemptions != 3 {
+		t.Fatalf("preemptions = %d, want 3 (10µs at 3µs slices)", req.Preemptions)
+	}
+	if req.Remaining != 0 {
+		t.Fatalf("remaining = %v", req.Remaining)
+	}
+}

@@ -1,0 +1,53 @@
+package dist
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// ZipfKeys samples application keys 0..N-1 with a Zipf(s) popularity
+// distribution — the skewed key-access pattern that breaks flow-steering
+// schedulers like Flow Director (§2.1/§2.2 "load imbalance"). s = 0 is
+// uniform; larger s is more skewed (s ≈ 0.99 matches common KVS traces).
+type ZipfKeys struct {
+	cdf []float64
+}
+
+// NewZipfKeys builds the sampler for n keys with skew s >= 0.
+func NewZipfKeys(n int, s float64) *ZipfKeys {
+	if n <= 0 {
+		panic("dist: zipf needs at least one key")
+	}
+	if s < 0 {
+		panic("dist: zipf skew must be non-negative")
+	}
+	cdf := make([]float64, n)
+	acc := 0.0
+	for i := 0; i < n; i++ {
+		acc += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = acc
+	}
+	for i := range cdf {
+		cdf[i] /= acc
+	}
+	cdf[n-1] = 1
+	return &ZipfKeys{cdf: cdf}
+}
+
+// N returns the key-space size.
+func (z *ZipfKeys) N() int { return len(z.cdf) }
+
+// Sample draws a key.
+func (z *ZipfKeys) Sample(r *rand.Rand) uint64 {
+	u := r.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return uint64(lo)
+}

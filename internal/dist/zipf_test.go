@@ -1,0 +1,66 @@
+package dist
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	z := NewZipfKeys(4, 0)
+	r := rand.New(rand.NewPCG(1, 2))
+	counts := make([]int, 4)
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		counts[z.Sample(r)]++
+	}
+	for k, c := range counts {
+		frac := float64(c) / n
+		if frac < 0.23 || frac > 0.27 {
+			t.Fatalf("key %d frequency %v, want ≈0.25", k, frac)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z := NewZipfKeys(100, 0.99)
+	r := rand.New(rand.NewPCG(1, 2))
+	counts := make([]int, 100)
+	const n = 200_000
+	for i := 0; i < n; i++ {
+		counts[z.Sample(r)]++
+	}
+	// Key 0 must dominate: Zipf(0.99) over 100 keys gives key 0 ≈ 19%.
+	frac0 := float64(counts[0]) / n
+	if frac0 < 0.15 || frac0 > 0.23 {
+		t.Fatalf("key 0 frequency = %v, want ≈0.19", frac0)
+	}
+	if counts[0] <= counts[50] {
+		t.Fatal("skew absent: head key not hotter than middle key")
+	}
+}
+
+func TestZipfBoundsAndValidation(t *testing.T) {
+	z := NewZipfKeys(7, 1.2)
+	if z.N() != 7 {
+		t.Fatalf("N = %d", z.N())
+	}
+	r := rand.New(rand.NewPCG(5, 6))
+	for i := 0; i < 10_000; i++ {
+		if k := z.Sample(r); k >= 7 {
+			t.Fatalf("sample %d out of range", k)
+		}
+	}
+	for _, f := range []func(){
+		func() { NewZipfKeys(0, 1) },
+		func() { NewZipfKeys(5, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid zipf did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

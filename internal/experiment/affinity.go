@@ -1,0 +1,68 @@
+package experiment
+
+import (
+	"time"
+
+	"mindgap/internal/core"
+	"mindgap/internal/dist"
+	"mindgap/internal/loadgen"
+	"mindgap/internal/params"
+	"mindgap/internal/sim"
+	"mindgap/internal/stats"
+	"mindgap/internal/task"
+)
+
+// AffinityResult is the X11 extension experiment: §3.1's scheduling
+// affinity. With affinity off, a preempted request resumes on whichever
+// worker frees first and pays a cache-migration penalty; with affinity on,
+// the scheduler prefers the request's previous worker.
+type AffinityResult struct {
+	// MigrationsOff/On count cross-core resumes per configuration.
+	MigrationsOff, MigrationsOn uint64
+	// Preemptions counts preemptions in the affinity-on run (similar in
+	// both; reported for rate context).
+	Preemptions uint64
+	// MeanOff/On and P99Off/On are client-observed latencies.
+	MeanOff, MeanOn time.Duration
+	P99Off, P99On   time.Duration
+}
+
+// AffinityAblation measures X11 on a preemption-heavy workload: 10% of
+// requests run 100 µs against a 10 µs slice, so every long request is
+// preempted ~9 times and each resume either stays local or migrates.
+func AffinityAblation(q Quality) AffinityResult {
+	run := func(affinity bool) (uint64, uint64, time.Duration, time.Duration) {
+		p := params.Default()
+		eng := sim.New()
+		var lat stats.Histogram
+		completions := 0
+		target := q.Warmup + q.Measure
+		sys := core.NewOffload(eng, core.OffloadConfig{
+			P: p, Workers: 8, Outstanding: 2,
+			Slice:    10 * time.Microsecond,
+			Affinity: affinity,
+		}, nil, func(r *task.Request) {
+			completions++
+			if completions > q.Warmup {
+				lat.Record(r.Latency(eng.Now()))
+			}
+			if completions >= target {
+				eng.Halt()
+			}
+		})
+		svc := dist.Bimodal{P1: 0.9, D1: 5 * time.Microsecond, D2: 100 * time.Microsecond}
+		rho := 0.7
+		rps := rho * 8 / svc.Mean().Seconds()
+		loadgen.New(eng, loadgen.Config{RPS: rps, Service: svc, Seed: q.Seed}, sys.Inject).Start()
+		expected := time.Duration(float64(target) / rps * float64(time.Second))
+		eng.At(sim.Time(8*expected+50*time.Millisecond), eng.Halt)
+		eng.Run()
+		return sys.Migrations(), sys.Preemptions(), lat.Mean(), lat.P99()
+	}
+	var res AffinityResult
+	var pre uint64
+	res.MigrationsOff, pre, res.MeanOff, res.P99Off = run(false)
+	_ = pre
+	res.MigrationsOn, res.Preemptions, res.MeanOn, res.P99On = run(true)
+	return res
+}

@@ -1,0 +1,122 @@
+package experiment
+
+import (
+	"math"
+	"math/rand/v2"
+	"time"
+
+	"mindgap/internal/core"
+	"mindgap/internal/dist"
+	"mindgap/internal/loadgen"
+	"mindgap/internal/params"
+	"mindgap/internal/sim"
+	"mindgap/internal/stats"
+	"mindgap/internal/task"
+)
+
+// DispersionRow is one row of the X7 extension experiment: the same mean
+// service time and utilization, with increasing service-time dispersion.
+// The theory the paper leans on (§2.2, Wierman & Zwart) is about *short
+// requests*: "without preemption, short requests will get stuck behind
+// long requests and the tail latency of the short requests will explode".
+// So the metric is the p99 latency of requests whose service time is at
+// most the distribution mean — preemption deliberately trades long-request
+// latency away, which overall p99 would (correctly but uninterestingly)
+// penalize.
+type DispersionRow struct {
+	// Workload names the distribution.
+	Workload string
+	// CV2 is the empirical squared coefficient of variation.
+	CV2 float64
+	// PreemptShortP99 and NoPreemptShortP99 are the short-request tails
+	// with a 10µs slice and with preemption disabled.
+	PreemptShortP99, NoPreemptShortP99 time.Duration
+	// Win is NoPreemptShortP99 / PreemptShortP99.
+	Win float64
+}
+
+// DispersionSensitivity runs the X7 sweep: distributions of increasing
+// dispersion with a 10µs mean at ρ≈0.7 on four workers, on the
+// Shinjuku-Offload system.
+func DispersionSensitivity(q Quality) []DispersionRow {
+	p := params.Default()
+	const workers = 4
+	const rho = 0.7
+	slice := 10 * time.Microsecond
+
+	workloads := []dist.Distribution{
+		dist.Fixed{D: 10 * time.Microsecond},
+		dist.Uniform{Lo: 5 * time.Microsecond, Hi: 15 * time.Microsecond},
+		dist.Exponential{M: 10 * time.Microsecond},
+		// The paper's bimodal shape scaled to a 10µs mean: 99.5% short,
+		// 0.5% very long.
+		dist.Bimodal{P1: 0.995, D1: 5 * time.Microsecond, D2: 1005 * time.Microsecond},
+	}
+
+	var rows []DispersionRow
+	for _, w := range workloads {
+		mean := w.Mean()
+		rps := rho * float64(workers) / mean.Seconds()
+		pre := shortTail(p, w, rps, workers, slice, q)
+		nopre := shortTail(p, w, rps, workers, 0, q)
+		row := DispersionRow{
+			Workload:          w.String(),
+			CV2:               empiricalCV2(w),
+			PreemptShortP99:   pre,
+			NoPreemptShortP99: nopre,
+		}
+		if pre > 0 {
+			row.Win = float64(nopre) / float64(pre)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// shortTail measures the p99 latency of requests with Service <= mean.
+func shortTail(p params.Params, w dist.Distribution, rps float64, workers int, slice time.Duration, q Quality) time.Duration {
+	eng := sim.New()
+	mean := w.Mean()
+	var short stats.Histogram
+	completions := 0
+	target := q.Warmup + q.Measure
+	sys := core.NewOffload(eng, core.OffloadConfig{
+		P: p, Workers: workers, Outstanding: 4, Slice: slice,
+	}, nil, func(r *task.Request) {
+		completions++
+		if completions > q.Warmup && r.Service <= mean {
+			short.Record(r.Latency(eng.Now()))
+		}
+		if completions >= target {
+			eng.Halt()
+		}
+	})
+	loadgen.New(eng, loadgen.Config{RPS: rps, Service: w, Seed: q.Seed}, sys.Inject).Start()
+	// Watchdog mirrors RunPoint's: bounded even if something saturates.
+	expected := time.Duration(float64(target) / rps * float64(time.Second))
+	eng.At(sim.Time(8*expected+50*time.Millisecond), eng.Halt)
+	eng.Run()
+	return short.P99()
+}
+
+// empiricalCV2 estimates the squared coefficient of variation by sampling.
+func empiricalCV2(d dist.Distribution) float64 {
+	r := rand.New(rand.NewPCG(5, 55))
+	const n = 100_000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := float64(d.Sample(r))
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	varr := sumSq/n - mean*mean
+	if mean == 0 {
+		return 0
+	}
+	cv2 := varr / (mean * mean)
+	if math.IsNaN(cv2) || cv2 < 0 {
+		return 0
+	}
+	return cv2
+}

@@ -1,0 +1,194 @@
+// Package experiment is the measurement harness that regenerates every
+// figure and in-text number of the paper's evaluation: it drives a
+// scheduling system with the open-loop load generator, handles warmup,
+// detects saturation, and produces the latency-vs-throughput rows the paper
+// plots.
+package experiment
+
+import (
+	"time"
+
+	"mindgap/internal/dist"
+	"mindgap/internal/loadgen"
+	"mindgap/internal/sim"
+	"mindgap/internal/stats"
+	"mindgap/internal/task"
+)
+
+// System is the common surface of every scheduling system in this
+// repository (Shinjuku-Offload, vanilla Shinjuku, RSS, ZygOS, Flow
+// Director, RPCValet, and the ideal-NIC ablations).
+type System interface {
+	// Name identifies the system in reports.
+	Name() string
+	// Inject admits a request at the current engine instant.
+	Inject(*task.Request)
+	// WorkerIdleFraction returns the mean worker idle fraction since
+	// ArmWorkerTrackers.
+	WorkerIdleFraction(sim.Time) float64
+	// ArmWorkerTrackers starts worker utilization accounting.
+	ArmWorkerTrackers(sim.Time)
+}
+
+// Factory builds a system on the given engine. done must be invoked at the
+// instant the client receives each response; rec may be used for drop and
+// preemption accounting.
+type Factory func(eng *sim.Engine, rec *stats.Recorder, done func(*task.Request)) System
+
+// PointConfig describes a single measured load point.
+type PointConfig struct {
+	// Factory builds the system under test.
+	Factory Factory
+	// Service is the fake-work service-time distribution.
+	Service dist.Distribution
+	// Keys optionally samples per-request application keys.
+	Keys *dist.ZipfKeys
+	// OfferedRPS is the open-loop arrival rate.
+	OfferedRPS float64
+	// Warmup completions are discarded; Measure completions are recorded.
+	Warmup, Measure int
+	// Seed fixes the workload streams.
+	Seed uint64
+	// MaxSimTime bounds simulated time per point; zero derives a bound
+	// from the expected run length. Points that hit the bound are
+	// truncated (and almost always saturated).
+	MaxSimTime time.Duration
+}
+
+// Result bundles the measured point with auxiliary observations.
+type Result struct {
+	stats.Point
+	// SystemName echoes the system under test.
+	SystemName string
+	// SimTime is the simulated time consumed by the point.
+	SimTime time.Duration
+	// Truncated is set when the watchdog ended the run before Measure
+	// completions were observed.
+	Truncated bool
+}
+
+// RunPoint simulates one load point to completion and returns its row.
+func RunPoint(cfg PointConfig) Result {
+	if cfg.Warmup < 0 || cfg.Measure <= 0 {
+		panic("experiment: need a positive measurement count")
+	}
+	eng := sim.New()
+	rec := &stats.Recorder{}
+	completions := 0
+	target := cfg.Warmup + cfg.Measure
+
+	var sys System
+	var idleAtStop float64
+	truncated := false
+
+	stop := func() {
+		rec.Stop(eng.Now())
+		idleAtStop = sys.WorkerIdleFraction(eng.Now())
+		eng.Halt()
+	}
+
+	done := func(r *task.Request) {
+		completions++
+		if completions == cfg.Warmup {
+			rec.Arm(eng.Now())
+			sys.ArmWorkerTrackers(eng.Now())
+			return
+		}
+		if completions > cfg.Warmup {
+			rec.RecordLatency(r.Latency(eng.Now()))
+		}
+		if completions >= target {
+			stop()
+		}
+	}
+	if cfg.Warmup == 0 {
+		// Arm immediately: measurement includes cold start (tests only).
+		rec.Arm(0)
+	}
+
+	sys = cfg.Factory(eng, rec, done)
+	if cfg.Warmup == 0 {
+		sys.ArmWorkerTrackers(0)
+	}
+
+	gen := loadgen.New(eng, loadgen.Config{
+		RPS:     cfg.OfferedRPS,
+		Service: cfg.Service,
+		Keys:    cfg.Keys,
+		Seed:    cfg.Seed,
+	}, sys.Inject)
+	gen.Start()
+
+	maxT := cfg.MaxSimTime
+	if maxT == 0 {
+		// Expected run length at the offered rate, with 8x headroom for
+		// saturated points, plus a floor for very small runs.
+		expected := time.Duration(float64(target) / cfg.OfferedRPS * float64(time.Second))
+		maxT = 8*expected + 50*time.Millisecond
+	}
+	eng.At(sim.Time(maxT), func() {
+		truncated = true
+		stop()
+	})
+	eng.Run()
+
+	now := eng.Now()
+	achieved := rec.Throughput(now)
+	p := stats.Point{
+		OfferedRPS:         cfg.OfferedRPS,
+		AchievedRPS:        achieved,
+		P50:                rec.Latency.P50(),
+		P99:                rec.Latency.P99(),
+		Mean:               rec.Latency.Mean(),
+		Max:                rec.Latency.Max(),
+		Completed:          rec.Completed(),
+		Dropped:            rec.Dropped(),
+		Preemptions:        rec.Preemptions(),
+		WorkerIdleFraction: idleAtStop,
+		Saturated:          truncated || achieved < 0.97*cfg.OfferedRPS,
+	}
+	return Result{
+		Point:      p,
+		SystemName: sys.Name(),
+		SimTime:    now.Duration(),
+		Truncated:  truncated,
+	}
+}
+
+// Sweep measures one system across a grid of offered loads. Sweeping stops
+// early after the second consecutive saturated point — matching how the
+// paper's figures end shortly after the knee.
+func Sweep(cfg PointConfig, loads []float64) []Result {
+	var out []Result
+	saturated := 0
+	for _, rps := range loads {
+		c := cfg
+		c.OfferedRPS = rps
+		r := RunPoint(c)
+		out = append(out, r)
+		if r.Saturated {
+			saturated++
+			if saturated >= 2 {
+				break
+			}
+		} else {
+			saturated = 0
+		}
+	}
+	return out
+}
+
+// Series is a labelled sweep — one curve of a figure.
+type Series struct {
+	Label   string
+	Results []Result
+}
+
+// Figure is a reproduced paper figure: several curves over a load grid.
+type Figure struct {
+	ID    string
+	Title string
+	// XLabel / YLabel describe the plotted axes.
+	XLabel, YLabel string
+	Series         []Series
+}

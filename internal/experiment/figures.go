@@ -1,0 +1,394 @@
+package experiment
+
+import (
+	"time"
+
+	"mindgap/internal/core"
+	"mindgap/internal/dist"
+	"mindgap/internal/params"
+	"mindgap/internal/sim"
+	"mindgap/internal/stats"
+	"mindgap/internal/systems/erss"
+	"mindgap/internal/systems/idealnic"
+	"mindgap/internal/systems/rpcvalet"
+	"mindgap/internal/systems/rtc"
+	"mindgap/internal/systems/shinjuku"
+	"mindgap/internal/task"
+)
+
+// Quality trades run time for statistical confidence.
+type Quality struct {
+	// Warmup completions are discarded; Measure completions recorded.
+	Warmup, Measure int
+	// Seed fixes every random stream.
+	Seed uint64
+}
+
+// Quick is suitable for tests and testing.B benchmarks; Full for the CLI
+// runs recorded in EXPERIMENTS.md.
+var (
+	Quick = Quality{Warmup: 2_000, Measure: 12_000, Seed: 7}
+	Full  = Quality{Warmup: 20_000, Measure: 100_000, Seed: 7}
+)
+
+// Workload constants of §4.1.
+var (
+	// BimodalWorkload is Figure 2's distribution: 99.5% 5 µs, 0.5% 100 µs.
+	BimodalWorkload = dist.Bimodal{P1: 0.995, D1: 5 * time.Microsecond, D2: 100 * time.Microsecond}
+	// Fixed1us, Fixed5us, Fixed100us are the fixed service times of
+	// Figures 3–6.
+	Fixed1us   = dist.Fixed{D: 1 * time.Microsecond}
+	Fixed5us   = dist.Fixed{D: 5 * time.Microsecond}
+	Fixed100us = dist.Fixed{D: 100 * time.Microsecond}
+)
+
+// OffloadFactory builds a Shinjuku-Offload system factory.
+func OffloadFactory(p params.Params, workers, outstanding int, slice time.Duration) Factory {
+	return func(eng *sim.Engine, rec *stats.Recorder, done func(*task.Request)) System {
+		return core.NewOffload(eng, core.OffloadConfig{
+			P: p, Workers: workers, Outstanding: outstanding, Slice: slice,
+			Policy: core.LeastOutstanding,
+		}, rec, done)
+	}
+}
+
+// ShinjukuFactory builds a vanilla Shinjuku system factory.
+func ShinjukuFactory(p params.Params, workers int, slice time.Duration) Factory {
+	return func(eng *sim.Engine, rec *stats.Recorder, done func(*task.Request)) System {
+		return shinjuku.New(eng, shinjuku.Config{
+			P: p, Workers: workers, Slice: slice,
+		}, rec, done)
+	}
+}
+
+// RSSFactory builds an IX-style RSS run-to-completion factory.
+func RSSFactory(p params.Params, workers int) Factory {
+	return func(eng *sim.Engine, rec *stats.Recorder, done func(*task.Request)) System {
+		return rtc.New(eng, rtc.Config{P: p, Workers: workers}, rec, done)
+	}
+}
+
+// ZygOSFactory builds an RSS + work-stealing factory.
+func ZygOSFactory(p params.Params, workers int) Factory {
+	return func(eng *sim.Engine, rec *stats.Recorder, done func(*task.Request)) System {
+		return rtc.New(eng, rtc.Config{P: p, Workers: workers, WorkStealing: true}, rec, done)
+	}
+}
+
+// FlowDirFactory builds a MICA-style key-steering factory.
+func FlowDirFactory(p params.Params, workers int) Factory {
+	return func(eng *sim.Engine, rec *stats.Recorder, done func(*task.Request)) System {
+		return rtc.New(eng, rtc.Config{P: p, Workers: workers, Steering: rtc.SteerKey}, rec, done)
+	}
+}
+
+// RPCValetFactory builds an integrated-NI hardware-queue factory.
+func RPCValetFactory(p params.Params, workers int) Factory {
+	return func(eng *sim.Engine, rec *stats.Recorder, done func(*task.Request)) System {
+		return rpcvalet.New(eng, rpcvalet.Config{P: p, Workers: workers}, rec, done)
+	}
+}
+
+// ERSSFactory builds an Elastic RSS factory (§5.1's cited related work:
+// load feedback resizes the RSS core set, but the policy stays fixed).
+func ERSSFactory(p params.Params, workers int) Factory {
+	return func(eng *sim.Engine, rec *stats.Recorder, done func(*task.Request)) System {
+		return erss.New(eng, erss.Config{P: p, Workers: workers}, rec, done)
+	}
+}
+
+// IdealNICFactory builds a §5.1 ablation factory.
+func IdealNICFactory(cfg idealnic.Config) Factory {
+	return func(eng *sim.Engine, rec *stats.Recorder, done func(*task.Request)) System {
+		return idealnic.New(eng, cfg, rec, done)
+	}
+}
+
+// loadGrid returns lo, lo+step, ..., hi.
+func loadGrid(lo, hi, step float64) []float64 {
+	var out []float64
+	for x := lo; x <= hi+step/2; x += step {
+		out = append(out, x)
+	}
+	return out
+}
+
+// sweepSeries runs one curve.
+func sweepSeries(label string, f Factory, svc dist.Distribution, q Quality, loads []float64) Series {
+	return sweepSeriesKeys(label, f, svc, nil, q, loads)
+}
+
+// sweepSeriesKeys is sweepSeries with a per-request key sampler (used by
+// steering-sensitive baselines).
+func sweepSeriesKeys(label string, f Factory, svc dist.Distribution, keys *dist.ZipfKeys, q Quality, loads []float64) Series {
+	cfg := PointConfig{
+		Factory: f,
+		Service: svc,
+		Keys:    keys,
+		Warmup:  q.Warmup,
+		Measure: q.Measure,
+		Seed:    q.Seed,
+	}
+	return Series{Label: label, Results: Sweep(cfg, loads)}
+}
+
+// Figure2 reproduces the bimodal tail-latency figure: 99.5% 5 µs + 0.5%
+// 100 µs, 10 µs slice, Shinjuku with 3 workers vs Shinjuku-Offload with 4
+// workers and up to 4 outstanding requests.
+func Figure2(q Quality) Figure {
+	p := params.Default()
+	loads := loadGrid(50_000, 650_000, 50_000)
+	slice := 10 * time.Microsecond
+	return Figure{
+		ID:     "figure2",
+		Title:  "Bimodal 99.5%/0.5% (5µs/100µs), slice 10µs",
+		XLabel: "offered load (RPS)",
+		YLabel: "p99 latency",
+		Series: []Series{
+			sweepSeries("shinjuku-offload (4 workers, k=4)",
+				OffloadFactory(p, 4, 4, slice), BimodalWorkload, q, loads),
+			sweepSeries("shinjuku (3 workers)",
+				ShinjukuFactory(p, 3, slice), BimodalWorkload, q, loads),
+		},
+	}
+}
+
+// Figure3 reproduces the queuing-optimization figure: fixed 1 µs service
+// time, Shinjuku-Offload throughput at saturation as the per-worker
+// outstanding-request limit k sweeps 1..7, for 4 and 16 workers.
+func Figure3(q Quality) Figure {
+	p := params.Default()
+	const saturating = 5_000_000 // far beyond capacity
+	run := func(workers int) Series {
+		s := Series{Label: offloadLabel(workers)}
+		for k := 1; k <= 7; k++ {
+			r := RunPoint(PointConfig{
+				Factory: OffloadFactory(p, workers, k, 0),
+				Service: Fixed1us,
+				// Saturating throughput converges fast; warmup matters
+				// more than sample count here.
+				OfferedRPS: saturating,
+				Warmup:     q.Warmup,
+				Measure:    q.Measure,
+				Seed:       q.Seed,
+			})
+			r.Point.OfferedRPS = float64(k) // x-axis is k, not load
+			s.Results = append(s.Results, r)
+		}
+		return s
+	}
+	return Figure{
+		ID:     "figure3",
+		Title:  "Fixed 1µs service time: throughput vs outstanding requests (Shinjuku-Offload)",
+		XLabel: "outstanding requests per worker (k)",
+		YLabel: "throughput (RPS)",
+		Series: []Series{run(16), run(4)},
+	}
+}
+
+func offloadLabel(workers int) string {
+	if workers == 1 {
+		return "1 worker"
+	}
+	return itoa(workers) + " workers"
+}
+
+// itoa avoids pulling strconv into the hot import path for one use.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// Figure3Burst is the burst-processing ablation of Figure 3: the same k
+// sweep with the queue-manager core draining DPDK-style bursts (16 events)
+// from one input ring before polling the other. Burst processing delays
+// credit handling behind floods of new arrivals, deepening the k=1 penalty
+// — the effect that made the paper's 16-worker curve gain 88% from k=1 to
+// k=3 where the fair-polling model gains almost nothing.
+func Figure3Burst(q Quality) Figure {
+	p := params.Default()
+	const saturating = 5_000_000
+	const burst = 16
+	run := func(workers int) Series {
+		s := Series{Label: offloadLabel(workers) + " (burst 16)"}
+		for k := 1; k <= 7; k++ {
+			r := RunPoint(PointConfig{
+				Factory: func(eng *sim.Engine, rec *stats.Recorder, done func(*task.Request)) System {
+					return core.NewOffload(eng, core.OffloadConfig{
+						P: p, Workers: workers, Outstanding: k,
+						Policy: core.LeastOutstanding, DispatchBurst: burst,
+					}, rec, done)
+				},
+				Service:    Fixed1us,
+				OfferedRPS: saturating,
+				Warmup:     q.Warmup,
+				Measure:    q.Measure,
+				Seed:       q.Seed,
+			})
+			r.Point.OfferedRPS = float64(k)
+			s.Results = append(s.Results, r)
+		}
+		return s
+	}
+	return Figure{
+		ID:     "figure3-burst",
+		Title:  "Figure 3 with DPDK burst polling (16 events) at the queue-manager core",
+		XLabel: "outstanding requests per worker (k)",
+		YLabel: "throughput (RPS)",
+		Series: []Series{run(16), run(4)},
+	}
+}
+
+// Figure4 reproduces the fixed 5 µs figure: preemption off, Shinjuku 3
+// workers vs Offload 4 workers (k=4).
+func Figure4(q Quality) Figure {
+	p := params.Default()
+	loads := loadGrid(50_000, 750_000, 50_000)
+	return Figure{
+		ID:     "figure4",
+		Title:  "Fixed 5µs service time, no preemption",
+		XLabel: "offered load (RPS)",
+		YLabel: "p99 latency",
+		Series: []Series{
+			sweepSeries("shinjuku-offload (4 workers, k=4)",
+				OffloadFactory(p, 4, 4, 0), Fixed5us, q, loads),
+			sweepSeries("shinjuku (3 workers)",
+				ShinjukuFactory(p, 3, 0), Fixed5us, q, loads),
+		},
+	}
+}
+
+// Figure5 reproduces the fixed 100 µs figure: Shinjuku 15 workers vs
+// Offload 16 workers (k=2), preemption off.
+func Figure5(q Quality) Figure {
+	p := params.Default()
+	loads := loadGrid(10_000, 170_000, 10_000)
+	return Figure{
+		ID:     "figure5",
+		Title:  "Fixed 100µs service time, no preemption",
+		XLabel: "offered load (RPS)",
+		YLabel: "p99 latency",
+		Series: []Series{
+			sweepSeries("shinjuku-offload (16 workers, k=2)",
+				OffloadFactory(p, 16, 2, 0), Fixed100us, q, loads),
+			sweepSeries("shinjuku (15 workers)",
+				ShinjukuFactory(p, 15, 0), Fixed100us, q, loads),
+		},
+	}
+}
+
+// Figure6 reproduces the fixed 1 µs figure at high worker counts: Shinjuku
+// 15 workers vs Offload 16 workers (k=5). Here the offloaded dispatcher is
+// the bottleneck and vanilla Shinjuku greatly outperforms (§5.1).
+func Figure6(q Quality) Figure {
+	p := params.Default()
+	loads := loadGrid(250_000, 4_000_000, 250_000)
+	return Figure{
+		ID:     "figure6",
+		Title:  "Fixed 1µs service time, 15/16 workers",
+		XLabel: "offered load (RPS)",
+		YLabel: "p99 latency",
+		Series: []Series{
+			sweepSeries("shinjuku-offload (16 workers, k=5)",
+				OffloadFactory(p, 16, 5, 0), Fixed1us, q, loads),
+			sweepSeries("shinjuku (15 workers)",
+				ShinjukuFactory(p, 15, 0), Fixed1us, q, loads),
+		},
+	}
+}
+
+// Figure6CXL is the X1 ablation: Figure 6's offload configuration with the
+// §5.1(2) coherent-memory communication path.
+func Figure6CXL(q Quality) Figure {
+	p := params.Default()
+	loads := loadGrid(250_000, 4_000_000, 250_000)
+	return Figure{
+		ID:     "figure6-cxl",
+		Title:  "Fixed 1µs, 15/16 workers, CXL communication ablation (§5.1-2)",
+		XLabel: "offered load (RPS)",
+		YLabel: "p99 latency",
+		Series: []Series{
+			sweepSeries("offload+cxl (16 workers, k=5)",
+				IdealNICFactory(idealnicCfg(16, 5, 0, true, false, false)), Fixed1us, q, loads),
+			sweepSeries("shinjuku (15 workers)",
+				ShinjukuFactory(p, 15, 0), Fixed1us, q, loads),
+		},
+	}
+}
+
+// Figure6LineRate is the X2 ablation: Figure 6 with a line-rate hardware
+// scheduler (§5.1-1), alone and combined with CXL.
+func Figure6LineRate(q Quality) Figure {
+	loads := loadGrid(250_000, 4_000_000, 250_000)
+	return Figure{
+		ID:     "figure6-linerate",
+		Title:  "Fixed 1µs, 16 workers, line-rate scheduler ablation (§5.1-1)",
+		XLabel: "offered load (RPS)",
+		YLabel: "p99 latency",
+		Series: []Series{
+			sweepSeries("offload+linerate (16 workers, k=5)",
+				IdealNICFactory(idealnicCfg(16, 5, 0, false, true, false)), Fixed1us, q, loads),
+			sweepSeries("ideal nic: linerate+cxl (16 workers, k=2)",
+				IdealNICFactory(idealnicCfg(16, 2, 0, true, true, false)), Fixed1us, q, loads),
+		},
+	}
+}
+
+func idealnicCfg(workers, k int, slice time.Duration, cxl, lineRate, directIRQ bool) idealnic.Config {
+	return idealnic.Config{
+		P: params.Default(), Workers: workers, Outstanding: k, Slice: slice,
+		CXL: cxl, LineRate: lineRate, DirectInterrupts: directIRQ,
+	}
+}
+
+// BaselineComparison is the X4 landscape: every system of §2.1 on the
+// bimodal workload, normalized per worker (all systems get equal host
+// cores; systems that burn a core on dispatch get fewer workers).
+func BaselineComparison(q Quality) Figure {
+	p := params.Default()
+	loads := loadGrid(50_000, 650_000, 50_000)
+	slice := 10 * time.Microsecond
+	const hostCores = 4
+	// A realistic KVS key popularity (mild skew) for the steering-sensitive
+	// baselines; informed/centralized schedulers ignore keys.
+	keys := dist.NewZipfKeys(4096, 0.9)
+	return Figure{
+		ID:     "baselines",
+		Title:  "Bimodal workload across §2.1 systems (equal host cores, zipf(0.9) keys)",
+		XLabel: "offered load (RPS)",
+		YLabel: "p99 latency",
+		Series: []Series{
+			sweepSeriesKeys("shinjuku-offload (4 workers, k=4)",
+				OffloadFactory(p, hostCores, 4, slice), BimodalWorkload, keys, q, loads),
+			sweepSeriesKeys("shinjuku (3 workers)",
+				ShinjukuFactory(p, hostCores-1, slice), BimodalWorkload, keys, q, loads),
+			sweepSeriesKeys("rss/ix (4 workers)",
+				RSSFactory(p, hostCores), BimodalWorkload, keys, q, loads),
+			sweepSeriesKeys("zygos (4 workers)",
+				ZygOSFactory(p, hostCores), BimodalWorkload, keys, q, loads),
+			sweepSeriesKeys("flow-director (4 workers)",
+				FlowDirFactory(p, hostCores), BimodalWorkload, keys, q, loads),
+			sweepSeriesKeys("rpcvalet (4 workers)",
+				RPCValetFactory(p, hostCores), BimodalWorkload, keys, q, loads),
+			sweepSeriesKeys("erss (4 workers elastic)",
+				ERSSFactory(p, hostCores), BimodalWorkload, keys, q, loads),
+		},
+	}
+}

@@ -1,0 +1,114 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Plot renders the figure as an ASCII chart — x is the sweep variable, y
+// is p99 latency on a log scale (the tail curves of the paper span three
+// orders of magnitude between floor and saturation). Each series gets a
+// distinct glyph; saturated points render as '!'.
+func (f Figure) Plot(w io.Writer, width, height int) {
+	if width < 20 {
+		width = 72
+	}
+	if height < 6 {
+		height = 20
+	}
+	glyphs := []byte{'o', 'x', '+', '*', '#', '@', '%', '&'}
+
+	// Collect the plotted points.
+	type pt struct {
+		x, y   float64
+		series int
+		sat    bool
+	}
+	var pts []pt
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for si, s := range f.Series {
+		for _, r := range s.Results {
+			y := float64(r.P99.Nanoseconds())
+			if y <= 0 {
+				continue
+			}
+			p := pt{x: r.OfferedRPS, y: math.Log10(y), series: si, sat: r.Saturated}
+			pts = append(pts, p)
+			minX, maxX = math.Min(minX, p.x), math.Max(maxX, p.x)
+			minY, maxY = math.Min(minY, p.y), math.Max(maxY, p.y)
+		}
+	}
+	if len(pts) == 0 {
+		fmt.Fprintln(w, "(no data)")
+		return
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for _, p := range pts {
+		col := int((p.x - minX) / (maxX - minX) * float64(width-1))
+		row := height - 1 - int((p.y-minY)/(maxY-minY)*float64(height-1))
+		g := glyphs[p.series%len(glyphs)]
+		if p.sat {
+			g = '!'
+		}
+		grid[row][col] = g
+	}
+
+	fmt.Fprintf(w, "%s — %s (y: p99, log scale)\n", f.ID, f.Title)
+	topLabel := formatNanos(math.Pow(10, maxY))
+	botLabel := formatNanos(math.Pow(10, minY))
+	for i, row := range grid {
+		label := strings.Repeat(" ", 9)
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%9s", topLabel)
+		case height - 1:
+			label = fmt.Sprintf("%9s", botLabel)
+		}
+		fmt.Fprintf(w, "%s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(w, "%9s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(w, "%9s  %-*s%s\n", "", width-12, formatCount(minX), formatCount(maxX))
+	for si, s := range f.Series {
+		fmt.Fprintf(w, "   %c = %s\n", glyphs[si%len(glyphs)], s.Label)
+	}
+	fmt.Fprintln(w, "   ! = saturated point")
+}
+
+// formatNanos renders a nanosecond value compactly (1.5µs, 23ms).
+func formatNanos(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.3gs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.3gms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.3gµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.3gns", ns)
+	}
+}
+
+// formatCount renders an x-axis value compactly (250k, 1.5M).
+func formatCount(v float64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.3gM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.3gk", v/1e3)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}

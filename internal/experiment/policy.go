@@ -1,0 +1,61 @@
+package experiment
+
+import (
+	"time"
+
+	"mindgap/internal/core"
+	"mindgap/internal/dist"
+	"mindgap/internal/params"
+	"mindgap/internal/sim"
+	"mindgap/internal/stats"
+	"mindgap/internal/task"
+)
+
+// PolicyRow is one row of the X10 experiment: the same system and workload
+// under different worker-selection policies, isolating the value of the
+// paper's core idea — host load feedback informing NIC decisions (§3.1).
+type PolicyRow struct {
+	Policy   core.Policy
+	P50, P99 time.Duration
+	Achieved float64
+}
+
+// PolicyAblation compares worker-selection policies on Shinjuku-Offload.
+// Round-robin ignores load entirely; least-outstanding balances request
+// *counts*; informed-least-loaded balances remaining *work* using host
+// feedback. With shallow stashes the centralized FIFO absorbs nearly all
+// imbalance and the policies tie (a finding in itself); the regime below —
+// deep stashes, dispersive non-preemptible service times — is where the
+// informed policy earns its keep.
+func PolicyAblation(q Quality) []PolicyRow {
+	p := params.Default()
+	const workers = 8
+	// Deep stashes (k=6) plus dispersive, non-preemptible service times:
+	// the regime where *what* sits in a worker's stash matters, not just
+	// how many requests do.
+	svc := dist.Bimodal{P1: 0.95, D1: 5 * time.Microsecond, D2: 200 * time.Microsecond}
+	rho := 0.75
+	rps := rho * float64(workers) / svc.Mean().Seconds()
+
+	policies := []core.Policy{core.RoundRobin, core.LeastOutstanding, core.InformedLeastLoaded}
+	var rows []PolicyRow
+	for _, pol := range policies {
+		pol := pol
+		r := RunPoint(PointConfig{
+			Factory: func(eng *sim.Engine, rec *stats.Recorder, done func(*task.Request)) System {
+				return core.NewOffload(eng, core.OffloadConfig{
+					P: p, Workers: workers, Outstanding: 6,
+					Policy:       pol,
+					LoadFeedback: pol == core.InformedLeastLoaded,
+				}, rec, done)
+			},
+			Service:    svc,
+			OfferedRPS: rps,
+			Warmup:     q.Warmup,
+			Measure:    q.Measure,
+			Seed:       q.Seed,
+		})
+		rows = append(rows, PolicyRow{Policy: pol, P50: r.P50, P99: r.P99, Achieved: r.AchievedRPS})
+	}
+	return rows
+}

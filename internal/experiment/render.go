@@ -1,0 +1,72 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+)
+
+// Render prints a figure as human-readable tables, one block per series.
+func (f Figure) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s\n", f.ID, f.Title)
+	fmt.Fprintf(w, "   x = %s, y = %s\n", f.XLabel, f.YLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(w, "-- %s\n", s.Label)
+		fmt.Fprintf(w, "%14s %14s %12s %12s %10s %6s\n",
+			"x", "achieved_rps", "p50", "p99", "idle%", "sat")
+		for _, r := range s.Results {
+			sat := ""
+			if r.Saturated {
+				sat = "*"
+			}
+			fmt.Fprintf(w, "%14.0f %14.0f %12v %12v %9.1f%% %6s\n",
+				r.OfferedRPS, r.AchievedRPS, r.P50, r.P99,
+				r.WorkerIdleFraction*100, sat)
+		}
+	}
+}
+
+// WriteCSV emits the figure in a machine-readable form, one row per point.
+func (f Figure) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "figure,series,x,achieved_rps,p50_ns,p99_ns,mean_ns,max_ns,completed,dropped,preemptions,idle_frac,saturated"); err != nil {
+		return err
+	}
+	for _, s := range f.Series {
+		for _, r := range s.Results {
+			if _, err := fmt.Fprintf(w, "%s,%q,%g,%g,%d,%d,%d,%d,%d,%d,%d,%g,%t\n",
+				f.ID, s.Label, r.OfferedRPS, r.AchievedRPS,
+				r.P50.Nanoseconds(), r.P99.Nanoseconds(),
+				r.Mean.Nanoseconds(), r.Max.Nanoseconds(),
+				r.Completed, r.Dropped, r.Preemptions,
+				r.WorkerIdleFraction, r.Saturated); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// SaturationPoint returns the lowest offered load at which the series
+// saturated, or the last x value if it never did (useful for summarizing
+// who-wins-by-how-much comparisons).
+func (s Series) SaturationPoint() float64 {
+	for _, r := range s.Results {
+		if r.Saturated {
+			return r.OfferedRPS
+		}
+	}
+	if n := len(s.Results); n > 0 {
+		return s.Results[n-1].OfferedRPS
+	}
+	return 0
+}
+
+// PeakThroughput returns the highest achieved rate in the series.
+func (s Series) PeakThroughput() float64 {
+	best := 0.0
+	for _, r := range s.Results {
+		if r.AchievedRPS > best {
+			best = r.AchievedRPS
+		}
+	}
+	return best
+}

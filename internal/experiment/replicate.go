@@ -1,0 +1,70 @@
+package experiment
+
+import (
+	"math"
+	"time"
+)
+
+// Replicated summarizes one load point measured across several independent
+// seeds — the error bars a careful reproduction reports.
+type Replicated struct {
+	// Runs holds the individual results in seed order.
+	Runs []Result
+	// MeanP99 and P99StdDev summarize the tail metric across seeds.
+	MeanP99   time.Duration
+	P99StdDev time.Duration
+	// MeanAchieved and AchievedStdDev summarize throughput.
+	MeanAchieved   float64
+	AchievedStdDev float64
+	// AnySaturated reports whether any replicate saturated.
+	AnySaturated bool
+}
+
+// RunPointReplicated measures cfg across the given seeds (cfg.Seed is
+// ignored) and returns cross-seed summary statistics.
+func RunPointReplicated(cfg PointConfig, seeds []uint64) Replicated {
+	if len(seeds) == 0 {
+		panic("experiment: need at least one seed")
+	}
+	rep := Replicated{}
+	var p99s, tputs []float64
+	for _, seed := range seeds {
+		c := cfg
+		c.Seed = seed
+		r := RunPoint(c)
+		rep.Runs = append(rep.Runs, r)
+		p99s = append(p99s, float64(r.P99))
+		tputs = append(tputs, r.AchievedRPS)
+		rep.AnySaturated = rep.AnySaturated || r.Saturated
+	}
+	mean, sd := meanStd(p99s)
+	rep.MeanP99, rep.P99StdDev = time.Duration(mean), time.Duration(sd)
+	rep.MeanAchieved, rep.AchievedStdDev = meanStd(tputs)
+	return rep
+}
+
+// RelativeP99Spread returns the coefficient of variation of p99 across
+// seeds — the run-to-run noise figure quoted in EXPERIMENTS.md.
+func (r Replicated) RelativeP99Spread() float64 {
+	if r.MeanP99 == 0 {
+		return 0
+	}
+	return float64(r.P99StdDev) / float64(r.MeanP99)
+}
+
+// meanStd returns the sample mean and (population) standard deviation.
+func meanStd(xs []float64) (mean, sd float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	var acc float64
+	for _, x := range xs {
+		d := x - mean
+		acc += d * d
+	}
+	return mean, math.Sqrt(acc / float64(len(xs)))
+}

@@ -1,0 +1,122 @@
+package experiment
+
+import (
+	"time"
+
+	"mindgap/internal/dist"
+	"mindgap/internal/params"
+)
+
+// TimerCostRow is one row of the §3.4.4 timer-cost table (T1).
+type TimerCostRow struct {
+	Operation    string
+	LinuxCycles  float64
+	DirectCycles float64
+	LinuxTime    time.Duration
+	DirectTime   time.Duration
+	Reduction    float64 // fractional cost reduction, e.g. 0.93
+}
+
+// TimerCosts regenerates the §3.4.4 numbers: arming the timer drops from
+// 610 to 40 cycles (93%), receiving the interrupt from 4193 to 1272 (70%).
+func TimerCosts(p params.Params) []TimerCostRow {
+	clk := p.HostClock
+	rows := []TimerCostRow{
+		{
+			Operation:    "set timer",
+			LinuxCycles:  params.LinuxTimer.ArmCycles,
+			DirectCycles: params.DirectAPIC.ArmCycles,
+		},
+		{
+			Operation:    "receive timer interrupt",
+			LinuxCycles:  params.LinuxTimer.FireCycles,
+			DirectCycles: params.DirectAPIC.FireCycles,
+		},
+	}
+	for i := range rows {
+		r := &rows[i]
+		r.LinuxTime = clk.CyclesToDuration(r.LinuxCycles)
+		r.DirectTime = clk.CyclesToDuration(r.DirectCycles)
+		r.Reduction = 1 - r.DirectCycles/r.LinuxCycles
+	}
+	return rows
+}
+
+// IPCOverheadResult is the T2 experiment: the extra tail latency vanilla
+// Shinjuku's inter-thread communication adds to minimal-work requests
+// compared to single-thread run-to-completion (§2.2 item 4: ≈2 µs).
+type IPCOverheadResult struct {
+	ShinjukuP99 time.Duration
+	RSSP99      time.Duration
+	Overhead    time.Duration
+}
+
+// IPCOverhead measures T2. Both systems run far from saturation with
+// near-zero application work so the path cost dominates.
+func IPCOverhead(q Quality) IPCOverheadResult {
+	p := params.Default()
+	svc := dist.Fixed{D: 200 * time.Nanosecond}
+	const load = 100_000
+	shin := RunPoint(PointConfig{
+		Factory: ShinjukuFactory(p, 3, 0),
+		Service: svc, OfferedRPS: load,
+		Warmup: q.Warmup, Measure: q.Measure, Seed: q.Seed,
+	})
+	rss := RunPoint(PointConfig{
+		Factory: RSSFactory(p, 3),
+		Service: svc, OfferedRPS: load,
+		Warmup: q.Warmup, Measure: q.Measure, Seed: q.Seed,
+	})
+	return IPCOverheadResult{
+		ShinjukuP99: shin.P99,
+		RSSP99:      rss.P99,
+		Overhead:    shin.P99 - rss.P99,
+	}
+}
+
+// WorkerWaitResult is the T3 experiment: at their respective saturation
+// points, Shinjuku-Offload workers running the 1 µs workload (Figure 6)
+// wait for work far more than those running the 100 µs workload (Figure 5)
+// — the paper measures 110% more waiting.
+type WorkerWaitResult struct {
+	IdleAt100us   float64
+	IdleAt1us     float64
+	ExtraWaitFrac float64 // (IdleAt1us - IdleAt100us) / IdleAt100us
+}
+
+// WorkerWait measures T3 at saturating load for both configurations.
+func WorkerWait(q Quality) WorkerWaitResult {
+	p := params.Default()
+	// Figure 5 configuration at its knee (just below saturation).
+	fig5 := RunPoint(PointConfig{
+		Factory: OffloadFactory(p, 16, 2, 0),
+		Service: Fixed100us, OfferedRPS: 150_000,
+		Warmup: q.Warmup, Measure: q.Measure, Seed: q.Seed,
+	})
+	// Figure 6 configuration at its knee.
+	fig6 := RunPoint(PointConfig{
+		Factory: OffloadFactory(p, 16, 5, 0),
+		Service: Fixed1us, OfferedRPS: 1_500_000,
+		Warmup: q.Warmup, Measure: q.Measure, Seed: q.Seed,
+	})
+	r := WorkerWaitResult{
+		IdleAt100us: fig5.WorkerIdleFraction,
+		IdleAt1us:   fig6.WorkerIdleFraction,
+	}
+	if r.IdleAt100us > 0 {
+		r.ExtraWaitFrac = (r.IdleAt1us - r.IdleAt100us) / r.IdleAt100us
+	}
+	return r
+}
+
+// CommLatencyResult is the T4 check: the modelled one-way NIC↔host message
+// latency against the paper's measured 2.56 µs.
+type CommLatencyResult struct {
+	Modelled time.Duration
+	Paper    time.Duration
+}
+
+// CommLatency reports T4.
+func CommLatency(p params.Params) CommLatencyResult {
+	return CommLatencyResult{Modelled: p.NicHostOneWay, Paper: 2560 * time.Nanosecond}
+}

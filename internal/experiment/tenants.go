@@ -1,0 +1,134 @@
+package experiment
+
+import (
+	"time"
+
+	"mindgap/internal/core"
+	"mindgap/internal/dist"
+	"mindgap/internal/loadgen"
+	"mindgap/internal/params"
+	"mindgap/internal/sim"
+	"mindgap/internal/stats"
+	"mindgap/internal/task"
+)
+
+// Tenant is one co-located application class (§2.2: "multiple co-located
+// applications from different latency classes").
+type Tenant struct {
+	// Name labels the tenant in reports.
+	Name string
+	// RPS is the tenant's offered load.
+	RPS float64
+	// Service is the tenant's service-time distribution.
+	Service dist.Distribution
+	// Class is the tenant's priority class (0 = highest) when the system
+	// under test runs PriorityLogic.
+	Class int
+}
+
+// TenantResult is one tenant's measured latency profile.
+type TenantResult struct {
+	Tenant    Tenant
+	P50, P99  time.Duration
+	Mean      time.Duration
+	Completed int64
+}
+
+// MultiTenantConfig describes the X9 experiment: several tenants sharing
+// one Shinjuku-Offload server, with and without class-aware scheduling.
+type MultiTenantConfig struct {
+	P           params.Params
+	Workers     int
+	Outstanding int
+	Slice       time.Duration
+	// Priority selects PriorityLogic (strict classes) instead of one FIFO.
+	Priority bool
+	Tenants  []Tenant
+	Quality  Quality
+}
+
+// RunMultiTenant drives all tenants open-loop against one server and
+// returns per-tenant latency profiles.
+func RunMultiTenant(cfg MultiTenantConfig) []TenantResult {
+	if len(cfg.Tenants) == 0 {
+		panic("experiment: need at least one tenant")
+	}
+	eng := sim.New()
+
+	classes := 1
+	for _, t := range cfg.Tenants {
+		if t.Class+1 > classes {
+			classes = t.Class + 1
+		}
+	}
+	// ClientID indexes the tenant; the scheduler maps it to a class.
+	tenants := cfg.Tenants
+	classOf := func(r *task.Request) int { return tenants[r.ClientID].Class }
+
+	ocfg := core.OffloadConfig{
+		P:           cfg.P,
+		Workers:     cfg.Workers,
+		Outstanding: cfg.Outstanding,
+		Slice:       cfg.Slice,
+	}
+	if cfg.Priority && classes > 1 {
+		ocfg.PriorityClasses = classes
+		ocfg.ClassOf = classOf
+	}
+
+	hist := make([]*stats.Histogram, len(tenants))
+	counts := make([]int64, len(tenants))
+	for i := range hist {
+		hist[i] = &stats.Histogram{}
+	}
+	q := cfg.Quality
+	target := q.Warmup + q.Measure
+	completions := 0
+	var sys *core.Offload
+	sys = core.NewOffload(eng, ocfg, nil, func(r *task.Request) {
+		completions++
+		if completions > q.Warmup {
+			hist[r.ClientID].Record(r.Latency(eng.Now()))
+			counts[r.ClientID]++
+		}
+		if completions >= target {
+			eng.Halt()
+		}
+	})
+
+	var totalRPS float64
+	for i, t := range tenants {
+		loadgen.New(eng, loadgen.Config{
+			RPS:      t.RPS,
+			Service:  t.Service,
+			Seed:     q.Seed + uint64(i)*7919,
+			ClientID: uint32(i),
+		}, sys.Inject).Start()
+		totalRPS += t.RPS
+	}
+	// Watchdog sized like RunPoint's.
+	expected := time.Duration(float64(target) / totalRPS * float64(time.Second))
+	eng.At(sim.Time(8*expected+50*time.Millisecond), eng.Halt)
+	eng.Run()
+
+	out := make([]TenantResult, len(tenants))
+	for i, t := range tenants {
+		out[i] = TenantResult{
+			Tenant:    t,
+			P50:       hist[i].P50(),
+			P99:       hist[i].P99(),
+			Mean:      hist[i].Mean(),
+			Completed: counts[i],
+		}
+	}
+	return out
+}
+
+// DefaultTenants returns the X9 scenario: a latency-critical KVS tenant
+// co-located with a batch-analytics tenant.
+func DefaultTenants() []Tenant {
+	return []Tenant{
+		{Name: "kvs (critical)", RPS: 300_000, Service: dist.Fixed{D: 2 * time.Microsecond}, Class: 0},
+		{Name: "analytics (batch)", RPS: 8_000, Service: dist.Uniform{Lo: 100 * time.Microsecond, Hi: 400 * time.Microsecond}, Class: 1},
+	}
+}

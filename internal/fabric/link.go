@@ -1,0 +1,93 @@
+// Package fabric models the communication substrates connecting the
+// simulated components: Ethernet wires, the NIC-internal path between the
+// SmartNIC ARM complex and host cores (2.56 µs one way, §3.3), host
+// cache-line channels, and the coherent CXL window of the §5 ideal NIC.
+//
+// All substrates share one abstraction, Link: a FIFO, point-to-point pipe
+// with a propagation latency, an optional serialization bandwidth, and an
+// optional bounded queue that drops on overflow.
+package fabric
+
+import (
+	"time"
+
+	"mindgap/internal/sim"
+)
+
+// LinkConfig describes a link's physical properties.
+type LinkConfig struct {
+	// Latency is the one-way propagation delay applied to every message.
+	Latency time.Duration
+	// BandwidthBps is the serialization rate in bits per second; zero means
+	// infinitely fast serialization (appropriate for cache-line channels).
+	BandwidthBps float64
+	// QueueLimit bounds the number of messages waiting to serialize; zero
+	// means unbounded. Messages arriving at a full queue are dropped.
+	QueueLimit int
+}
+
+// Link is a point-to-point, order-preserving message pipe. Not safe for
+// concurrent use — it lives inside a single-threaded simulation.
+type Link struct {
+	eng  *sim.Engine
+	cfg  LinkConfig
+	name string
+
+	lastDeparture sim.Time
+	queued        int
+	delivered     uint64
+	dropped       uint64
+}
+
+// NewLink creates a link on the engine. name appears in diagnostics only.
+func NewLink(eng *sim.Engine, name string, cfg LinkConfig) *Link {
+	return &Link{eng: eng, cfg: cfg, name: name}
+}
+
+// Name returns the diagnostic name.
+func (l *Link) Name() string { return l.name }
+
+// Send enqueues a message of the given wire size; deliver runs at the
+// receiver once serialization and propagation complete. It reports false
+// (and counts a drop) when the bounded queue is full. FIFO order is
+// guaranteed: deliveries happen in Send order.
+func (l *Link) Send(bytes int, deliver func()) bool {
+	if l.cfg.QueueLimit > 0 && l.queued >= l.cfg.QueueLimit {
+		l.dropped++
+		return false
+	}
+	now := l.eng.Now()
+	depart := now
+	if l.lastDeparture > depart {
+		depart = l.lastDeparture
+	}
+	depart = depart.Add(l.serialization(bytes))
+	l.lastDeparture = depart
+	l.queued++
+	l.eng.At(depart, func() {
+		l.queued--
+		l.eng.At(depart.Add(l.cfg.Latency), func() {
+			l.delivered++
+			deliver()
+		})
+	})
+	return true
+}
+
+// serialization returns how long a message of the given size occupies the
+// transmitter.
+func (l *Link) serialization(bytes int) time.Duration {
+	if l.cfg.BandwidthBps <= 0 || bytes <= 0 {
+		return 0
+	}
+	return time.Duration(float64(bytes*8) / l.cfg.BandwidthBps * 1e9)
+}
+
+// Queued returns the number of messages waiting to finish serialization.
+func (l *Link) Queued() int { return l.queued }
+
+// Delivered returns the number of messages delivered so far.
+func (l *Link) Delivered() uint64 { return l.delivered }
+
+// Dropped returns the number of messages rejected by the bounded queue.
+func (l *Link) Dropped() uint64 { return l.dropped }

@@ -1,0 +1,158 @@
+package fabric
+
+import (
+	"time"
+
+	"mindgap/internal/sim"
+	"mindgap/internal/stats"
+)
+
+// MultiStage is a serial processing element with multiple input queues
+// served round-robin — the way a real dispatcher core polls several shared
+// memory rings (new requests from the networker, notifications from the RX
+// core) so that a flood on one input cannot starve the other (§3.4.1).
+//
+// Without this fairness a saturating open-loop workload would bury worker
+// completion notifications behind an unbounded backlog of new-request
+// admissions and throughput would collapse instead of plateauing at the
+// stage's service rate.
+type MultiStage[T any] struct {
+	eng  *sim.Engine
+	cost func(T) time.Duration
+	done func(T)
+
+	name   string
+	qs     []deque[T]
+	limits []int
+	rr     int
+	burst  int // items served from one class before switching (min 1)
+	inRun  int // items served consecutively from class rr
+	busy   bool
+
+	processed uint64
+	dropped   uint64
+	busyTrack stats.BusyTracker
+}
+
+// NewMultiStage creates a round-robin server with the given number of input
+// classes. limits optionally bounds each class queue (nil or 0 entries mean
+// unbounded).
+func NewMultiStage[T any](eng *sim.Engine, name string, classes int, limits []int, cost func(T) time.Duration, done func(T)) *MultiStage[T] {
+	if classes <= 0 {
+		panic("fabric: multistage needs at least one class")
+	}
+	if done == nil {
+		panic("fabric: multistage requires a done callback")
+	}
+	if limits != nil && len(limits) != classes {
+		panic("fabric: limits length must match class count")
+	}
+	return &MultiStage[T]{
+		eng:    eng,
+		name:   name,
+		qs:     make([]deque[T], classes),
+		limits: limits,
+		burst:  1,
+		cost:   cost,
+		done:   done,
+	}
+}
+
+// SetBurst makes the server drain up to n items from one class before
+// switching to the next — DPDK-style burst polling (rx_burst processes a
+// whole batch from one ring). Larger bursts amortize polling in real
+// systems but delay the other classes; the Figure 3 burst ablation uses
+// this to show how burst processing penalizes small outstanding-request
+// limits at high worker counts.
+func (s *MultiStage[T]) SetBurst(n int) {
+	if n < 1 {
+		panic("fabric: burst must be at least 1")
+	}
+	s.burst = n
+}
+
+// Submit offers an item to the given class queue. It reports false (and
+// counts a drop) when that class's bounded queue is full.
+func (s *MultiStage[T]) Submit(class int, item T) bool {
+	if !s.busy {
+		s.busy = true
+		s.rr = class
+		s.inRun = 1
+		s.busyTrack.SetBusy(s.eng.Now(), true)
+		s.serve(item)
+		return true
+	}
+	if s.limits != nil && s.limits[class] > 0 && s.qs[class].len() >= s.limits[class] {
+		s.dropped++
+		return false
+	}
+	s.qs[class].pushBack(item)
+	return true
+}
+
+// serve processes one item then pulls the next in round-robin class order.
+func (s *MultiStage[T]) serve(item T) {
+	var d time.Duration
+	if s.cost != nil {
+		d = s.cost(item)
+	}
+	s.eng.After(d, func() {
+		s.done(item)
+		s.processed++
+		if next, ok := s.next(); ok {
+			s.serve(next)
+			return
+		}
+		s.busy = false
+		s.busyTrack.SetBusy(s.eng.Now(), false)
+	})
+}
+
+// next picks the following item: continue the current class while its
+// burst allowance lasts, then rotate round-robin.
+func (s *MultiStage[T]) next() (T, bool) {
+	n := len(s.qs)
+	if s.inRun < s.burst {
+		if v, ok := s.qs[s.rr].popFront(); ok {
+			s.inRun++
+			return v, true
+		}
+	}
+	for i := 1; i <= n; i++ {
+		c := (s.rr + i) % n
+		if v, ok := s.qs[c].popFront(); ok {
+			s.rr = c
+			s.inRun = 1
+			return v, true
+		}
+	}
+	var zero T
+	return zero, false
+}
+
+// QueueLen returns the queued item count for one class.
+func (s *MultiStage[T]) QueueLen(class int) int { return s.qs[class].len() }
+
+// TotalQueued returns queued items across all classes.
+func (s *MultiStage[T]) TotalQueued() int {
+	total := 0
+	for i := range s.qs {
+		total += s.qs[i].len()
+	}
+	return total
+}
+
+// Busy reports whether an item is in service.
+func (s *MultiStage[T]) Busy() bool { return s.busy }
+
+// Processed returns the number of items fully processed.
+func (s *MultiStage[T]) Processed() uint64 { return s.processed }
+
+// Dropped returns the number of items rejected by bounded class queues.
+func (s *MultiStage[T]) Dropped() uint64 { return s.dropped }
+
+// Name returns the diagnostic name.
+func (s *MultiStage[T]) Name() string { return s.name }
+
+// BusyTracker exposes utilization accounting.
+func (s *MultiStage[T]) BusyTracker() *stats.BusyTracker { return &s.busyTrack }

@@ -1,0 +1,185 @@
+package fabric
+
+import (
+	"testing"
+	"time"
+
+	"mindgap/internal/sim"
+)
+
+func TestMultiStageRoundRobinFairness(t *testing.T) {
+	eng := sim.New()
+	var served []int
+	s := NewMultiStage[int](eng, "q", 2, nil,
+		FixedCost[int](100*time.Nanosecond),
+		func(v int) { served = append(served, v) })
+	// Flood class 0; trickle class 1. Class 1 must interleave, not wait
+	// behind the whole class-0 backlog.
+	for i := 0; i < 10; i++ {
+		s.Submit(0, i)
+	}
+	s.Submit(1, 100)
+	s.Submit(1, 101)
+	eng.Run()
+	pos := map[int]int{}
+	for i, v := range served {
+		pos[v] = i
+	}
+	if pos[100] > 3 || pos[101] > 5 {
+		t.Fatalf("class-1 items starved: served order %v", served)
+	}
+	if len(served) != 12 {
+		t.Fatalf("served %d items", len(served))
+	}
+}
+
+func TestMultiStageSingleClassBehavesLikeStage(t *testing.T) {
+	eng := sim.New()
+	var done []sim.Time
+	s := NewMultiStage[int](eng, "q", 1, nil,
+		FixedCost[int](500*time.Nanosecond),
+		func(int) { done = append(done, eng.Now()) })
+	s.Submit(0, 1)
+	s.Submit(0, 2)
+	eng.Run()
+	if done[0] != sim.Time(500) || done[1] != sim.Time(1000) {
+		t.Fatalf("done = %v", done)
+	}
+}
+
+func TestMultiStageBoundedClass(t *testing.T) {
+	eng := sim.New()
+	processed := 0
+	s := NewMultiStage[int](eng, "q", 2, []int{1, 0},
+		FixedCost[int](time.Microsecond),
+		func(int) { processed++ })
+	s.Submit(0, 1) // in service
+	if !s.Submit(0, 2) {
+		t.Fatal("first queued item rejected")
+	}
+	if s.Submit(0, 3) {
+		t.Fatal("accepted beyond class-0 limit")
+	}
+	// Class 1 is unbounded.
+	for i := 0; i < 10; i++ {
+		if !s.Submit(1, i) {
+			t.Fatal("unbounded class rejected item")
+		}
+	}
+	if s.Dropped() != 1 {
+		t.Fatalf("Dropped = %d", s.Dropped())
+	}
+	eng.Run()
+	if processed != 12 {
+		t.Fatalf("processed = %d", processed)
+	}
+}
+
+func TestMultiStagePerItemCost(t *testing.T) {
+	eng := sim.New()
+	var at []sim.Time
+	s := NewMultiStage[time.Duration](eng, "q", 2, nil,
+		func(d time.Duration) time.Duration { return d },
+		func(time.Duration) { at = append(at, eng.Now()) })
+	s.Submit(0, 500*time.Nanosecond)
+	s.Submit(1, 150*time.Nanosecond)
+	eng.Run()
+	if at[0] != sim.Time(500) || at[1] != sim.Time(650) {
+		t.Fatalf("completion times = %v", at)
+	}
+}
+
+func TestMultiStageQueueLenAccessors(t *testing.T) {
+	eng := sim.New()
+	s := NewMultiStage[int](eng, "q", 3, nil,
+		FixedCost[int](time.Microsecond), func(int) {})
+	s.Submit(0, 1) // in service
+	s.Submit(1, 2)
+	s.Submit(1, 3)
+	s.Submit(2, 4)
+	if s.QueueLen(1) != 2 || s.QueueLen(2) != 1 || s.QueueLen(0) != 0 {
+		t.Fatalf("queue lens: %d %d %d", s.QueueLen(0), s.QueueLen(1), s.QueueLen(2))
+	}
+	if s.TotalQueued() != 3 {
+		t.Fatalf("TotalQueued = %d", s.TotalQueued())
+	}
+	if !s.Busy() {
+		t.Fatal("stage should be busy")
+	}
+}
+
+func TestMultiStageBurstDrainsClassInRuns(t *testing.T) {
+	eng := sim.New()
+	var served []int
+	s := NewMultiStage[int](eng, "q", 2, nil,
+		FixedCost[int](100*time.Nanosecond),
+		func(v int) { served = append(served, v) })
+	s.SetBurst(3)
+	// Class 0 gets 7 items, class 1 gets 2. With burst 3 the server
+	// drains up to 3 consecutive items per class: 0,0,0 then both class-1
+	// items (a run of 2 < burst), then the rest of class 0.
+	for i := 0; i < 7; i++ {
+		s.Submit(0, i)
+	}
+	s.Submit(1, 100)
+	s.Submit(1, 101)
+	eng.Run()
+	want := []int{0, 1, 2, 100, 101, 3, 4, 5, 6}
+	if len(served) != len(want) {
+		t.Fatalf("served %v", served)
+	}
+	for i := range want {
+		if served[i] != want[i] {
+			t.Fatalf("served = %v, want %v", served, want)
+		}
+	}
+}
+
+func TestMultiStageBurstOneIsFair(t *testing.T) {
+	eng := sim.New()
+	var served []int
+	s := NewMultiStage[int](eng, "q", 2, nil,
+		FixedCost[int](100*time.Nanosecond),
+		func(v int) { served = append(served, v) })
+	s.SetBurst(1)
+	for i := 0; i < 4; i++ {
+		s.Submit(0, i)
+	}
+	s.Submit(1, 100)
+	eng.Run()
+	// Item 100 must be served second-ish, not after all class-0 items.
+	for i, v := range served {
+		if v == 100 && i > 2 {
+			t.Fatalf("burst=1 starved class 1: %v", served)
+		}
+	}
+}
+
+func TestMultiStageSetBurstValidation(t *testing.T) {
+	eng := sim.New()
+	s := NewMultiStage[int](eng, "q", 1, nil, nil, func(int) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetBurst(0) did not panic")
+		}
+	}()
+	s.SetBurst(0)
+}
+
+func TestMultiStageValidation(t *testing.T) {
+	eng := sim.New()
+	for _, f := range []func(){
+		func() { NewMultiStage[int](eng, "q", 0, nil, nil, func(int) {}) },
+		func() { NewMultiStage[int](eng, "q", 2, nil, nil, nil) },
+		func() { NewMultiStage[int](eng, "q", 2, []int{1}, nil, func(int) {}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid multistage did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

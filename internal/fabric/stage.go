@@ -1,0 +1,140 @@
+package fabric
+
+import (
+	"time"
+
+	"mindgap/internal/sim"
+	"mindgap/internal/stats"
+)
+
+// Stage models a serial processing element — a CPU core (or pipeline stage
+// on one) that handles one item at a time, each costing some processing
+// time, with an optional bounded input queue. The SmartNIC ARM dispatcher
+// cores, the vanilla Shinjuku networker and dispatcher threads, and the
+// hardware scheduler of the ideal NIC are all Stages with different costs.
+//
+// The queueing behaviour of Stages — not just their raw cost — is what
+// reproduces the paper's Figure 3 and Figure 6: near saturation, waiting
+// time at the ARM stages inflates the dispatch round trip well beyond the
+// 2.56 µs wire latency.
+type Stage[T any] struct {
+	eng *sim.Engine
+	// cost returns the processing time for an item.
+	cost func(T) time.Duration
+	// done is invoked after an item's processing time has elapsed.
+	done func(T)
+
+	name  string
+	limit int
+	q     deque[T]
+	busy  bool
+
+	processed uint64
+	dropped   uint64
+	busyTrack stats.BusyTracker
+}
+
+// NewStage creates a serial server. cost may be nil for a free stage;
+// limit <= 0 means an unbounded input queue.
+func NewStage[T any](eng *sim.Engine, name string, limit int, cost func(T) time.Duration, done func(T)) *Stage[T] {
+	if done == nil {
+		panic("fabric: stage requires a done callback")
+	}
+	return &Stage[T]{eng: eng, name: name, limit: limit, cost: cost, done: done}
+}
+
+// FixedCost adapts a constant processing time to the Stage cost signature.
+func FixedCost[T any](d time.Duration) func(T) time.Duration {
+	return func(T) time.Duration { return d }
+}
+
+// Submit offers an item to the stage. It reports false (and counts a drop)
+// if the bounded queue is full.
+func (s *Stage[T]) Submit(item T) bool {
+	if !s.busy {
+		s.start(item)
+		return true
+	}
+	if s.limit > 0 && s.q.len() >= s.limit {
+		s.dropped++
+		return false
+	}
+	s.q.pushBack(item)
+	return true
+}
+
+func (s *Stage[T]) start(item T) {
+	s.busy = true
+	s.busyTrack.SetBusy(s.eng.Now(), true)
+	var d time.Duration
+	if s.cost != nil {
+		d = s.cost(item)
+	}
+	s.eng.After(d, func() {
+		s.done(item)
+		if next, ok := s.q.popFront(); ok {
+			s.processed++
+			s.start(next)
+			return
+		}
+		s.processed++
+		s.busy = false
+		s.busyTrack.SetBusy(s.eng.Now(), false)
+	})
+}
+
+// QueueLen returns the number of items waiting (excluding the one in
+// service).
+func (s *Stage[T]) QueueLen() int { return s.q.len() }
+
+// Busy reports whether an item is currently in service.
+func (s *Stage[T]) Busy() bool { return s.busy }
+
+// Processed returns the number of items fully processed.
+func (s *Stage[T]) Processed() uint64 { return s.processed }
+
+// Dropped returns the number of items rejected by the bounded queue.
+func (s *Stage[T]) Dropped() uint64 { return s.dropped }
+
+// Name returns the diagnostic name.
+func (s *Stage[T]) Name() string { return s.name }
+
+// BusyTracker exposes the stage's utilization accounting.
+func (s *Stage[T]) BusyTracker() *stats.BusyTracker { return &s.busyTrack }
+
+// deque is a minimal amortized-O(1) FIFO used by Stage.
+type deque[T any] struct {
+	items []T
+	head  int
+}
+
+func (d *deque[T]) len() int { return len(d.items) - d.head }
+
+func (d *deque[T]) pushBack(v T) {
+	// Compact when the dead prefix dominates, keeping memory bounded.
+	if d.head > 64 && d.head*2 >= len(d.items) {
+		n := copy(d.items, d.items[d.head:])
+		var zero T
+		for i := n; i < len(d.items); i++ {
+			d.items[i] = zero
+		}
+		d.items = d.items[:n]
+		d.head = 0
+	}
+	d.items = append(d.items, v)
+}
+
+func (d *deque[T]) popFront() (T, bool) {
+	var zero T
+	if d.len() == 0 {
+		return zero, false
+	}
+	v := d.items[d.head]
+	d.items[d.head] = zero
+	d.head++
+	if d.head == len(d.items) {
+		d.items = d.items[:0]
+		d.head = 0
+	}
+	return v, true
+}

@@ -1,0 +1,368 @@
+// Package live is a real-socket implementation of the Shinjuku-Offload
+// protocol: the same core.Logic scheduler that the simulator evaluates,
+// driven by UDP datagrams (§3.4.2 — the dispatcher and workers communicate
+// by sending UDP packets) encoded with internal/wire.
+//
+// It exists to demonstrate that the scheduling library is an executable
+// artifact, not just a model: cmd/dispatcherd, cmd/workerd and cmd/loadgen
+// run it across processes, and examples/livewire runs all three roles in
+// one process over loopback.
+//
+// Fidelity notes (documented deviations from the SmartNIC prototype):
+//   - The "NIC" is the kernel UDP stack; MAC steering becomes UDP
+//     addressing.
+//   - Preemption is cooperative: workers execute fake work in slice-sized
+//     chunks and return the remainder, because a Go process cannot take an
+//     APIC timer interrupt. The scheduler-visible behaviour (PREEMPTED
+//     notifications, tail-of-queue requeue, resume on any worker) is
+//     identical.
+package live
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mindgap/internal/core"
+	"mindgap/internal/sim"
+	"mindgap/internal/task"
+	"mindgap/internal/wire"
+)
+
+// maxDatagram bounds receive buffers; all protocol messages are far
+// smaller.
+const maxDatagram = 2048
+
+// DispatcherConfig configures a live dispatcher.
+type DispatcherConfig struct {
+	// Workers is the number of workers that will register; scheduling
+	// starts once all have said hello.
+	Workers int
+	// Outstanding is the per-worker credit limit (queuing optimization).
+	Outstanding int
+	// Policy selects the worker-selection policy.
+	Policy core.Policy
+	// RetryTimeout, when positive, enables at-least-once delivery: an
+	// assignment not acknowledged (FINISH or PREEMPTED) within this window
+	// is presumed lost — a dropped datagram or a dead worker — and the
+	// request re-enters the tail of the central queue. Duplicate responses
+	// caused by false timeouts are deduplicated by request ID at the
+	// client. Zero disables retries (the simulator's fabric is lossless;
+	// real UDP is not).
+	RetryTimeout time.Duration
+	// MaxAttempts caps deliveries per request under RetryTimeout (default
+	// 5); beyond it the request is dropped and its credit reclaimed.
+	MaxAttempts int
+}
+
+// Dispatcher is the live scheduler process: it owns the centralized queue
+// and speaks the wire protocol with clients and workers.
+type Dispatcher struct {
+	cfg  DispatcherConfig
+	conn *net.UDPConn
+	lgc  *core.Logic
+
+	mu         sync.Mutex
+	workerAddr []*net.UDPAddr
+	registered int
+	pending    []*task.Request // buffered until all workers register
+	clients    map[reqKey]*net.UDPAddr
+	inflight   map[reqKey]*inflightEntry
+	started    time.Time
+
+	assigned   atomic.Uint64
+	completed  atomic.Uint64
+	preempted  atomic.Uint64
+	retried    atomic.Uint64
+	abandoned  atomic.Uint64
+	closed     atomic.Bool
+	quit       chan struct{}
+	loopDone   chan struct{}
+	sendBuf    []byte
+	recvBuf    []byte
+	payloadBuf []byte
+}
+
+// NewDispatcher binds a UDP socket on addr (e.g. "127.0.0.1:0") and
+// prepares the scheduler.
+func NewDispatcher(addr string, cfg DispatcherConfig) (*Dispatcher, error) {
+	if cfg.Workers <= 0 {
+		return nil, errors.New("live: dispatcher needs at least one worker")
+	}
+	if cfg.Outstanding <= 0 {
+		cfg.Outstanding = 1
+	}
+	udpAddr, err := net.ResolveUDPAddr("udp4", addr)
+	if err != nil {
+		return nil, fmt.Errorf("live: resolve %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp4", udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("live: listen: %w", err)
+	}
+	// A saturating open-loop client plus per-request FINISH notifications
+	// can overrun the default socket buffer; ask for a large one (the
+	// kernel clamps to its limits).
+	_ = conn.SetReadBuffer(4 << 20)
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 5
+	}
+	d := &Dispatcher{
+		cfg:        cfg,
+		conn:       conn,
+		lgc:        core.NewLogic(cfg.Workers, cfg.Outstanding, cfg.Policy),
+		workerAddr: make([]*net.UDPAddr, cfg.Workers),
+		clients:    make(map[reqKey]*net.UDPAddr),
+		inflight:   make(map[reqKey]*inflightEntry),
+		quit:       make(chan struct{}),
+		loopDone:   make(chan struct{}),
+		sendBuf:    make([]byte, 0, maxDatagram),
+		recvBuf:    make([]byte, maxDatagram),
+		payloadBuf: make([]byte, 0, 64),
+		started:    time.Now(),
+	}
+	if cfg.RetryTimeout > 0 {
+		go d.reaper()
+	}
+	return d, nil
+}
+
+// reqKey identifies a request globally: IDs are only unique per client.
+type reqKey struct {
+	client uint32
+	id     uint64
+}
+
+func keyOfHeader(h *wire.Header) reqKey { return reqKey{client: h.ClientID, id: h.ReqID} }
+func keyOfReq(r *task.Request) reqKey   { return reqKey{client: r.ClientID, id: r.ID} }
+
+// inflightEntry tracks one delivered assignment awaiting acknowledgement.
+type inflightEntry struct {
+	req      *task.Request
+	worker   int
+	sentAt   time.Time
+	attempts int
+}
+
+// Addr returns the dispatcher's bound UDP address.
+func (d *Dispatcher) Addr() *net.UDPAddr { return d.conn.LocalAddr().(*net.UDPAddr) }
+
+// Serve processes datagrams until Close. It is typically run in its own
+// goroutine.
+func (d *Dispatcher) Serve() error {
+	defer close(d.loopDone)
+	var h wire.Header
+	for {
+		n, from, err := d.conn.ReadFromUDP(d.recvBuf)
+		if err != nil {
+			if d.closed.Load() {
+				return nil
+			}
+			return fmt.Errorf("live: dispatcher read: %w", err)
+		}
+		payload, err := wire.DecodeDatagram(d.recvBuf[:n], &h)
+		if err != nil {
+			continue // malformed datagram: drop, like a NIC would
+		}
+		d.handle(&h, payload, from)
+	}
+}
+
+// Close shuts the dispatcher down and waits for the serve loop to exit.
+func (d *Dispatcher) Close() error {
+	if d.closed.Swap(true) {
+		return nil
+	}
+	close(d.quit)
+	err := d.conn.Close()
+	<-d.loopDone
+	return err
+}
+
+func (d *Dispatcher) handle(h *wire.Header, payload []byte, from *net.UDPAddr) {
+	switch h.Type {
+	case wire.MsgHello:
+		d.hello(h.WorkerID, from)
+	case wire.MsgRequest:
+		req := task.New(h.ReqID, sim.Time(time.Since(d.started)), time.Duration(h.ServiceNS))
+		req.ClientID = h.ClientID
+		d.mu.Lock()
+		d.clients[keyOfHeader(h)] = from
+		if d.registered < d.cfg.Workers {
+			d.pending = append(d.pending, req)
+			d.mu.Unlock()
+			return
+		}
+		as := d.lgc.Enqueue(req.Arrival, req)
+		d.mu.Unlock()
+		d.dispatch(as)
+	case wire.MsgFinish:
+		d.mu.Lock()
+		e, ok := d.inflight[keyOfHeader(h)]
+		if !ok || e.worker != int(h.WorkerID) {
+			// Stale or duplicate acknowledgement (e.g. the request was
+			// already retried elsewhere): its credit was reclaimed when it
+			// timed out, so there is nothing to release.
+			d.mu.Unlock()
+			return
+		}
+		delete(d.inflight, keyOfHeader(h))
+		delete(d.clients, keyOfHeader(h))
+		as := d.lgc.Complete(e.worker)
+		d.mu.Unlock()
+		d.completed.Add(1)
+		d.dispatch(as)
+	case wire.MsgPreempted:
+		d.mu.Lock()
+		e, ok := d.inflight[keyOfHeader(h)]
+		if !ok || e.worker != int(h.WorkerID) {
+			d.mu.Unlock()
+			return
+		}
+		delete(d.inflight, keyOfHeader(h))
+		e.req.Remaining = time.Duration(h.RemainingNS)
+		e.req.Preemptions++
+		as := d.lgc.Preempted(0, e.worker, e.req)
+		d.mu.Unlock()
+		d.preempted.Add(1)
+		d.dispatch(as)
+	}
+}
+
+// reaper implements at-least-once delivery: assignments unacknowledged for
+// RetryTimeout are requeued (or abandoned past MaxAttempts).
+func (d *Dispatcher) reaper() {
+	interval := d.cfg.RetryTimeout / 2
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-d.quit:
+			return
+		case <-ticker.C:
+		}
+		now := time.Now()
+		d.mu.Lock()
+		var as []core.Assignment
+		for id, e := range d.inflight {
+			if now.Sub(e.sentAt) < d.cfg.RetryTimeout {
+				continue
+			}
+			delete(d.inflight, id)
+			if e.attempts >= d.cfg.MaxAttempts {
+				// Reclaim the credit and give up on the request.
+				d.abandoned.Add(1)
+				delete(d.clients, id)
+				as = append(as, d.lgc.Complete(e.worker)...)
+				continue
+			}
+			d.retried.Add(1)
+			as = append(as, d.lgc.Preempted(0, e.worker, e.req)...)
+		}
+		d.mu.Unlock()
+		d.dispatch(as)
+	}
+}
+
+// hello registers a worker and, once the roster is complete, admits any
+// buffered client requests.
+func (d *Dispatcher) hello(id uint32, from *net.UDPAddr) {
+	d.mu.Lock()
+	var flush []*task.Request
+	if int(id) < len(d.workerAddr) && d.workerAddr[id] == nil {
+		d.workerAddr[id] = from
+		d.registered++
+		if d.registered == d.cfg.Workers {
+			flush = d.pending
+			d.pending = nil
+		}
+	}
+	var as []core.Assignment
+	for _, req := range flush {
+		as = append(as, d.lgc.Enqueue(req.Arrival, req)...)
+	}
+	d.mu.Unlock()
+	d.dispatch(as)
+}
+
+// dispatch transmits assignments to workers. The payload carries the
+// client's address so the worker can respond directly (§3.4: "the worker
+// also sends a response to the client").
+func (d *Dispatcher) dispatch(as []core.Assignment) {
+	for _, a := range as {
+		d.mu.Lock()
+		addr := d.workerAddr[a.Worker]
+		client := d.clients[keyOfReq(a.Req)]
+		a.Req.Assignments++
+		d.inflight[keyOfReq(a.Req)] = &inflightEntry{
+			req:      a.Req,
+			worker:   a.Worker,
+			sentAt:   time.Now(),
+			attempts: a.Req.Assignments,
+		}
+		h := wire.Header{
+			Type:        wire.MsgAssign,
+			ReqID:       a.Req.ID,
+			ClientID:    a.Req.ClientID,
+			WorkerID:    uint32(a.Worker),
+			ServiceNS:   uint32(a.Req.Service),
+			RemainingNS: uint32(a.Req.Remaining),
+		}
+		d.payloadBuf = encodeAddr(d.payloadBuf[:0], client)
+		d.sendBuf = d.sendBuf[:0]
+		buf, err := wire.EncodeDatagram(d.sendBuf, &h, d.payloadBuf)
+		d.mu.Unlock()
+		if err != nil || addr == nil {
+			continue
+		}
+		d.assigned.Add(1)
+		_, _ = d.conn.WriteToUDP(buf, addr)
+	}
+}
+
+// Stats reports scheduling counters.
+func (d *Dispatcher) Stats() (assigned, completed, preempted uint64, queued int) {
+	d.mu.Lock()
+	queued = d.lgc.QueueLen()
+	d.mu.Unlock()
+	return d.assigned.Load(), d.completed.Load(), d.preempted.Load(), queued
+}
+
+// Retried returns how many assignments timed out and were requeued.
+func (d *Dispatcher) Retried() uint64 { return d.retried.Load() }
+
+// Abandoned returns how many requests exhausted MaxAttempts.
+func (d *Dispatcher) Abandoned() uint64 { return d.abandoned.Load() }
+
+// encodeAddr packs an IPv4 UDP address into 6 payload bytes.
+func encodeAddr(dst []byte, a *net.UDPAddr) []byte {
+	if a == nil {
+		return append(dst, 0, 0, 0, 0, 0, 0)
+	}
+	ip4 := a.IP.To4()
+	if ip4 == nil {
+		ip4 = net.IPv4zero.To4()
+	}
+	dst = append(dst, ip4...)
+	return append(dst, byte(a.Port>>8), byte(a.Port))
+}
+
+// decodeAddr unpacks encodeAddr's format; ok is false for the zero addr.
+func decodeAddr(b []byte) (*net.UDPAddr, bool) {
+	if len(b) < 6 {
+		return nil, false
+	}
+	port := int(b[4])<<8 | int(b[5])
+	if port == 0 {
+		return nil, false
+	}
+	ip := make(net.IP, 4)
+	copy(ip, b[:4])
+	return &net.UDPAddr{IP: ip, Port: port}, true
+}

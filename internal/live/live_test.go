@@ -1,0 +1,348 @@
+package live
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"mindgap/internal/core"
+	"mindgap/internal/dist"
+)
+
+// startSystem boots a dispatcher and workers on loopback, returning a
+// cleanup function.
+func startSystem(t *testing.T, workers int, k int, slice time.Duration) (*Dispatcher, []*Worker, func()) {
+	t.Helper()
+	d, err := NewDispatcher("127.0.0.1:0", DispatcherConfig{
+		Workers: workers, Outstanding: k, Policy: core.LeastOutstanding,
+		// Real UDP drops under scheduler pressure on small CI machines;
+		// retries make the tests assert protocol behaviour, not kernel
+		// buffer luck.
+		RetryTimeout: 100 * time.Millisecond, MaxAttempts: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = d.Serve() }()
+	var ws []*Worker
+	for i := 0; i < workers; i++ {
+		// SpinFloor 1ns: always sleep instead of busy-spinning, so the
+		// test is robust on single-core CI machines where spinning workers
+		// would starve the UDP sockets.
+		w, err := NewWorker(WorkerConfig{
+			ID: uint32(i), Dispatcher: d.Addr(), Slice: slice,
+			SpinFloor: time.Nanosecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() { _ = w.Serve() }()
+		ws = append(ws, w)
+	}
+	cleanup := func() {
+		for _, w := range ws {
+			_ = w.Close()
+		}
+		_ = d.Close()
+	}
+	return d, ws, cleanup
+}
+
+func TestLiveEndToEnd(t *testing.T) {
+	d, _, cleanup := startSystem(t, 3, 2, 0)
+	defer cleanup()
+	rep, err := RunClient(ClientConfig{
+		Dispatcher: d.Addr(),
+		RPS:        10_000,
+		Service:    dist.Fixed{D: 20 * time.Microsecond},
+		Requests:   2_000,
+		Seed:       1,
+		Timeout:    10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// UDP is lossy under CI scheduling pressure; the protocol claim is
+	// that (nearly) everything sent is scheduled, executed, and answered.
+	if rep.Received < 1_980 {
+		t.Fatalf("received %d/%d responses", rep.Received, rep.Sent)
+	}
+	if rep.Latency.P50() < 20*time.Microsecond {
+		t.Fatalf("p50 %v below service time", rep.Latency.P50())
+	}
+	// Workers answer the client before notifying the dispatcher, so the
+	// dispatcher's completion counter can trail the client by a few
+	// in-flight FINISH datagrams; give it a moment to drain.
+	var assigned, completed uint64
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		assigned, completed, _, _ = d.Stats()
+		if completed >= uint64(rep.Received) || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if completed < uint64(rep.Received) {
+		t.Fatalf("dispatcher completed = %d < received %d", completed, rep.Received)
+	}
+	if assigned < completed {
+		t.Fatalf("dispatcher assigned = %d < completed %d", assigned, completed)
+	}
+}
+
+func TestLiveCooperativePreemption(t *testing.T) {
+	d, ws, cleanup := startSystem(t, 2, 2, 50*time.Microsecond)
+	defer cleanup()
+	rep, err := RunClient(ClientConfig{
+		Dispatcher: d.Addr(),
+		RPS:        5_000,
+		Service: dist.Bimodal{
+			P1: 0.9, D1: 20 * time.Microsecond, D2: 300 * time.Microsecond,
+		},
+		Requests: 800,
+		Seed:     2,
+		Timeout:  15 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Received < 792 {
+		t.Fatalf("received %d/%d", rep.Received, rep.Sent)
+	}
+	var preempts uint64
+	for _, w := range ws {
+		preempts += w.Preempted()
+	}
+	if preempts == 0 {
+		t.Fatal("no cooperative preemptions despite 300µs requests at 50µs slice")
+	}
+	// The dispatcher's counter trails in-flight PREEMPTED datagrams, and
+	// with retries enabled it legitimately ignores notifications for
+	// assignments it already reaped — so it may stay slightly below the
+	// workers' count.
+	var dp uint64
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		_, _, dp, _ = d.Stats()
+		if dp >= preempts || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if dp > preempts {
+		t.Fatalf("dispatcher preempted=%d exceeds workers' %d", dp, preempts)
+	}
+	if float64(dp) < 0.9*float64(preempts) {
+		t.Fatalf("dispatcher preempted=%d, workers preempted=%d", dp, preempts)
+	}
+}
+
+func TestLiveWorkSpreadsAcrossWorkers(t *testing.T) {
+	d, ws, cleanup := startSystem(t, 4, 1, 0)
+	defer cleanup()
+	rep, err := RunClient(ClientConfig{
+		Dispatcher: d.Addr(),
+		RPS:        40_000,
+		Service:    dist.Fixed{D: 50 * time.Microsecond},
+		Requests:   2_000,
+		Seed:       3,
+		Timeout:    10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Received < 1_980 {
+		t.Fatalf("received %d", rep.Received)
+	}
+	for i, w := range ws {
+		if w.Completed() < 100 {
+			t.Fatalf("worker %d only completed %d — centralized queue not balancing", i, w.Completed())
+		}
+	}
+}
+
+func TestLiveValidation(t *testing.T) {
+	if _, err := NewDispatcher("127.0.0.1:0", DispatcherConfig{}); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+	if _, err := NewWorker(WorkerConfig{}); err == nil {
+		t.Fatal("worker without dispatcher accepted")
+	}
+	if _, err := RunClient(ClientConfig{}); err == nil {
+		t.Fatal("empty client config accepted")
+	}
+	if _, err := RunClient(ClientConfig{Dispatcher: &net.UDPAddr{}, RPS: 0}); err == nil {
+		t.Fatal("zero rps accepted")
+	}
+}
+
+func TestAddrCodec(t *testing.T) {
+	a := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 54321}
+	enc := encodeAddr(nil, a)
+	if len(enc) != 6 {
+		t.Fatalf("encoded length %d", len(enc))
+	}
+	got, ok := decodeAddr(enc)
+	if !ok || !got.IP.Equal(a.IP) || got.Port != a.Port {
+		t.Fatalf("decodeAddr = %v, %v", got, ok)
+	}
+	if _, ok := decodeAddr(encodeAddr(nil, nil)); ok {
+		t.Fatal("nil addr round-tripped as valid")
+	}
+	if _, ok := decodeAddr([]byte{1, 2}); ok {
+		t.Fatal("short buffer decoded")
+	}
+}
+
+func TestLiveSurvivesMalformedDatagrams(t *testing.T) {
+	// Fire garbage at both the dispatcher and a worker mid-run: corrupted
+	// packets must be dropped like a NIC would drop bad frames, without
+	// disturbing in-flight scheduling.
+	d, ws, cleanup := startSystem(t, 2, 2, 0)
+	defer cleanup()
+
+	attacker, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer attacker.Close()
+	garbage := [][]byte{
+		{},
+		{0x01},
+		make([]byte, 7),
+		[]byte("this is not a mindgap datagram at all, not even close"),
+		func() []byte { // valid header, corrupted checksum
+			b := make([]byte, 64)
+			b[0] = 1
+			b[1] = 2
+			return b
+		}(),
+	}
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, g := range garbage {
+				_, _ = attacker.WriteToUDP(g, d.Addr())
+				_, _ = attacker.WriteToUDP(g, ws[0].Addr())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	rep, err := RunClient(ClientConfig{
+		Dispatcher: d.Addr(),
+		RPS:        5_000,
+		Service:    dist.Fixed{D: 20 * time.Microsecond},
+		Requests:   500,
+		Seed:       9,
+		Timeout:    10 * time.Second,
+	})
+	close(stop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Received < 495 {
+		t.Fatalf("received %d/%d under garbage fire", rep.Received, rep.Sent)
+	}
+}
+
+func TestLiveRetryRecoversFromWorkerDeath(t *testing.T) {
+	// Kill one of three workers mid-run. With RetryTimeout set, requests
+	// assigned to the dead worker time out and requeue until they land on
+	// a live one — at-least-once delivery over lossy UDP.
+	d, err := NewDispatcher("127.0.0.1:0", DispatcherConfig{
+		Workers: 3, Outstanding: 1, Policy: core.LeastOutstanding,
+		RetryTimeout: 30 * time.Millisecond, MaxAttempts: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	go func() { _ = d.Serve() }()
+	var ws []*Worker
+	for i := 0; i < 3; i++ {
+		w, err := NewWorker(WorkerConfig{
+			ID: uint32(i), Dispatcher: d.Addr(), SpinFloor: time.Nanosecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() { _ = w.Serve() }()
+		ws = append(ws, w)
+	}
+	defer func() {
+		for _, w := range ws[1:] {
+			_ = w.Close()
+		}
+	}()
+	// Worker 0 dies before any load arrives.
+	_ = ws[0].Close()
+
+	rep, err := RunClient(ClientConfig{
+		Dispatcher: d.Addr(),
+		RPS:        2_000,
+		Service:    dist.Fixed{D: 20 * time.Microsecond},
+		Requests:   200,
+		Seed:       5,
+		Timeout:    20 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Received != 200 {
+		t.Fatalf("received %d/200 despite retries (abandoned=%d)", rep.Received, d.Abandoned())
+	}
+	if d.Retried() == 0 {
+		t.Fatal("no retries recorded despite a dead worker")
+	}
+}
+
+func TestDispatcherDoubleCloseIsSafe(t *testing.T) {
+	d, _, cleanup := startSystem(t, 1, 1, 0)
+	cleanup()
+	if err := d.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+func TestLiveMultipleClientsDoNotCollide(t *testing.T) {
+	// Two clients use overlapping request IDs (both start at 1); the
+	// dispatcher must key its state by (client, id) so responses reach
+	// the right client.
+	d, _, cleanup := startSystem(t, 2, 2, 0)
+	defer cleanup()
+	type res struct {
+		rep *ClientReport
+		err error
+	}
+	ch := make(chan res, 2)
+	for c := uint32(1); c <= 2; c++ {
+		c := c
+		go func() {
+			rep, err := RunClient(ClientConfig{
+				Dispatcher: d.Addr(),
+				RPS:        3_000,
+				Service:    dist.Fixed{D: 20 * time.Microsecond},
+				Requests:   400,
+				Seed:       uint64(c),
+				ClientID:   c,
+				Timeout:    10 * time.Second,
+			})
+			ch <- res{rep, err}
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		r := <-ch
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		if r.rep.Received < 396 {
+			t.Fatalf("client received %d/400 with concurrent clients", r.rep.Received)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+// Package loadgen implements the open-loop load generator of the paper's
+// evaluation (§4: "an open loop load generator similar to mutilate that
+// transmits requests over UDP"). Arrivals form a Poisson process at a fixed
+// offered rate regardless of system state — the property that makes tail
+// latency explode at saturation instead of politely backing off.
+package loadgen
+
+import (
+	"math/rand/v2"
+	"time"
+
+	"mindgap/internal/dist"
+	"mindgap/internal/sim"
+	"mindgap/internal/task"
+)
+
+// Config describes one client workload.
+type Config struct {
+	// RPS is the offered arrival rate in requests per second.
+	RPS float64
+	// Service is the fake-work service-time distribution (§4.1).
+	Service dist.Distribution
+	// Keys optionally samples an application key per request (used by
+	// flow-steering baselines). Nil leaves keys zero.
+	Keys *dist.ZipfKeys
+	// Seed makes the arrival and service streams reproducible.
+	Seed uint64
+	// MaxArrivals stops generation after this many requests (0 = run until
+	// the engine halts).
+	MaxArrivals uint64
+	// ClientID is stamped on every request.
+	ClientID uint32
+}
+
+// Generator produces requests on a simulation engine and hands them to a
+// sink (a System's Inject method) at their arrival instants.
+type Generator struct {
+	eng  *sim.Engine
+	cfg  Config
+	rng  *rand.Rand
+	sink func(*task.Request)
+
+	nextID   uint64
+	arrivals uint64
+}
+
+// New creates a generator. sink is called exactly at each request's arrival
+// instant with a freshly built request.
+func New(eng *sim.Engine, cfg Config, sink func(*task.Request)) *Generator {
+	if cfg.RPS <= 0 {
+		panic("loadgen: RPS must be positive")
+	}
+	if cfg.Service == nil {
+		panic("loadgen: service distribution required")
+	}
+	if sink == nil {
+		panic("loadgen: sink required")
+	}
+	return &Generator{
+		eng:  eng,
+		cfg:  cfg,
+		rng:  rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x6d696e64676170)), // "mindgap"
+		sink: sink,
+	}
+}
+
+// Start schedules the first arrival. Generation continues open-loop until
+// MaxArrivals (if set) or until the engine halts.
+func (g *Generator) Start() {
+	g.eng.After(g.interarrival(), g.arrive)
+}
+
+// Arrivals returns the number of requests generated so far.
+func (g *Generator) Arrivals() uint64 { return g.arrivals }
+
+func (g *Generator) arrive() {
+	if g.cfg.MaxArrivals > 0 && g.arrivals >= g.cfg.MaxArrivals {
+		return
+	}
+	g.nextID++
+	g.arrivals++
+	req := task.New(g.nextID, g.eng.Now(), g.cfg.Service.Sample(g.rng))
+	req.ClientID = g.cfg.ClientID
+	if g.cfg.Keys != nil {
+		req.Key = g.cfg.Keys.Sample(g.rng)
+	}
+	g.sink(req)
+	g.eng.After(g.interarrival(), g.arrive)
+}
+
+// interarrival draws the next Poisson gap.
+func (g *Generator) interarrival() time.Duration {
+	mean := float64(time.Second) / g.cfg.RPS
+	d := time.Duration(g.rng.ExpFloat64() * mean)
+	if d <= 0 {
+		d = 1
+	}
+	return d
+}

@@ -1,0 +1,131 @@
+package nicmodel
+
+import (
+	"fmt"
+
+	"mindgap/internal/wire"
+)
+
+// This file models the FlexNIC-style match-action pipeline of §2.3:
+// "FlexNIC uses a match-action (M+A) pipeline to modify incoming packets
+// and either send responses via the network or steer packets to specific
+// CPU cores... packet steering is specified by the M+A rules, such as a
+// key-based hash in a key-value store."
+//
+// The pipeline is what existing programmable NICs give you *without* the
+// paper's proposal: arbitrary stateless steering, but no view of core
+// availability or request progress. The informed scheduler subsumes it.
+
+// Verdict is a match-action outcome.
+type Verdict int
+
+const (
+	// VerdictPass falls through to the next rule (or the default action).
+	VerdictPass Verdict = iota
+	// VerdictSteer delivers the frame to the rule's target function.
+	VerdictSteer
+	// VerdictDrop discards the frame (e.g. an ACL or overload rule).
+	VerdictDrop
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictPass:
+		return "pass"
+	case VerdictSteer:
+		return "steer"
+	case VerdictDrop:
+		return "drop"
+	}
+	return fmt.Sprintf("verdict(%d)", int(v))
+}
+
+// Rule is one match-action entry. Match inspects the frame (stateless, as
+// in hardware); on a match the rule's verdict applies.
+type Rule struct {
+	// Name labels the rule in counters and diagnostics.
+	Name string
+	// Match reports whether the rule fires for this frame.
+	Match func(Frame) bool
+	// Verdict is the action on match (VerdictPass makes the rule a
+	// counter-only tap).
+	Verdict Verdict
+	// Target is the steering destination for VerdictSteer.
+	Target wire.MAC
+
+	hits uint64
+}
+
+// Pipeline is an ordered match-action table evaluated per frame.
+type Pipeline struct {
+	rules []*Rule
+	// defaultTarget receives frames no rule steers; the zero MAC means
+	// such frames are dropped (counted by the NIC as unknown-MAC).
+	defaultTarget wire.MAC
+	evaluated     uint64
+	dropped       uint64
+}
+
+// NewPipeline creates a pipeline with the given default steering target.
+func NewPipeline(defaultTarget wire.MAC) *Pipeline {
+	return &Pipeline{defaultTarget: defaultTarget}
+}
+
+// Add appends a rule and returns it (for reading hit counters later). It
+// panics on a steering rule without a Match or on an unnamed rule, since
+// rules are static configuration.
+func (p *Pipeline) Add(r Rule) *Rule {
+	if r.Name == "" {
+		panic("nicmodel: match-action rule needs a name")
+	}
+	if r.Match == nil {
+		panic("nicmodel: match-action rule needs a match predicate")
+	}
+	rule := &r
+	p.rules = append(p.rules, rule)
+	return rule
+}
+
+// Apply evaluates the pipeline for a frame, returning the (possibly
+// re-targeted) frame and whether it should be delivered.
+func (p *Pipeline) Apply(f Frame) (Frame, bool) {
+	p.evaluated++
+	for _, r := range p.rules {
+		if !r.Match(f) {
+			continue
+		}
+		r.hits++
+		switch r.Verdict {
+		case VerdictSteer:
+			f.Dst = r.Target
+			return f, true
+		case VerdictDrop:
+			p.dropped++
+			return f, false
+		case VerdictPass:
+			// counter-only tap: keep evaluating
+		}
+	}
+	f.Dst = p.defaultTarget
+	return f, true
+}
+
+// Hits returns a rule's match count.
+func (r *Rule) Hits() uint64 { return r.hits }
+
+// Evaluated returns how many frames the pipeline processed.
+func (p *Pipeline) Evaluated() uint64 { return p.evaluated }
+
+// Dropped returns how many frames drop rules discarded.
+func (p *Pipeline) Dropped() uint64 { return p.dropped }
+
+// Ingress runs a frame through the pipeline and, if it survives, steers it
+// through the NIC. It reports whether the frame was delivered to a ring.
+func (n *NIC) Ingress(p *Pipeline, f Frame) bool {
+	out, ok := p.Apply(f)
+	if !ok {
+		return false
+	}
+	return n.Send(out)
+}

@@ -1,0 +1,153 @@
+package nicmodel
+
+import (
+	"testing"
+	"time"
+
+	"mindgap/internal/sim"
+	"mindgap/internal/task"
+	"mindgap/internal/wire"
+)
+
+// keyOf extracts the application key from a frame payload in these tests.
+func keyOf(f Frame) uint64 {
+	if r, ok := f.Payload.(*task.Request); ok {
+		return r.Key
+	}
+	return 0
+}
+
+func TestPipelineKeyRangeSteering(t *testing.T) {
+	// The §2.3 FlexNIC example: key-based steering in a KVS. Keys < 100
+	// go to worker A, the rest to worker B.
+	eng := sim.New()
+	nic := New(eng, Config{InternalLatency: time.Microsecond})
+	a := nic.AddFunction("wA", MACForIndex(1), 0)
+	b := nic.AddFunction("wB", MACForIndex(2), 0)
+
+	pipe := NewPipeline(b.MAC())
+	hot := pipe.Add(Rule{
+		Name:    "hot-keys",
+		Match:   func(f Frame) bool { return keyOf(f) < 100 },
+		Verdict: VerdictSteer,
+		Target:  a.MAC(),
+	})
+
+	for k := uint64(0); k < 200; k++ {
+		req := task.New(k, 0, time.Microsecond)
+		req.Key = k
+		if !nic.Ingress(pipe, Frame{Bytes: 64, Payload: req}) {
+			t.Fatalf("key %d not delivered", k)
+		}
+	}
+	eng.Run()
+	if a.Pending() != 100 || b.Pending() != 100 {
+		t.Fatalf("steering split = %d/%d, want 100/100", a.Pending(), b.Pending())
+	}
+	if hot.Hits() != 100 {
+		t.Fatalf("rule hits = %d", hot.Hits())
+	}
+	if pipe.Evaluated() != 200 {
+		t.Fatalf("evaluated = %d", pipe.Evaluated())
+	}
+}
+
+func TestPipelineDropRule(t *testing.T) {
+	eng := sim.New()
+	nic := New(eng, Config{InternalLatency: time.Microsecond})
+	w := nic.AddFunction("w", MACForIndex(1), 0)
+	pipe := NewPipeline(w.MAC())
+	pipe.Add(Rule{
+		Name:    "acl-drop-odd",
+		Match:   func(f Frame) bool { return keyOf(f)%2 == 1 },
+		Verdict: VerdictDrop,
+	})
+	delivered := 0
+	for k := uint64(0); k < 10; k++ {
+		req := task.New(k, 0, time.Microsecond)
+		req.Key = k
+		if nic.Ingress(pipe, Frame{Bytes: 64, Payload: req}) {
+			delivered++
+		}
+	}
+	eng.Run()
+	if delivered != 5 || pipe.Dropped() != 5 {
+		t.Fatalf("delivered=%d dropped=%d, want 5/5", delivered, pipe.Dropped())
+	}
+	if w.Pending() != 5 {
+		t.Fatalf("ring holds %d", w.Pending())
+	}
+}
+
+func TestPipelinePassRuleIsCounterOnly(t *testing.T) {
+	eng := sim.New()
+	nic := New(eng, Config{})
+	w := nic.AddFunction("w", MACForIndex(1), 0)
+	pipe := NewPipeline(w.MAC())
+	tap := pipe.Add(Rule{
+		Name:    "tap-everything",
+		Match:   func(Frame) bool { return true },
+		Verdict: VerdictPass,
+	})
+	if !nic.Ingress(pipe, Frame{Bytes: 64}) {
+		t.Fatal("pass rule blocked delivery")
+	}
+	eng.Run()
+	if tap.Hits() != 1 || w.Pending() != 1 {
+		t.Fatalf("tap hits=%d pending=%d", tap.Hits(), w.Pending())
+	}
+}
+
+func TestPipelineFirstMatchWins(t *testing.T) {
+	eng := sim.New()
+	nic := New(eng, Config{})
+	a := nic.AddFunction("a", MACForIndex(1), 0)
+	b := nic.AddFunction("b", MACForIndex(2), 0)
+	pipe := NewPipeline(wire.MAC{}) // zero default: would be dropped by NIC
+	pipe.Add(Rule{Name: "first", Match: func(Frame) bool { return true }, Verdict: VerdictSteer, Target: a.MAC()})
+	pipe.Add(Rule{Name: "second", Match: func(Frame) bool { return true }, Verdict: VerdictSteer, Target: b.MAC()})
+	nic.Ingress(pipe, Frame{Bytes: 64})
+	eng.Run()
+	if a.Pending() != 1 || b.Pending() != 0 {
+		t.Fatalf("first-match violated: a=%d b=%d", a.Pending(), b.Pending())
+	}
+}
+
+func TestPipelineZeroDefaultDropsAtNIC(t *testing.T) {
+	eng := sim.New()
+	nic := New(eng, Config{})
+	nic.AddFunction("w", MACForIndex(1), 0)
+	pipe := NewPipeline(wire.MAC{})
+	if nic.Ingress(pipe, Frame{Bytes: 64}) {
+		t.Fatal("frame with unroutable default delivered")
+	}
+	if nic.UnknownMACDrops() != 1 {
+		t.Fatalf("UnknownMACDrops = %d", nic.UnknownMACDrops())
+	}
+	_ = eng
+}
+
+func TestPipelineRuleValidation(t *testing.T) {
+	pipe := NewPipeline(wire.MAC{})
+	for _, r := range []Rule{
+		{Match: func(Frame) bool { return true }},
+		{Name: "no-match"},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid rule accepted")
+				}
+			}()
+			pipe.Add(r)
+		}()
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	for _, v := range []Verdict{VerdictPass, VerdictSteer, VerdictDrop, Verdict(9)} {
+		if v.String() == "" {
+			t.Fatal("empty verdict name")
+		}
+	}
+}

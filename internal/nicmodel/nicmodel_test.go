@@ -1,0 +1,149 @@
+package nicmodel
+
+import (
+	"testing"
+	"time"
+
+	"mindgap/internal/sim"
+	"mindgap/internal/wire"
+)
+
+func newNIC(eng *sim.Engine) *NIC {
+	return New(eng, Config{InternalLatency: 2560 * time.Nanosecond, RingCap: 4})
+}
+
+func TestSteeringByMAC(t *testing.T) {
+	eng := sim.New()
+	nic := newNIC(eng)
+	a := nic.AddFunction("arm", MACForIndex(0), 0)
+	b := nic.AddFunction("w0", MACForIndex(1), 0)
+
+	if !nic.Send(Frame{Dst: b.MAC(), Src: a.MAC(), Bytes: 64, Payload: "hello"}) {
+		t.Fatal("send rejected")
+	}
+	eng.Run()
+	if eng.Now() != sim.Time(2560) {
+		t.Fatalf("delivery at %v, want 2.56µs", eng.Now())
+	}
+	if a.Pending() != 0 || b.Pending() != 1 {
+		t.Fatalf("pending: arm=%d w0=%d", a.Pending(), b.Pending())
+	}
+	f, ok := b.Poll()
+	if !ok || f.Payload != "hello" || f.Src != a.MAC() {
+		t.Fatalf("polled %+v, %v", f, ok)
+	}
+	if nic.Steered() != 1 {
+		t.Fatalf("Steered = %d", nic.Steered())
+	}
+}
+
+func TestUnknownMACDropped(t *testing.T) {
+	eng := sim.New()
+	nic := newNIC(eng)
+	nic.AddFunction("arm", MACForIndex(0), 0)
+	if nic.Send(Frame{Dst: wire.MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}, Bytes: 64}) {
+		t.Fatal("unknown MAC accepted")
+	}
+	if nic.UnknownMACDrops() != 1 {
+		t.Fatalf("UnknownMACDrops = %d", nic.UnknownMACDrops())
+	}
+}
+
+func TestRingOverflowDrops(t *testing.T) {
+	eng := sim.New()
+	nic := newNIC(eng)
+	src := nic.AddFunction("src", MACForIndex(0), 0)
+	dst := nic.AddFunction("dst", MACForIndex(1), 2) // tiny ring
+	for i := 0; i < 5; i++ {
+		nic.Send(Frame{Dst: dst.MAC(), Src: src.MAC(), Bytes: 64, Payload: i})
+	}
+	eng.Run()
+	if dst.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2 (ring cap)", dst.Pending())
+	}
+	if dst.RingDrops() != 3 {
+		t.Fatalf("RingDrops = %d, want 3", dst.RingDrops())
+	}
+	if dst.Received() != 2 {
+		t.Fatalf("Received = %d", dst.Received())
+	}
+	// Drain and verify FIFO order of survivors.
+	f1, _ := dst.Poll()
+	f2, _ := dst.Poll()
+	if f1.Payload != 0 || f2.Payload != 1 {
+		t.Fatalf("ring order: %v %v", f1.Payload, f2.Payload)
+	}
+	if _, ok := dst.Poll(); ok {
+		t.Fatal("poll on empty ring succeeded")
+	}
+}
+
+func TestOnRxWakeup(t *testing.T) {
+	eng := sim.New()
+	nic := newNIC(eng)
+	src := nic.AddFunction("src", MACForIndex(0), 0)
+	dst := nic.AddFunction("dst", MACForIndex(1), 0)
+	woke := 0
+	dst.OnRx(func() {
+		woke++
+		if dst.Pending() == 0 {
+			t.Fatal("OnRx fired before frame landed in ring")
+		}
+	})
+	nic.Send(Frame{Dst: dst.MAC(), Src: src.MAC(), Bytes: 64})
+	nic.Send(Frame{Dst: dst.MAC(), Src: src.MAC(), Bytes: 64})
+	eng.Run()
+	if woke != 2 {
+		t.Fatalf("OnRx fired %d times, want 2", woke)
+	}
+}
+
+func TestDuplicateMACPanics(t *testing.T) {
+	eng := sim.New()
+	nic := newNIC(eng)
+	nic.AddFunction("a", MACForIndex(7), 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate MAC accepted")
+		}
+	}()
+	nic.AddFunction("b", MACForIndex(7), 0)
+}
+
+func TestMACForIndexUniqueAndLocal(t *testing.T) {
+	seen := map[wire.MAC]bool{}
+	for i := 0; i < 1000; i++ {
+		m := MACForIndex(i)
+		if seen[m] {
+			t.Fatalf("duplicate MAC at index %d", i)
+		}
+		seen[m] = true
+		if m[0]&0x02 == 0 {
+			t.Fatal("MAC not locally administered")
+		}
+	}
+}
+
+func TestPerFunctionFIFOUnderLoad(t *testing.T) {
+	eng := sim.New()
+	nic := New(eng, Config{InternalLatency: time.Microsecond, RingCap: 1024})
+	src := nic.AddFunction("src", MACForIndex(0), 0)
+	dst := nic.AddFunction("dst", MACForIndex(1), 0)
+	const n = 500
+	for i := 0; i < n; i++ {
+		nic.Send(Frame{Dst: dst.MAC(), Src: src.MAC(), Bytes: 64 + i%256, Payload: i})
+	}
+	eng.Run()
+	for i := 0; i < n; i++ {
+		f, ok := dst.Poll()
+		if !ok || f.Payload != i {
+			t.Fatalf("frame %d out of order: %v %v", i, f.Payload, ok)
+		}
+	}
+	if len(nic.Functions()) != 2 {
+		t.Fatalf("Functions() = %d", len(nic.Functions()))
+	}
+	if dst.Name() != "dst" {
+		t.Fatalf("Name = %q", dst.Name())
+	}
+}

@@ -1,0 +1,254 @@
+package queue
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFIFOBasic(t *testing.T) {
+	var q FIFO[int]
+	if q.Len() != 0 {
+		t.Fatal("zero FIFO not empty")
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop on empty succeeded")
+	}
+	if _, ok := q.Peek(); ok {
+		t.Fatal("Peek on empty succeeded")
+	}
+	q.Push(1)
+	q.Push(2)
+	q.Push(3)
+	if v, _ := q.Peek(); v != 1 {
+		t.Fatalf("Peek = %d", v)
+	}
+	for want := 1; want <= 3; want++ {
+		v, ok := q.Pop()
+		if !ok || v != want {
+			t.Fatalf("Pop = %d,%v want %d", v, ok, want)
+		}
+	}
+}
+
+func TestFIFOPopTail(t *testing.T) {
+	var q FIFO[int]
+	for i := 1; i <= 4; i++ {
+		q.Push(i)
+	}
+	if v, _ := q.PopTail(); v != 4 {
+		t.Fatalf("PopTail = %d, want 4", v)
+	}
+	if v, _ := q.Pop(); v != 1 {
+		t.Fatalf("Pop = %d, want 1", v)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	q.Pop()
+	if v, ok := q.PopTail(); !ok || v != 3 {
+		t.Fatalf("PopTail = %d,%v", v, ok)
+	}
+	if _, ok := q.PopTail(); ok {
+		t.Fatal("PopTail on empty succeeded")
+	}
+}
+
+func TestFIFOCompactionPreservesOrder(t *testing.T) {
+	var q FIFO[int]
+	next := 0
+	pops := 0
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 100; i++ {
+			q.Push(next)
+			next++
+		}
+		for i := 0; i < 90; i++ {
+			v, ok := q.Pop()
+			if !ok || v != pops {
+				t.Fatalf("Pop = %d,%v want %d", v, ok, pops)
+			}
+			pops++
+		}
+	}
+	for q.Len() > 0 {
+		v, _ := q.Pop()
+		if v != pops {
+			t.Fatalf("drain Pop = %d want %d", v, pops)
+		}
+		pops++
+	}
+	if pops != next {
+		t.Fatalf("popped %d, pushed %d", pops, next)
+	}
+}
+
+// Property: a FIFO behaves identically to a reference slice queue under a
+// random sequence of pushes, pops, and tail-pops.
+func TestQuickFIFOAgainstModel(t *testing.T) {
+	type op struct {
+		Kind uint8
+		Val  int32
+	}
+	f := func(ops []op) bool {
+		var q FIFO[int32]
+		var model []int32
+		for _, o := range ops {
+			switch o.Kind % 3 {
+			case 0:
+				q.Push(o.Val)
+				model = append(model, o.Val)
+			case 1:
+				v, ok := q.Pop()
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+				} else {
+					if !ok || v != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			case 2:
+				v, ok := q.PopTail()
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+				} else {
+					if !ok || v != model[len(model)-1] {
+						return false
+					}
+					model = model[:len(model)-1]
+				}
+			}
+			if q.Len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingBasic(t *testing.T) {
+	r := NewRing[int](3)
+	if r.Cap() != 3 || !r.Empty() || r.Full() {
+		t.Fatal("fresh ring state wrong")
+	}
+	for i := 1; i <= 3; i++ {
+		if !r.Push(i) {
+			t.Fatalf("Push(%d) failed", i)
+		}
+	}
+	if !r.Full() {
+		t.Fatal("ring not full after 3 pushes")
+	}
+	if r.Push(4) {
+		t.Fatal("Push on full ring succeeded")
+	}
+	if v, _ := r.Peek(); v != 1 {
+		t.Fatalf("Peek = %d", v)
+	}
+	for want := 1; want <= 3; want++ {
+		v, ok := r.Pop()
+		if !ok || v != want {
+			t.Fatalf("Pop = %d,%v want %d", v, ok, want)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatal("Pop on empty ring succeeded")
+	}
+	if _, ok := r.Peek(); ok {
+		t.Fatal("Peek on empty ring succeeded")
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	r := NewRing[int](4)
+	next, want := 0, 0
+	for round := 0; round < 100; round++ {
+		for r.Push(next) {
+			next++
+		}
+		v, ok := r.Pop()
+		if !ok || v != want {
+			t.Fatalf("Pop = %d,%v want %d", v, ok, want)
+		}
+		want++
+	}
+}
+
+func TestRingZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRing(0) did not panic")
+		}
+	}()
+	NewRing[int](0)
+}
+
+// Property: a Ring behaves identically to a bounded reference queue.
+func TestQuickRingAgainstModel(t *testing.T) {
+	type op struct {
+		Push bool
+		Val  int32
+	}
+	f := func(capRaw uint8, ops []op) bool {
+		capacity := int(capRaw%16) + 1
+		r := NewRing[int32](capacity)
+		var model []int32
+		for _, o := range ops {
+			if o.Push {
+				ok := r.Push(o.Val)
+				if ok != (len(model) < capacity) {
+					return false
+				}
+				if ok {
+					model = append(model, o.Val)
+				}
+			} else {
+				v, ok := r.Pop()
+				if ok != (len(model) > 0) {
+					return false
+				}
+				if ok {
+					if v != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			}
+			if r.Len() != len(model) || r.Full() != (len(model) == capacity) || r.Empty() != (len(model) == 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFIFOPushPop(b *testing.B) {
+	var q FIFO[int]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Push(i)
+		if q.Len() > 128 {
+			q.Pop()
+		}
+	}
+}
+
+func BenchmarkRingPushPop(b *testing.B) {
+	r := NewRing[int](128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !r.Push(i) {
+			r.Pop()
+		}
+	}
+}

@@ -1,0 +1,294 @@
+// Package sim provides a deterministic discrete-event simulation engine
+// with nanosecond resolution.
+//
+// The engine is the substrate every hardware model in this repository runs
+// on: NIC ports, SmartNIC ARM cores, host worker cores, and communication
+// links are all components that schedule closures on a shared Engine.
+// Determinism is guaranteed by a stable tie-break: events scheduled for the
+// same instant fire in the order they were scheduled, so a simulation with a
+// fixed seed always produces identical results.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is an instant in simulated time, expressed in nanoseconds since the
+// start of the simulation.
+type Time int64
+
+// MaxTime is the largest representable simulation instant.
+const MaxTime = Time(math.MaxInt64)
+
+// Add returns the instant d after t. Negative durations are allowed and move
+// the instant backwards.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed from u to t.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Duration converts t to the duration elapsed since the simulation epoch.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// String formats the instant as a duration since the epoch, e.g. "1.5ms".
+func (t Time) String() string { return time.Duration(t).String() }
+
+// event is a pending closure. seq provides FIFO ordering among events that
+// share a timestamp. index is the event's position in the heap, maintained so
+// cancellation (Timer.Stop) can remove it without a linear scan. gen guards
+// recycled events against stale Timer handles: each reuse increments it.
+type event struct {
+	at    Time
+	seq   uint64
+	fn    func()
+	index int    // position in heap; -1 once popped or cancelled
+	gen   uint32 // incremented on recycle
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; call
+// New. Engine is not safe for concurrent use: a simulation is a single
+// logical thread of control, which is what makes it reproducible.
+type Engine struct {
+	now     Time
+	seq     uint64
+	heap    []*event
+	free    []*event // recycled events (simulations schedule millions)
+	halted  bool
+	stepped uint64 // number of events executed
+}
+
+// New returns an engine positioned at time zero with an empty event queue.
+func New() *Engine {
+	return &Engine{heap: make([]*event, 0, 1024)}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending reports the number of scheduled (not yet fired) events.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// Executed reports how many events have fired since the engine was created.
+func (e *Engine) Executed() uint64 { return e.stepped }
+
+// At schedules fn to run at the absolute instant t. Scheduling in the past
+// panics: a component that needs to "run now" should schedule at e.Now().
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v which is before now %v", t, e.now))
+	}
+	e.push(e.alloc(t, fn))
+}
+
+// alloc takes an event from the free list or the heap allocator.
+func (e *Engine) alloc(t Time, fn func()) *event {
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.at = t
+	ev.seq = e.nextSeq()
+	ev.fn = fn
+	return ev
+}
+
+// recycle returns a finished or cancelled event to the free list,
+// invalidating any Timer handle that still points at it.
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	if len(e.free) < 4096 {
+		e.free = append(e.free, ev)
+	}
+}
+
+// After schedules fn to run d after the current instant. Negative d panics.
+func (e *Engine) After(d time.Duration, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.At(e.now.Add(d), fn)
+}
+
+// Timer is a handle to a scheduled event that can be cancelled before it
+// fires. The zero value is an inert, already-stopped timer.
+type Timer struct {
+	e   *Engine
+	ev  *event
+	gen uint32
+}
+
+// AfterTimer schedules fn to run d from now and returns a cancellable handle.
+func (e *Engine) AfterTimer(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	ev := e.alloc(e.now.Add(d), fn)
+	e.push(ev)
+	return &Timer{e: e, ev: ev, gen: ev.gen}
+}
+
+// live reports whether the handle still refers to its original, pending
+// event (recycled events bump their generation).
+func (t *Timer) live() bool {
+	return t != nil && t.ev != nil && t.ev.gen == t.gen && t.ev.index >= 0
+}
+
+// Stop cancels the timer. It reports whether the timer was still pending:
+// false means the event already fired (or Stop was already called).
+func (t *Timer) Stop() bool {
+	if !t.live() {
+		return false
+	}
+	t.e.remove(t.ev)
+	t.ev = nil
+	return true
+}
+
+// Pending reports whether the timer has yet to fire.
+func (t *Timer) Pending() bool { return t.live() }
+
+// Deadline returns the instant the timer will fire. It is only meaningful
+// while Pending reports true.
+func (t *Timer) Deadline() Time {
+	if !t.live() {
+		return 0
+	}
+	return t.ev.at
+}
+
+// Step executes the single earliest pending event. It reports false when the
+// queue is empty or the engine has been halted.
+func (e *Engine) Step() bool {
+	if e.halted || len(e.heap) == 0 {
+		return false
+	}
+	ev := e.pop()
+	e.now = ev.at
+	e.stepped++
+	fn := ev.fn
+	e.recycle(ev)
+	fn()
+	return true
+}
+
+// Run executes events until the queue drains or Halt is called.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock to
+// t. Events scheduled exactly at t do fire.
+func (e *Engine) RunUntil(t Time) {
+	for !e.halted && len(e.heap) > 0 && e.heap[0].at <= t {
+		e.Step()
+	}
+	if !e.halted && e.now < t {
+		e.now = t
+	}
+}
+
+// Halt stops Run/RunUntil after the currently executing event returns.
+// Pending events remain queued; Resume re-enables execution.
+func (e *Engine) Halt() { e.halted = true }
+
+// Resume clears a previous Halt.
+func (e *Engine) Resume() { e.halted = false }
+
+// Halted reports whether the engine is halted.
+func (e *Engine) Halted() bool { return e.halted }
+
+func (e *Engine) nextSeq() uint64 {
+	e.seq++
+	return e.seq
+}
+
+// less orders the heap by (time, sequence) so same-instant events preserve
+// scheduling order.
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) push(ev *event) {
+	ev.index = len(e.heap)
+	e.heap = append(e.heap, ev)
+	e.up(ev.index)
+}
+
+func (e *Engine) pop() *event {
+	ev := e.heap[0]
+	last := len(e.heap) - 1
+	e.heap[0] = e.heap[last]
+	e.heap[0].index = 0
+	e.heap[last] = nil
+	e.heap = e.heap[:last]
+	if last > 0 {
+		e.down(0)
+	}
+	ev.index = -1
+	return ev
+}
+
+func (e *Engine) remove(ev *event) {
+	i := ev.index
+	last := len(e.heap) - 1
+	if i < 0 || i > last || e.heap[i] != ev {
+		return
+	}
+	e.heap[i] = e.heap[last]
+	e.heap[i].index = i
+	e.heap[last] = nil
+	e.heap = e.heap[:last]
+	if i < last {
+		e.down(i)
+		e.up(i)
+	}
+	ev.index = -1
+	e.recycle(ev)
+}
+
+func (e *Engine) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(e.heap[i], e.heap[parent]) {
+			break
+		}
+		e.swap(i, parent)
+		i = parent
+	}
+}
+
+func (e *Engine) down(i int) {
+	n := len(e.heap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		smallest := left
+		if right := left + 1; right < n && eventLess(e.heap[right], e.heap[left]) {
+			smallest = right
+		}
+		if !eventLess(e.heap[smallest], e.heap[i]) {
+			break
+		}
+		e.swap(i, smallest)
+		i = smallest
+	}
+}
+
+func (e *Engine) swap(i, j int) {
+	e.heap[i], e.heap[j] = e.heap[j], e.heap[i]
+	e.heap[i].index = i
+	e.heap[j].index = j
+}

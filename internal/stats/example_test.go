@@ -1,0 +1,29 @@
+package stats_test
+
+import (
+	"fmt"
+	"time"
+
+	"mindgap/internal/stats"
+)
+
+// Recording latencies and reading the percentiles the paper plots.
+func ExampleHistogram() {
+	var h stats.Histogram
+	for i := 1; i <= 99; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	h.Record(time.Millisecond) // one outlier in a hundred
+
+	fmt.Printf("n=%d\n", h.Count())
+	// Quantiles are conservative upper bounds with ≤1.6% relative error
+	// (log-linear buckets), hence 50.175µs rather than exactly 50µs.
+	fmt.Printf("p50=%v\n", h.P50())
+	fmt.Printf("p99=%v\n", h.Quantile(0.99))
+	fmt.Printf("max=%v\n", h.Max())
+	// Output:
+	// n=100
+	// p50=50.175µs
+	// p99=99.327µs
+	// max=1ms
+}

@@ -1,0 +1,232 @@
+package stats
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEmptyHistogram(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.P99() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestExactRange(t *testing.T) {
+	var h Histogram
+	for v := int64(0); v < subBuckets; v++ {
+		h.Record(time.Duration(v))
+	}
+	// Every value below subBuckets is stored exactly.
+	for v := int64(1); v < subBuckets; v++ {
+		q := float64(v+1) / float64(subBuckets)
+		got := h.Quantile(q)
+		if got != time.Duration(v) {
+			t.Fatalf("Quantile(%v) = %v, want %v", q, got, v)
+		}
+	}
+}
+
+func TestBucketRoundTrip(t *testing.T) {
+	// bucketUpper(bucketIndex(v)) must be >= v and within the relative
+	// error bound, and indices must be monotone in v.
+	prev := -1
+	for _, v := range []int64{0, 1, 127, 128, 129, 255, 256, 1000, 4096, 65535,
+		1_000_000, 123_456_789, int64(time.Hour)} {
+		idx := bucketIndex(v)
+		if idx < prev {
+			t.Fatalf("bucketIndex not monotone at %d", v)
+		}
+		prev = idx
+		u := bucketUpper(idx)
+		if u < v {
+			t.Fatalf("bucketUpper(%d)=%d < v=%d", idx, u, v)
+		}
+		if v >= subBuckets && float64(u-v) > float64(v)/float64(halfRow)+1 {
+			t.Fatalf("bucket error too large: v=%d upper=%d", v, u)
+		}
+	}
+}
+
+func TestQuantileAgainstSort(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 9))
+	var h Histogram
+	var vals []int64
+	for i := 0; i < 50_000; i++ {
+		v := rng.Int64N(100_000_000) // up to 100ms
+		vals = append(vals, v)
+		h.Record(time.Duration(v))
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := vals[int(q*float64(len(vals)))-1]
+		got := int64(h.Quantile(q))
+		if got < exact {
+			t.Fatalf("Quantile(%v)=%d below exact %d", q, got, exact)
+		}
+		if float64(got-exact) > float64(exact)*0.02+2 {
+			t.Fatalf("Quantile(%v)=%d too far above exact %d", q, got, exact)
+		}
+	}
+}
+
+func TestMinMaxMean(t *testing.T) {
+	var h Histogram
+	for _, v := range []time.Duration{5 * time.Microsecond, time.Microsecond, 9 * time.Microsecond} {
+		h.Record(v)
+	}
+	if h.Min() != time.Microsecond {
+		t.Fatalf("Min = %v", h.Min())
+	}
+	if h.Max() != 9*time.Microsecond {
+		t.Fatalf("Max = %v", h.Max())
+	}
+	if h.Mean() != 5*time.Microsecond {
+		t.Fatalf("Mean = %v", h.Mean())
+	}
+}
+
+func TestNegativeClampsToZero(t *testing.T) {
+	var h Histogram
+	h.Record(-5)
+	if h.Min() != 0 || h.Max() != 0 || h.Count() != 1 {
+		t.Fatal("negative record should clamp to zero")
+	}
+}
+
+func TestHugeValueClamps(t *testing.T) {
+	var h Histogram
+	h.Record(time.Duration(1) << 62)
+	if h.Count() != 1 {
+		t.Fatal("huge value not recorded")
+	}
+	if h.Quantile(0.5) != h.Max() {
+		t.Fatal("clamped value should still resolve to max")
+	}
+}
+
+func TestQuantileEdges(t *testing.T) {
+	var h Histogram
+	h.Record(10)
+	h.Record(20)
+	if h.Quantile(0) != 10 {
+		t.Fatalf("Quantile(0) = %v, want min", h.Quantile(0))
+	}
+	if h.Quantile(1) != 20 {
+		t.Fatalf("Quantile(1) = %v, want max", h.Quantile(1))
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 1000; i++ {
+		a.Record(time.Duration(i))
+		b.Record(time.Duration(1000 + i))
+	}
+	a.Merge(&b)
+	if a.Count() != 2000 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Min() != 0 || a.Max() != time.Duration(1999) {
+		t.Fatalf("merged min/max = %v/%v", a.Min(), a.Max())
+	}
+	med := a.Quantile(0.5)
+	if med < 990 || med > 1010 {
+		t.Fatalf("merged median = %v, want ≈1000", med)
+	}
+	a.Merge(nil) // must not panic
+	var empty Histogram
+	a.Merge(&empty)
+	if a.Count() != 2000 {
+		t.Fatal("merging empty changed count")
+	}
+}
+
+func TestReset(t *testing.T) {
+	var h Histogram
+	h.Record(time.Millisecond)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 || h.Quantile(0.99) != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+}
+
+// Property: for any set of durations, every quantile is between min and max
+// and quantiles are monotone in q.
+func TestQuickQuantileSanity(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var h Histogram
+		for _, v := range raw {
+			h.Record(time.Duration(v))
+		}
+		prev := time.Duration(-1)
+		for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1} {
+			v := h.Quantile(q)
+			if v < h.Min() || v > h.Max() {
+				return false
+			}
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: merging two histograms is equivalent to recording the union.
+func TestQuickMergeEquivalence(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		var a, b, u Histogram
+		for _, v := range xs {
+			a.Record(time.Duration(v))
+			u.Record(time.Duration(v))
+		}
+		for _, v := range ys {
+			b.Record(time.Duration(v))
+			u.Record(time.Duration(v))
+		}
+		a.Merge(&b)
+		if a.Count() != u.Count() || a.Min() != u.Min() || a.Max() != u.Max() {
+			return false
+		}
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			if a.Quantile(q) != u.Quantile(q) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRecord(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(time.Duration(i%1_000_000 + 1))
+	}
+}
+
+func BenchmarkQuantile(b *testing.B) {
+	var h Histogram
+	rng := rand.New(rand.NewPCG(1, 1))
+	for i := 0; i < 100_000; i++ {
+		h.Record(time.Duration(rng.Int64N(10_000_000)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = h.P99()
+	}
+}

@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mindgap/internal/sim"
+)
+
+func TestTimeSeriesSamplesAtCadence(t *testing.T) {
+	eng := sim.New()
+	v := 0.0
+	ts := NewTimeSeries(eng, time.Microsecond, 0, func() float64 { v++; return v })
+	eng.RunUntil(sim.Time(5500))
+	if ts.Len() != 5 {
+		t.Fatalf("samples = %d, want 5", ts.Len())
+	}
+	at, val := ts.At(2)
+	if at != sim.Time(3000) || val != 3 {
+		t.Fatalf("At(2) = %v, %v", at, val)
+	}
+	if ts.Max() != 5 || ts.Mean() != 3 {
+		t.Fatalf("Max=%v Mean=%v", ts.Max(), ts.Mean())
+	}
+}
+
+func TestTimeSeriesStop(t *testing.T) {
+	eng := sim.New()
+	ts := NewTimeSeries(eng, time.Microsecond, 0, func() float64 { return 1 })
+	eng.RunUntil(sim.Time(3500))
+	ts.Stop()
+	eng.RunUntil(sim.Time(10000))
+	if ts.Len() != 3 {
+		t.Fatalf("samples after stop = %d, want 3", ts.Len())
+	}
+	// Engine must drain fully (no immortal timer).
+	if eng.Pending() != 0 {
+		t.Fatalf("pending events = %d after stop", eng.Pending())
+	}
+}
+
+func TestTimeSeriesMaxSamples(t *testing.T) {
+	eng := sim.New()
+	ts := NewTimeSeries(eng, time.Microsecond, 4, func() float64 { return 0 })
+	eng.Run() // drains: sampling self-terminates at max
+	if ts.Len() != 4 {
+		t.Fatalf("samples = %d, want 4", ts.Len())
+	}
+}
+
+func TestTimeSeriesLastBelow(t *testing.T) {
+	eng := sim.New()
+	// Value spikes to 10 then decays by 1 per sample.
+	v := 10.0
+	ts := NewTimeSeries(eng, time.Microsecond, 12, func() float64 {
+		v--
+		return v + 1
+	})
+	eng.Run()
+	at, ok := ts.LastBelow(4)
+	if !ok {
+		t.Fatal("never settled")
+	}
+	// Values: 10,9,...; ≤4 first at sample 7 (value 4? values are 10-…)
+	// samples: i=0→10 ... i=6→4: settles at t=7µs.
+	if at != sim.Time(7000) {
+		t.Fatalf("settled at %v", at)
+	}
+	if _, ok := ts.LastBelow(-5); ok {
+		t.Fatal("settled below impossible threshold")
+	}
+}
+
+func TestTimeSeriesCSV(t *testing.T) {
+	eng := sim.New()
+	ts := NewTimeSeries(eng, time.Microsecond, 2, func() float64 { return 1.5 })
+	eng.Run()
+	var sb strings.Builder
+	if err := ts.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "time_ns,value\n1000,1.5\n2000,1.5\n"
+	if sb.String() != want {
+		t.Fatalf("CSV = %q", sb.String())
+	}
+}
+
+func TestTimeSeriesValidation(t *testing.T) {
+	eng := sim.New()
+	for _, f := range []func(){
+		func() { NewTimeSeries(eng, 0, 0, func() float64 { return 0 }) },
+		func() { NewTimeSeries(eng, time.Microsecond, 0, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid timeseries accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,107 @@
+package idealnic
+
+import (
+	"testing"
+	"time"
+
+	"mindgap/internal/dist"
+	"mindgap/internal/loadgen"
+	"mindgap/internal/params"
+	"mindgap/internal/sim"
+	"mindgap/internal/task"
+)
+
+func throughput(t *testing.T, cfg Config, rps float64, svc dist.Distribution, measure int) float64 {
+	t.Helper()
+	eng := sim.New()
+	completions := 0
+	var start sim.Time
+	sys := New(eng, cfg, nil, func(*task.Request) {
+		completions++
+		if completions == measure/4 {
+			start = eng.Now() // crude warmup cut
+		}
+		if completions >= measure {
+			eng.Halt()
+		}
+	})
+	loadgen.New(eng, loadgen.Config{RPS: rps, Service: svc, Seed: 9}, sys.Inject).Start()
+	eng.Run()
+	if completions < measure {
+		t.Fatalf("only %d/%d completions", completions, measure)
+	}
+	window := eng.Now().Sub(start)
+	return float64(measure-measure/4) / window.Seconds()
+}
+
+func base(workers, k int) Config {
+	return Config{P: params.Default(), Workers: workers, Outstanding: k}
+}
+
+func TestLineRateAblationRemovesDispatcherCap(t *testing.T) {
+	svc := dist.Fixed{D: time.Microsecond}
+	stock := throughput(t, base(16, 5), 6_000_000, svc, 10000)
+	lr := base(16, 5)
+	lr.LineRate = true
+	fast := throughput(t, lr, 6_000_000, svc, 10000)
+	// §5.1(1): hardware scheduling must at least double the ARM cap and
+	// approach worker-bound throughput.
+	if fast < 2*stock {
+		t.Fatalf("line-rate ablation: %.0f not ≥ 2× stock %.0f", fast, stock)
+	}
+}
+
+func TestCXLAblationShrinksKRequirement(t *testing.T) {
+	// §5.1(2): with 0.5µs communication, k=1 no longer starves workers the
+	// way the 2.56µs packet path does.
+	svc := dist.Fixed{D: time.Microsecond}
+	stockK1 := throughput(t, base(4, 1), 4_000_000, svc, 8000)
+	cxl := base(4, 1)
+	cxl.CXL = true
+	cxlK1 := throughput(t, cxl, 4_000_000, svc, 8000)
+	if cxlK1 < 1.5*stockK1 {
+		t.Fatalf("CXL k=1 throughput %.0f not ≥ 1.5× stock %.0f", cxlK1, stockK1)
+	}
+}
+
+func TestFullIdealNICBeatsShinjukuCap(t *testing.T) {
+	// All three fixes: the ideal NIC must exceed even the host
+	// dispatcher's ~3.5M/s on the Figure 6 workload.
+	cfg := base(16, 2)
+	cfg.CXL = true
+	cfg.LineRate = true
+	got := throughput(t, cfg, 12_000_000, dist.Fixed{D: time.Microsecond}, 20000)
+	if got < 5_000_000 {
+		t.Fatalf("ideal NIC throughput %.0f, want > 5M", got)
+	}
+}
+
+func TestDirectInterruptsStillPreempt(t *testing.T) {
+	eng := sim.New()
+	cfg := base(2, 2)
+	cfg.DirectInterrupts = true
+	cfg.Slice = 10 * time.Microsecond
+	var preempted bool
+	sys := New(eng, cfg, nil, func(r *task.Request) {
+		if r.Preemptions > 0 {
+			preempted = true
+		}
+	})
+	for i := uint64(1); i <= 3; i++ {
+		sys.Inject(task.New(i, 0, 50*time.Microsecond))
+	}
+	eng.Run()
+	if !preempted {
+		t.Fatal("direct-interrupt ideal NIC never preempted a 50µs request")
+	}
+}
+
+func TestNameFor(t *testing.T) {
+	cfg := Config{CXL: true, LineRate: true, DirectInterrupts: true}
+	if got := NameFor(cfg); got != "idealnic+cxl+linerate+directirq" {
+		t.Fatalf("NameFor = %q", got)
+	}
+	if got := NameFor(Config{}); got != "idealnic" {
+		t.Fatalf("NameFor = %q", got)
+	}
+}

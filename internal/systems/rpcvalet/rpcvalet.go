@@ -1,0 +1,203 @@
+// Package rpcvalet models RPCValet (Daglis et al., ASPLOS '19) as described
+// in §2.1: a network interface integrated next to the cores maintains a
+// single hardware request queue and dispatches each request to an idle core
+// with near-zero communication latency. It eliminates load imbalance like
+// Shinjuku but lacks preemption — so it shines on uniform service times and
+// suffers head-of-line blocking on dispersive ones (§2.2 item 2).
+package rpcvalet
+
+import (
+	"fmt"
+
+	"mindgap/internal/core"
+	"mindgap/internal/cores"
+	"mindgap/internal/fabric"
+	"mindgap/internal/params"
+	"mindgap/internal/sim"
+	"mindgap/internal/stats"
+	"mindgap/internal/task"
+)
+
+// Config describes one RPCValet deployment.
+type Config struct {
+	// P is the hardware cost model.
+	P params.Params
+	// Workers is the number of cores served by the integrated NI.
+	Workers int
+}
+
+type niEventKind uint8
+
+const (
+	evNew niEventKind = iota
+	evFinish
+)
+
+type niEvent struct {
+	kind   niEventKind
+	worker int
+	req    *task.Request
+}
+
+const (
+	ncNew = iota
+	ncNotif
+)
+
+// Valet is the simulated RPCValet system.
+type Valet struct {
+	eng  *sim.Engine
+	cfg  Config
+	lgc  *core.Logic
+	rec  *stats.Recorder
+	done func(*task.Request)
+
+	ingress *fabric.Link
+	egress  *fabric.Link
+	ni      *fabric.MultiStage[niEvent]
+	workers []*worker
+}
+
+type worker struct {
+	sys      *Valet
+	id       int
+	exec     *cores.Exec
+	fromNI   *fabric.Link
+	toNI     *fabric.Link
+	starting bool
+	post     bool
+	stash    []*task.Request
+}
+
+// New builds the system. done runs when the client receives each response.
+func New(eng *sim.Engine, cfg Config, rec *stats.Recorder, done func(*task.Request)) *Valet {
+	if cfg.Workers <= 0 {
+		panic("rpcvalet: need workers")
+	}
+	if done == nil {
+		panic("rpcvalet: need a completion callback")
+	}
+	p := cfg.P
+	s := &Valet{
+		eng: eng, cfg: cfg,
+		lgc:  core.NewLogic(cfg.Workers, 1, core.LeastOutstanding),
+		rec:  rec,
+		done: done,
+	}
+	s.ingress = fabric.NewLink(eng, "client→ni", fabric.LinkConfig{
+		Latency: p.ClientWireOneWay, BandwidthBps: p.WireBandwidth,
+	})
+	s.egress = fabric.NewLink(eng, "ni→client", fabric.LinkConfig{
+		Latency: p.ClientWireOneWay, BandwidthBps: p.WireBandwidth,
+	})
+	// The NI is dedicated hardware: per-request cost is tens of ns.
+	s.ni = fabric.NewMultiStage[niEvent](eng, "ni-queue", 2, nil,
+		fabric.FixedCost[niEvent](p.RPCValetDispatchCost),
+		s.handleNIEvent)
+	execCfg := cores.ExecConfig{
+		Clock:   p.HostClock,
+		Timer:   p.HostTimer,
+		Slice:   0, // no preemption: RPCValet's structural weakness
+		SelfArm: false,
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		w := &worker{
+			sys: s, id: i,
+			fromNI: fabric.NewLink(eng, fmt.Sprintf("ni→w%d", i),
+				fabric.LinkConfig{Latency: p.RPCValetLinkLatency}),
+			toNI: fabric.NewLink(eng, fmt.Sprintf("w%d→ni", i),
+				fabric.LinkConfig{Latency: p.RPCValetLinkLatency}),
+		}
+		w.exec = cores.NewExec(eng, i, execCfg, w.onComplete, nil)
+		s.workers = append(s.workers, w)
+	}
+	return s
+}
+
+// Name implements the experiment System interface.
+func (s *Valet) Name() string { return "rpcvalet" }
+
+// Inject admits a client request at the current instant.
+func (s *Valet) Inject(req *task.Request) {
+	s.ingress.Send(s.cfg.P.RequestFrameBytes, func() {
+		s.ni.Submit(ncNew, niEvent{kind: evNew, req: req})
+	})
+}
+
+func (s *Valet) handleNIEvent(ev niEvent) {
+	var as []core.Assignment
+	switch ev.kind {
+	case evNew:
+		as = s.lgc.Enqueue(s.eng.Now(), ev.req)
+	case evFinish:
+		as = s.lgc.Complete(ev.worker)
+	}
+	for _, a := range as {
+		a := a
+		w := s.workers[a.Worker]
+		w.fromNI.Send(0, func() { w.receive(a.Req) })
+	}
+}
+
+func (w *worker) receive(req *task.Request) {
+	w.stash = append(w.stash, req)
+	w.maybeStart()
+}
+
+func (w *worker) maybeStart() {
+	if w.exec.Busy() || w.starting || w.post || len(w.stash) == 0 {
+		return
+	}
+	w.starting = true
+	w.sys.eng.After(w.sys.cfg.P.PickupCost(false), func() {
+		w.starting = false
+		if len(w.stash) == 0 {
+			return
+		}
+		req := w.stash[0]
+		w.stash = w.stash[1:]
+		w.exec.Start(req)
+	})
+}
+
+func (w *worker) onComplete(req *task.Request) {
+	p := w.sys.cfg.P
+	sys := w.sys
+	w.post = true
+	sys.eng.After(p.WorkerResponseCost, func() {
+		sys.egress.Send(p.ResponseFrameBytes, func() { sys.done(req) })
+		w.toNI.Send(0, func() {
+			sys.ni.Submit(ncNotif, niEvent{kind: evFinish, worker: w.id})
+		})
+		w.post = false
+		w.maybeStart()
+	})
+}
+
+// WorkerIdleFraction returns the mean idle fraction across cores.
+func (s *Valet) WorkerIdleFraction(now sim.Time) float64 {
+	var sum float64
+	for _, w := range s.workers {
+		sum += w.exec.Track.IdleFraction(now)
+	}
+	return sum / float64(len(s.workers))
+}
+
+// ArmWorkerTrackers starts busy-time accounting at now.
+func (s *Valet) ArmWorkerTrackers(now sim.Time) {
+	for _, w := range s.workers {
+		w.exec.Track.Arm(now)
+	}
+}
+
+// QueueLen exposes the central hardware queue depth.
+func (s *Valet) QueueLen() int { return s.lgc.QueueLen() }
+
+// Completions returns total completed requests.
+func (s *Valet) Completions() uint64 {
+	var n uint64
+	for _, w := range s.workers {
+		n += w.exec.Completions()
+	}
+	return n
+}

@@ -1,0 +1,286 @@
+// Package rtc implements the run-to-completion baseline family of §2.1:
+// dataplane OSes where the NIC steers each packet straight to a worker core
+// and that core does all processing with no preemption.
+//
+//   - IX-style RSS (SteerHash): the NIC hashes the 5-tuple and picks a core
+//     pseudo-randomly.
+//   - MICA-style Flow Director (SteerKey): the NIC steers by application
+//     key, giving cache locality but inheriting key skew.
+//   - ZygOS (SteerHash + WorkStealing): idle cores steal queued requests
+//     from busy cores, repairing load imbalance at an inter-core cost.
+//
+// These baselines demonstrate the two fundamental problems of §2.2: load
+// imbalance (no centralized queue) and head-of-line blocking (no
+// preemption).
+package rtc
+
+import (
+	"fmt"
+
+	"mindgap/internal/cores"
+	"mindgap/internal/fabric"
+	"mindgap/internal/params"
+	"mindgap/internal/queue"
+	"mindgap/internal/sim"
+	"mindgap/internal/stats"
+	"mindgap/internal/task"
+)
+
+// Steering selects how the NIC maps an arriving request to a core.
+type Steering int
+
+const (
+	// SteerHash models RSS: a uniform pseudo-random hash over the packet
+	// 5-tuple (each open-loop request is an independent flow).
+	SteerHash Steering = iota
+	// SteerKey models Flow Director: requests with the same application
+	// key always land on the same core.
+	SteerKey
+)
+
+// Config describes one run-to-completion deployment.
+type Config struct {
+	// P is the hardware cost model.
+	P params.Params
+	// Workers is the number of polling worker cores.
+	Workers int
+	// Steering picks the NIC steering function.
+	Steering Steering
+	// WorkStealing enables ZygOS-style stealing from sibling queues.
+	WorkStealing bool
+	// QueueCap bounds each per-core queue (0 = unbounded).
+	QueueCap int
+	// NameOverride replaces the derived system name.
+	NameOverride string
+}
+
+// Pool is the simulated run-to-completion system.
+type Pool struct {
+	eng  *sim.Engine
+	cfg  Config
+	rec  *stats.Recorder
+	done func(*task.Request)
+
+	ingress *fabric.Link
+	egress  *fabric.Link
+	workers []*worker
+}
+
+type worker struct {
+	sys  *Pool
+	id   int
+	q    queue.FIFO[*task.Request]
+	exec *cores.Exec
+	// starting guards the parse+pickup delay between dequeue and Start.
+	starting bool
+	post     bool
+}
+
+// New builds the pool. done runs at the instant the client receives each
+// response.
+func New(eng *sim.Engine, cfg Config, rec *stats.Recorder, done func(*task.Request)) *Pool {
+	if cfg.Workers <= 0 {
+		panic("rtc: need workers")
+	}
+	if done == nil {
+		panic("rtc: need a completion callback")
+	}
+	p := cfg.P
+	s := &Pool{eng: eng, cfg: cfg, rec: rec, done: done}
+	s.ingress = fabric.NewLink(eng, "client→nic", fabric.LinkConfig{
+		Latency: p.ClientWireOneWay, BandwidthBps: p.WireBandwidth,
+	})
+	s.egress = fabric.NewLink(eng, "nic→client", fabric.LinkConfig{
+		Latency: p.ClientWireOneWay, BandwidthBps: p.WireBandwidth,
+	})
+	execCfg := cores.ExecConfig{
+		Clock:   p.HostClock,
+		Timer:   p.HostTimer,
+		Slice:   0, // run to completion: the defining property
+		SelfArm: false,
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		w := &worker{sys: s, id: i}
+		w.exec = cores.NewExec(eng, i, execCfg, w.onComplete, nil)
+		s.workers = append(s.workers, w)
+	}
+	return s
+}
+
+// Name implements the experiment System interface.
+func (s *Pool) Name() string {
+	if s.cfg.NameOverride != "" {
+		return s.cfg.NameOverride
+	}
+	switch {
+	case s.cfg.WorkStealing:
+		return "zygos"
+	case s.cfg.Steering == SteerKey:
+		return "flow-director"
+	default:
+		return "rss"
+	}
+}
+
+// Inject admits a client request at the current instant.
+func (s *Pool) Inject(req *task.Request) {
+	s.ingress.Send(s.cfg.P.RequestFrameBytes, func() { s.steer(req) })
+}
+
+// steer implements the NIC steering function.
+func (s *Pool) steer(req *task.Request) {
+	var w int
+	switch s.cfg.Steering {
+	case SteerKey:
+		w = int(splitmix64(req.Key) % uint64(len(s.workers)))
+	default:
+		// RSS: hash the flow identity. Open-loop clients use a fresh
+		// ephemeral port per request, so the request ID stands in for the
+		// 5-tuple.
+		w = int(splitmix64(req.ID^uint64(req.ClientID)<<32) % uint64(len(s.workers)))
+	}
+	target := s.workers[w]
+	if s.cfg.QueueCap > 0 && target.q.Len() >= s.cfg.QueueCap {
+		if s.rec != nil {
+			s.rec.RecordDrop()
+		}
+		return
+	}
+	target.q.Push(req)
+	target.maybeStart()
+	if s.cfg.WorkStealing {
+		// A queued request on a busy core is stealable work: wake an idle
+		// sibling (ZygOS's polling idle cores notice promptly).
+		if target.exec.Busy() || target.starting {
+			s.wakeStealer(w)
+		}
+	}
+}
+
+// wakeStealer finds an idle worker and has it steal from victim's queue.
+func (s *Pool) wakeStealer(victim int) {
+	for _, w := range s.workers {
+		if w.exec.Busy() || w.starting || w.post || w.q.Len() > 0 {
+			continue
+		}
+		w.starting = true
+		w.sys.eng.After(s.cfg.P.StealCost, func() {
+			w.starting = false
+			// Steal from the victim's queue tail; it may have drained.
+			if req, ok := s.workers[victim].q.PopTail(); ok {
+				s.begin(w, req)
+				return
+			}
+			w.maybeStart()
+		})
+		return
+	}
+}
+
+// maybeStart begins the next queued request on this core.
+func (w *worker) maybeStart() {
+	if w.exec.Busy() || w.starting || w.post || w.q.Len() == 0 {
+		return
+	}
+	w.starting = true
+	// A run-to-completion core does its own packet parsing (that is the
+	// point: no inter-core handoff).
+	cost := w.sys.cfg.P.HostNetworkerCost + w.sys.cfg.P.PickupCost(false)
+	w.sys.eng.After(cost, func() {
+		w.starting = false
+		if req, ok := w.q.Pop(); ok {
+			w.sys.begin(w, req)
+			return
+		}
+	})
+}
+
+func (s *Pool) begin(w *worker, req *task.Request) {
+	w.exec.Start(req)
+}
+
+func (w *worker) onComplete(req *task.Request) {
+	p := w.sys.cfg.P
+	sys := w.sys
+	w.post = true
+	sys.eng.After(p.WorkerResponseCost, func() {
+		sys.egress.Send(p.ResponseFrameBytes, func() { sys.done(req) })
+		w.post = false
+		w.maybeStart()
+		if sys.cfg.WorkStealing && !w.exec.Busy() && !w.starting && w.q.Len() == 0 {
+			// Went idle: scan siblings for stealable work.
+			sys.stealInto(w)
+		}
+	})
+}
+
+// stealInto has idle worker w steal from the longest sibling queue.
+func (s *Pool) stealInto(w *worker) {
+	victim, best := -1, 0
+	for i, v := range s.workers {
+		if i != w.id && v.q.Len() > best {
+			victim, best = i, v.q.Len()
+		}
+	}
+	if victim < 0 {
+		return
+	}
+	w.starting = true
+	s.eng.After(s.cfg.P.StealCost, func() {
+		w.starting = false
+		if req, ok := s.workers[victim].q.PopTail(); ok {
+			s.begin(w, req)
+			return
+		}
+		w.maybeStart()
+	})
+}
+
+// WorkerIdleFraction returns the mean idle fraction across cores.
+func (s *Pool) WorkerIdleFraction(now sim.Time) float64 {
+	var sum float64
+	for _, w := range s.workers {
+		sum += w.exec.Track.IdleFraction(now)
+	}
+	return sum / float64(len(s.workers))
+}
+
+// ArmWorkerTrackers starts busy-time accounting at now.
+func (s *Pool) ArmWorkerTrackers(now sim.Time) {
+	for _, w := range s.workers {
+		w.exec.Track.Arm(now)
+	}
+}
+
+// QueueLens returns a snapshot of per-core queue depths (load-imbalance
+// diagnostics).
+func (s *Pool) QueueLens() []int {
+	out := make([]int, len(s.workers))
+	for i, w := range s.workers {
+		out[i] = w.q.Len()
+	}
+	return out
+}
+
+// Completions returns total completed requests.
+func (s *Pool) Completions() uint64 {
+	var n uint64
+	for _, w := range s.workers {
+		n += w.exec.Completions()
+	}
+	return n
+}
+
+// String describes the pool configuration.
+func (s *Pool) String() string {
+	return fmt.Sprintf("%s(workers=%d)", s.Name(), len(s.workers))
+}
+
+// splitmix64 is the SplitMix64 finalizer — a cheap, well-mixed hash
+// standing in for the NIC's Toeplitz RSS hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,323 @@
+// Package shinjuku models the vanilla Shinjuku system (Kaffes et al., NSDI
+// '19) as described in §2.1 of the paper: a host-resident networking
+// subsystem and centralized dispatcher pinned to hyperthreads of one
+// physical core, workers on the remaining cores, cache-line shared-memory
+// IPC, and dispatcher-driven preemption via low-overhead posted interrupts.
+//
+// This is the baseline Shinjuku-Offload is compared against in every figure.
+// Its two structural costs are exactly the ones the paper calls out:
+//
+//   - It burns a physical core on networking + dispatch, so at equal
+//     hardware it runs one fewer worker than Shinjuku-Offload (Figures 2,
+//     4, 5).
+//   - The dispatcher handles ~5 M req/s (200 ns/request), far more than
+//     the offloaded ARM dispatcher — which is why it wins Figure 6.
+package shinjuku
+
+import (
+	"fmt"
+	"time"
+
+	"mindgap/internal/core"
+	"mindgap/internal/cores"
+	"mindgap/internal/fabric"
+	"mindgap/internal/params"
+	"mindgap/internal/sim"
+	"mindgap/internal/stats"
+	"mindgap/internal/task"
+)
+
+// Config describes one vanilla Shinjuku deployment.
+type Config struct {
+	// P is the hardware cost model.
+	P params.Params
+	// Workers is the number of worker cores (the dispatcher's physical
+	// core is additional and implicit).
+	Workers int
+	// Slice is the preemption quantum; zero disables preemption.
+	Slice time.Duration
+	// Outstanding is the per-worker credit limit. Vanilla Shinjuku keeps
+	// exactly one request per worker (cache-line IPC is fast enough that
+	// stashing is unnecessary); values > 1 are allowed for ablations.
+	Outstanding int
+	// Policy is the worker-selection policy (idle-first FIFO by default).
+	Policy core.Policy
+	// Sockets models a multi-socket host (§1): the NIC DDIO-places every
+	// packet into socket 0's LLC (where the networker runs); workers on
+	// other sockets pay P.NUMAPenalty on pickup because the dispatcher
+	// picks workers with no knowledge of packet placement. 0 or 1 means a
+	// single socket.
+	Sockets int
+}
+
+// dEventKind tags dispatcher inputs.
+type dEventKind uint8
+
+const (
+	evNew dEventKind = iota
+	evFinish
+	evPreempted
+)
+
+type dEvent struct {
+	kind   dEventKind
+	worker int
+	req    *task.Request
+}
+
+// Dispatcher input classes (polled round-robin, like the real dispatcher's
+// loop alternating between the networker ring and worker completion flags).
+const (
+	dcNew = iota
+	dcNotif
+)
+
+// Shinjuku is the simulated vanilla system.
+type Shinjuku struct {
+	eng  *sim.Engine
+	cfg  Config
+	lgc  *core.Logic
+	rec  *stats.Recorder
+	done func(*task.Request)
+
+	ingress    *fabric.Link
+	egress     *fabric.Link
+	networker  *fabric.Stage[*task.Request]
+	dispatcher *fabric.MultiStage[dEvent]
+	shmNetDisp *fabric.Link
+
+	workers []*worker
+}
+
+// worker is one host worker core connected to the dispatcher by cache-line
+// shared memory.
+type worker struct {
+	sys  *Shinjuku
+	id   int
+	exec *cores.Exec
+	// fromDisp and toDisp model the cache-line channels.
+	fromDisp *fabric.Link
+	toDisp   *fabric.Link
+	// pending holds the assignment being picked up.
+	pendingPickup bool
+	// stash holds requests delivered while the core was mid-pickup or in
+	// post-processing (only possible when Outstanding > 1).
+	stash []*task.Request
+	post  bool
+}
+
+// New builds the system. done runs at the instant the client receives each
+// response.
+func New(eng *sim.Engine, cfg Config, rec *stats.Recorder, done func(*task.Request)) *Shinjuku {
+	if cfg.Workers <= 0 {
+		panic("shinjuku: need workers")
+	}
+	if done == nil {
+		panic("shinjuku: need a completion callback")
+	}
+	if cfg.Outstanding <= 0 {
+		cfg.Outstanding = 1
+	}
+	p := cfg.P
+	s := &Shinjuku{
+		eng:  eng,
+		cfg:  cfg,
+		lgc:  core.NewLogic(cfg.Workers, cfg.Outstanding, cfg.Policy),
+		rec:  rec,
+		done: done,
+	}
+	s.ingress = fabric.NewLink(eng, "client→nic", fabric.LinkConfig{
+		Latency: p.ClientWireOneWay, BandwidthBps: p.WireBandwidth,
+	})
+	s.egress = fabric.NewLink(eng, "nic→client", fabric.LinkConfig{
+		Latency: p.ClientWireOneWay, BandwidthBps: p.WireBandwidth,
+	})
+	s.shmNetDisp = fabric.NewLink(eng, "shm net→disp", fabric.LinkConfig{Latency: p.CacheLine})
+
+	s.networker = fabric.NewStage[*task.Request](eng, "host-networker", 0,
+		fabric.FixedCost[*task.Request](p.HostNetworkerCost),
+		func(r *task.Request) {
+			s.shmNetDisp.Send(0, func() { s.dispatcher.Submit(dcNew, dEvent{kind: evNew, req: r}) })
+		})
+
+	s.dispatcher = fabric.NewMultiStage[dEvent](eng, "host-dispatcher", 2, nil,
+		func(ev dEvent) time.Duration {
+			if ev.kind == evFinish {
+				return p.HostCompletionCost
+			}
+			return p.HostDispatchCost
+		},
+		s.handleDispatcherEvent)
+
+	execCfg := cores.ExecConfig{
+		Clock:      p.HostClock,
+		Timer:      p.HostTimer,
+		Slice:      cfg.Slice,
+		SelfArm:    false, // preemption is dispatcher-posted
+		CtxSave:    p.CtxSaveCost,
+		CtxResume:  p.CtxResumeCost,
+		CtxMigrate: p.CtxMigratePenalty,
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		w := &worker{
+			sys: s,
+			id:  i,
+			fromDisp: fabric.NewLink(eng, fmt.Sprintf("shm disp→w%d", i),
+				fabric.LinkConfig{Latency: p.CacheLine}),
+			toDisp: fabric.NewLink(eng, fmt.Sprintf("shm w%d→disp", i),
+				fabric.LinkConfig{Latency: p.CacheLine}),
+		}
+		w.exec = cores.NewExec(eng, i, execCfg, w.onComplete, w.onPreempt)
+		s.workers = append(s.workers, w)
+	}
+	return s
+}
+
+// Name implements the experiment System interface.
+func (s *Shinjuku) Name() string { return "shinjuku" }
+
+// Inject admits a client request at the current instant.
+func (s *Shinjuku) Inject(req *task.Request) {
+	s.ingress.Send(s.cfg.P.RequestFrameBytes, func() { s.networker.Submit(req) })
+}
+
+func (s *Shinjuku) handleDispatcherEvent(ev dEvent) {
+	var as []core.Assignment
+	now := s.eng.Now()
+	switch ev.kind {
+	case evNew:
+		as = s.lgc.Enqueue(now, ev.req)
+	case evFinish:
+		as = s.lgc.Complete(ev.worker)
+	case evPreempted:
+		as = s.lgc.Preempted(now, ev.worker, ev.req)
+	}
+	for _, a := range as {
+		a := a
+		w := s.workers[a.Worker]
+		w.fromDisp.Send(0, func() { w.receive(a.Req) })
+	}
+}
+
+// armSlice implements dispatcher-driven preemption: the dispatcher tracks
+// when each request started running and posts an interrupt when its slice
+// expires (§2.1). The countdown is armed at actual execution start; the
+// tracking costs the dispatcher nothing extra — the real implementation
+// folds it into its polling loop — while interrupt receipt is charged on
+// the worker by Exec.Interrupt.
+func (s *Shinjuku) armSlice(w *worker, req *task.Request) {
+	s.eng.After(s.cfg.Slice, func() {
+		if w.exec.Current() == req {
+			w.exec.Interrupt()
+		}
+	})
+}
+
+// socket returns the worker's socket index (workers are split into
+// contiguous blocks across sockets).
+func (w *worker) socket() int {
+	s := w.sys.cfg.Sockets
+	if s <= 1 {
+		return 0
+	}
+	return w.id * s / w.sys.cfg.Workers
+}
+
+// receive accepts an assignment on the worker core.
+func (w *worker) receive(req *task.Request) {
+	w.stash = append(w.stash, req)
+	w.maybeStart()
+}
+
+func (w *worker) maybeStart() {
+	if w.exec.Busy() || w.post || w.pendingPickup || len(w.stash) == 0 {
+		return
+	}
+	w.pendingPickup = true
+	cost := w.sys.cfg.P.PickupCost(false)
+	if w.socket() != 0 {
+		// The packet sits in socket 0's LLC; a remote worker fetches it
+		// across the interconnect.
+		cost += w.sys.cfg.P.NUMAPenalty
+	}
+	w.sys.eng.After(cost, func() {
+		w.pendingPickup = false
+		if len(w.stash) == 0 {
+			return
+		}
+		req := w.stash[0]
+		w.stash = w.stash[1:]
+		w.exec.Start(req)
+		if w.sys.cfg.Slice > 0 && req.Remaining > w.sys.cfg.Slice {
+			w.sys.armSlice(w, req)
+		}
+	})
+}
+
+func (w *worker) onComplete(req *task.Request) {
+	p := w.sys.cfg.P
+	sys := w.sys
+	w.post = true
+	sys.eng.After(p.WorkerResponseCost, func() {
+		sys.egress.Send(p.ResponseFrameBytes, func() { sys.done(req) })
+		// Completion flag is a cache-line write: effectively free for the
+		// worker compared to packet construction.
+		w.toDisp.Send(0, func() {
+			sys.dispatcher.Submit(dcNotif, dEvent{kind: evFinish, worker: w.id})
+		})
+		w.post = false
+		w.maybeStart()
+	})
+}
+
+func (w *worker) onPreempt(req *task.Request) {
+	sys := w.sys
+	if sys.rec != nil {
+		sys.rec.RecordPreemption()
+	}
+	w.post = true
+	w.toDisp.Send(0, func() {
+		sys.dispatcher.Submit(dcNotif, dEvent{kind: evPreempted, worker: w.id, req: req})
+	})
+	w.post = false
+	w.maybeStart()
+}
+
+// WorkerIdleFraction returns the mean idle fraction across worker cores.
+func (s *Shinjuku) WorkerIdleFraction(now sim.Time) float64 {
+	var sum float64
+	for _, w := range s.workers {
+		sum += w.exec.Track.IdleFraction(now)
+	}
+	return sum / float64(len(s.workers))
+}
+
+// ArmWorkerTrackers starts worker busy-time accounting at now.
+func (s *Shinjuku) ArmWorkerTrackers(now sim.Time) {
+	for _, w := range s.workers {
+		w.exec.Track.Arm(now)
+	}
+}
+
+// QueueLen exposes the central queue depth.
+func (s *Shinjuku) QueueLen() int { return s.lgc.QueueLen() }
+
+// DispatcherUtilization returns the dispatcher core's busy fraction.
+func (s *Shinjuku) DispatcherUtilization(now sim.Time) float64 {
+	return s.dispatcher.BusyTracker().BusyFraction(now)
+}
+
+// ArmDispatcherTracker starts dispatcher utilization accounting.
+func (s *Shinjuku) ArmDispatcherTracker(now sim.Time) {
+	s.dispatcher.BusyTracker().Arm(now)
+	s.networker.BusyTracker().Arm(now)
+}
+
+// Completions returns total completed requests across workers.
+func (s *Shinjuku) Completions() uint64 {
+	var n uint64
+	for _, w := range s.workers {
+		n += w.exec.Completions()
+	}
+	return n
+}

@@ -1,0 +1,64 @@
+// Package task defines the application-level request that flows through
+// every scheduling system in the reproduction. Requests carry the synthetic
+// "fake work" service time of the paper's evaluation (§4.1) and the
+// bookkeeping needed for preemption: a request preempted on one worker can
+// later resume on any other (§3.4.1).
+package task
+
+import (
+	"time"
+
+	"mindgap/internal/sim"
+)
+
+// NoWorker is the LastWorker value of a request never assigned to a core.
+const NoWorker = -1
+
+// Request is one application-level request.
+type Request struct {
+	// ID uniquely identifies the request for its whole lifetime.
+	ID uint64
+	// ClientID identifies the issuing client (response routing).
+	ClientID uint32
+	// Key is an application key (e.g. a KVS key) used by flow-steering
+	// baselines such as Flow Director; informed schedulers ignore it.
+	Key uint64
+	// Arrival is the instant the client transmitted the request.
+	Arrival sim.Time
+	// Service is the total fake-work service time.
+	Service time.Duration
+	// Remaining is the unfinished portion; it starts equal to Service and
+	// shrinks across preemptions.
+	Remaining time.Duration
+	// Preemptions counts how many times the request was preempted.
+	Preemptions int
+	// Assignments counts dispatches to a worker (1 + Preemptions that led
+	// to reassignment).
+	Assignments int
+	// LastWorker is the worker that most recently executed the request, or
+	// NoWorker.
+	LastWorker int
+	// Enqueued is the last instant the request entered a scheduler queue;
+	// policies and debugging use it.
+	Enqueued sim.Time
+}
+
+// New creates a request with the full service time remaining.
+func New(id uint64, arrival sim.Time, service time.Duration) *Request {
+	return &Request{
+		ID:         id,
+		Arrival:    arrival,
+		Service:    service,
+		Remaining:  service,
+		LastWorker: NoWorker,
+	}
+}
+
+// Done reports whether the request has no work left.
+func (r *Request) Done() bool { return r.Remaining <= 0 }
+
+// Latency returns the client-observed latency assuming the response reached
+// the client at instant respAt.
+func (r *Request) Latency(respAt sim.Time) time.Duration {
+	return respAt.Sub(r.Arrival)
+}

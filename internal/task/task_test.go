@@ -1,0 +1,43 @@
+package task
+
+import (
+	"testing"
+	"time"
+
+	"mindgap/internal/sim"
+)
+
+func TestNew(t *testing.T) {
+	r := New(42, sim.Time(1000), 5*time.Microsecond)
+	if r.ID != 42 || r.Arrival != sim.Time(1000) {
+		t.Fatalf("identity fields wrong: %+v", r)
+	}
+	if r.Service != 5*time.Microsecond || r.Remaining != r.Service {
+		t.Fatalf("service fields wrong: %+v", r)
+	}
+	if r.LastWorker != NoWorker {
+		t.Fatalf("LastWorker = %d, want NoWorker", r.LastWorker)
+	}
+	if r.Done() {
+		t.Fatal("fresh request reports done")
+	}
+}
+
+func TestDone(t *testing.T) {
+	r := New(1, 0, time.Microsecond)
+	r.Remaining = 0
+	if !r.Done() {
+		t.Fatal("zero remaining not done")
+	}
+	r.Remaining = -1
+	if !r.Done() {
+		t.Fatal("negative remaining not done")
+	}
+}
+
+func TestLatency(t *testing.T) {
+	r := New(1, sim.Time(2000), time.Microsecond)
+	if got := r.Latency(sim.Time(9000)); got != 7*time.Microsecond {
+		t.Fatalf("Latency = %v, want 7µs", got)
+	}
+}

@@ -1,0 +1,42 @@
+package wire_test
+
+import (
+	"fmt"
+
+	"mindgap/internal/wire"
+)
+
+// Building and parsing a full request frame, the way the live dispatcher
+// and the NIC model's integration tests do.
+func ExampleEncodeFrame() {
+	out := wire.Frame{
+		Eth: wire.Ethernet{
+			Dst: wire.MAC{0x02, 0x6d, 0x67, 0, 0, 1},
+			Src: wire.MAC{0x02, 0x6d, 0x67, 0, 0, 0},
+		},
+		IP:  wire.IPv4{Src: [4]byte{10, 0, 0, 1}, Dst: [4]byte{10, 0, 0, 2}},
+		UDP: wire.UDP{SrcPort: 9000, DstPort: 9001},
+		App: wire.Header{
+			Type:      wire.MsgRequest,
+			ReqID:     42,
+			ServiceNS: 5_000, // 5µs of fake work (§4.1)
+		},
+		Payload: []byte("key=alpha"),
+	}
+	buf := make([]byte, 256)
+	n, err := wire.EncodeFrame(buf, &out)
+	if err != nil {
+		panic(err)
+	}
+
+	var in wire.Frame
+	if err := wire.DecodeFrame(buf[:n], &in); err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s req=%d service=%dns payload=%q\n",
+		in.App.Type, in.App.ReqID, in.App.ServiceNS, in.Payload)
+	fmt.Printf("dst=%s bytes=%d\n", in.Eth.Dst, n)
+	// Output:
+	// request req=42 service=5000ns payload="key=alpha"
+	// dst=02:6d:67:00:00:01 bytes=83
+}

@@ -1,0 +1,93 @@
+package wire
+
+// Frame is a fully parsed Ethernet/IPv4/UDP/mindgap frame. Decoding fills a
+// caller-owned Frame in place and Payload aliases the input buffer
+// (gopacket's DecodingLayerParser idiom), so the hot path allocates nothing.
+type Frame struct {
+	Eth     Ethernet
+	IP      IPv4
+	UDP     UDP
+	App     Header
+	Payload []byte
+}
+
+// FrameOverhead is the total encoded size of all headers in a frame.
+const FrameOverhead = EthernetSize + IPv4Size + UDPSize + HeaderSize
+
+// WireSize returns the full on-wire size of the frame, honouring Ethernet's
+// 64-byte minimum frame size (60 bytes before the 4-byte FCS, which this
+// codec does not materialize but sizing accounts for).
+func (f *Frame) WireSize() int {
+	n := FrameOverhead + len(f.Payload)
+	if n < 60 {
+		n = 60
+	}
+	return n + 4 // FCS
+}
+
+// EncodeFrame writes the frame into buf and returns the number of bytes
+// used. Length and checksum fields of all layers are computed here, so
+// callers only populate addresses, ports and the application header.
+func EncodeFrame(buf []byte, f *Frame) (int, error) {
+	if len(f.Payload) > 0xffff-IPv4Size-UDPSize-HeaderSize {
+		return 0, ErrBadLength
+	}
+	total := FrameOverhead + len(f.Payload)
+	if len(buf) < total {
+		return 0, ErrShortBuffer
+	}
+	f.Eth.EtherType = EtherTypeIPv4
+	if err := f.Eth.MarshalTo(buf); err != nil {
+		return 0, err
+	}
+	f.IP.Protocol = IPProtoUDP
+	f.IP.TotalLen = uint16(IPv4Size + UDPSize + HeaderSize + len(f.Payload))
+	if f.IP.TTL == 0 {
+		f.IP.TTL = 64
+	}
+	if err := f.IP.MarshalTo(buf[EthernetSize:]); err != nil {
+		return 0, err
+	}
+	f.UDP.Length = uint16(UDPSize + HeaderSize + len(f.Payload))
+	if err := f.UDP.MarshalTo(buf[EthernetSize+IPv4Size:]); err != nil {
+		return 0, err
+	}
+	f.App.PayloadLen = uint16(len(f.Payload))
+	if err := f.App.MarshalTo(buf[EthernetSize+IPv4Size+UDPSize:]); err != nil {
+		return 0, err
+	}
+	copy(buf[FrameOverhead:], f.Payload)
+	return total, nil
+}
+
+// DecodeFrame parses data into f, validating every layer. f.Payload aliases
+// data.
+func DecodeFrame(data []byte, f *Frame) error {
+	if err := f.Eth.Unmarshal(data); err != nil {
+		return err
+	}
+	if f.Eth.EtherType != EtherTypeIPv4 {
+		return ErrBadEtherType
+	}
+	rest := data[EthernetSize:]
+	if err := f.IP.Unmarshal(rest); err != nil {
+		return err
+	}
+	if f.IP.Protocol != IPProtoUDP {
+		return ErrBadIPProtocol
+	}
+	if int(f.IP.TotalLen) > len(rest) {
+		return ErrBadLength
+	}
+	rest = rest[IPv4Size:f.IP.TotalLen]
+	if err := f.UDP.Unmarshal(rest); err != nil {
+		return err
+	}
+	if int(f.UDP.Length) > len(rest) {
+		return ErrBadLength
+	}
+	rest = rest[UDPSize:f.UDP.Length]
+	var err error
+	f.Payload, err = DecodeDatagram(rest, &f.App)
+	return err
+}

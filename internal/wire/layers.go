@@ -1,0 +1,188 @@
+// Package wire implements the on-wire formats used throughout the
+// reproduction: Ethernet/IPv4/UDP framing (the paper's systems speak UDP,
+// §3.4.2) and the mindgap request protocol that clients, the dispatcher,
+// and workers exchange.
+//
+// The decode path follows the gopacket DecodingLayerParser idiom: layers
+// decode into caller-owned, preallocated structs and payload slices alias
+// the input buffer, so steady-state parsing performs no allocations.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Codec errors.
+var (
+	ErrShortBuffer   = errors.New("wire: buffer too short")
+	ErrBadVersion    = errors.New("wire: unsupported protocol version")
+	ErrBadChecksum   = errors.New("wire: checksum mismatch")
+	ErrBadEtherType  = errors.New("wire: frame is not IPv4")
+	ErrBadIPProtocol = errors.New("wire: packet is not UDP")
+	ErrBadIPHeader   = errors.New("wire: malformed IPv4 header")
+	ErrBadLength     = errors.New("wire: length field inconsistent")
+)
+
+// MAC is a 48-bit Ethernet address.
+type MAC [6]byte
+
+// String formats the address in the conventional colon-separated form.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// EtherTypeIPv4 is the only EtherType the mindgap dataplane carries.
+const EtherTypeIPv4 = 0x0800
+
+// EthernetSize is the encoded size of an Ethernet header (no 802.1Q tag).
+const EthernetSize = 14
+
+// Ethernet is a layer-2 header. The SmartNIC steers frames by DstMAC: each
+// SR-IOV virtual function (one per worker) and the dispatcher own distinct
+// MAC addresses (§3.4.2).
+type Ethernet struct {
+	Dst, Src  MAC
+	EtherType uint16
+}
+
+// MarshalTo writes the header into b, which must hold EthernetSize bytes.
+func (e *Ethernet) MarshalTo(b []byte) error {
+	if len(b) < EthernetSize {
+		return ErrShortBuffer
+	}
+	copy(b[0:6], e.Dst[:])
+	copy(b[6:12], e.Src[:])
+	binary.BigEndian.PutUint16(b[12:14], e.EtherType)
+	return nil
+}
+
+// Unmarshal parses the header from b.
+func (e *Ethernet) Unmarshal(b []byte) error {
+	if len(b) < EthernetSize {
+		return ErrShortBuffer
+	}
+	copy(e.Dst[:], b[0:6])
+	copy(e.Src[:], b[6:12])
+	e.EtherType = binary.BigEndian.Uint16(b[12:14])
+	return nil
+}
+
+// IPProtoUDP is the IPv4 protocol number for UDP.
+const IPProtoUDP = 17
+
+// IPv4Size is the encoded size of an IPv4 header without options.
+const IPv4Size = 20
+
+// IPv4 is a layer-3 header without options.
+type IPv4 struct {
+	TOS      uint8
+	TotalLen uint16
+	ID       uint16
+	TTL      uint8
+	Protocol uint8
+	Checksum uint16 // filled by MarshalTo, verified by Unmarshal
+	Src, Dst [4]byte
+}
+
+// MarshalTo writes the header into b (>= IPv4Size bytes), computing the
+// header checksum.
+func (ip *IPv4) MarshalTo(b []byte) error {
+	if len(b) < IPv4Size {
+		return ErrShortBuffer
+	}
+	b[0] = 0x45 // version 4, IHL 5
+	b[1] = ip.TOS
+	binary.BigEndian.PutUint16(b[2:4], ip.TotalLen)
+	binary.BigEndian.PutUint16(b[4:6], ip.ID)
+	binary.BigEndian.PutUint16(b[6:8], 0) // flags+fragment: never fragmented
+	b[8] = ip.TTL
+	b[9] = ip.Protocol
+	binary.BigEndian.PutUint16(b[10:12], 0) // checksum placeholder
+	copy(b[12:16], ip.Src[:])
+	copy(b[16:20], ip.Dst[:])
+	ip.Checksum = internetChecksum(b[:IPv4Size])
+	binary.BigEndian.PutUint16(b[10:12], ip.Checksum)
+	return nil
+}
+
+// Unmarshal parses and validates the header from b.
+func (ip *IPv4) Unmarshal(b []byte) error {
+	if len(b) < IPv4Size {
+		return ErrShortBuffer
+	}
+	if b[0] != 0x45 {
+		return ErrBadIPHeader
+	}
+	if internetChecksum(b[:IPv4Size]) != 0 {
+		return ErrBadChecksum
+	}
+	ip.TOS = b[1]
+	ip.TotalLen = binary.BigEndian.Uint16(b[2:4])
+	ip.ID = binary.BigEndian.Uint16(b[4:6])
+	ip.TTL = b[8]
+	ip.Protocol = b[9]
+	ip.Checksum = binary.BigEndian.Uint16(b[10:12])
+	copy(ip.Src[:], b[12:16])
+	copy(ip.Dst[:], b[16:20])
+	if int(ip.TotalLen) > len(b) || int(ip.TotalLen) < IPv4Size {
+		return ErrBadLength
+	}
+	return nil
+}
+
+// internetChecksum is the RFC 1071 ones-complement sum. Computing it over a
+// header whose checksum field holds the transmitted checksum yields zero.
+func internetChecksum(b []byte) uint16 {
+	var sum uint32
+	for len(b) >= 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[:2]))
+		b = b[2:]
+	}
+	if len(b) == 1 {
+		sum += uint32(b[0]) << 8
+	}
+	for sum > 0xffff {
+		sum = (sum >> 16) + (sum & 0xffff)
+	}
+	return ^uint16(sum)
+}
+
+// UDPSize is the encoded size of a UDP header.
+const UDPSize = 8
+
+// UDP is a layer-4 header. The checksum is omitted (legal for UDP over
+// IPv4, and what kernel-bypass dataplanes commonly do for locally switched
+// traffic); integrity of the application payload is covered by the
+// application header's own checksum field.
+type UDP struct {
+	SrcPort, DstPort uint16
+	Length           uint16
+}
+
+// MarshalTo writes the header into b (>= UDPSize bytes).
+func (u *UDP) MarshalTo(b []byte) error {
+	if len(b) < UDPSize {
+		return ErrShortBuffer
+	}
+	binary.BigEndian.PutUint16(b[0:2], u.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], u.DstPort)
+	binary.BigEndian.PutUint16(b[4:6], u.Length)
+	binary.BigEndian.PutUint16(b[6:8], 0)
+	return nil
+}
+
+// Unmarshal parses the header from b.
+func (u *UDP) Unmarshal(b []byte) error {
+	if len(b) < UDPSize {
+		return ErrShortBuffer
+	}
+	u.SrcPort = binary.BigEndian.Uint16(b[0:2])
+	u.DstPort = binary.BigEndian.Uint16(b[2:4])
+	u.Length = binary.BigEndian.Uint16(b[4:6])
+	if int(u.Length) < UDPSize {
+		return ErrBadLength
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+// Package mindgap reproduces "Mind the Gap: A Case for Informed Request
+// Scheduling at the NIC" (Humphries, Kaffes, Mazières, Kozyrakis —
+// HotNets '19) as a pure-Go library: the Shinjuku-Offload scheduler, every
+// baseline system the paper discusses, the hardware models they run on,
+// and the harness that regenerates every figure and in-text measurement of
+// the paper's evaluation.
+//
+// The package layout follows the paper's structure:
+//
+//   - internal/core — the contribution: the informed NIC-side scheduler
+//     (centralized queue, credits, core selection, load feedback) and its
+//     assembly onto the simulated SmartNIC.
+//   - internal/systems/... — vanilla Shinjuku, RSS/IX, ZygOS, Flow
+//     Director, RPCValet, and the §5 ideal-NIC ablations.
+//   - internal/sim, fabric, nic/cores models, wire, stats — the substrate.
+//   - internal/live + cmd/{dispatcherd,workerd,loadgen} — a real-socket
+//     implementation of the same scheduler over UDP.
+//   - internal/experiment — figure/table harness (see EXPERIMENTS.md).
+//
+// This root package is a thin façade over internal/experiment for
+// programmatic use; the cmd/ binaries expose the same functionality on the
+// command line.
+package mindgap
+
+import (
+	"fmt"
+	"sort"
+
+	"mindgap/internal/experiment"
+)
+
+// Quality trades run time for statistical confidence in figure runs.
+type Quality = experiment.Quality
+
+// Figure is a reproduced paper figure (labelled series of measured points).
+type Figure = experiment.Figure
+
+// Result is one measured load point.
+type Result = experiment.Result
+
+// Preset qualities: Quick for CI-sized runs, Full for EXPERIMENTS.md runs.
+var (
+	Quick = experiment.Quick
+	Full  = experiment.Full
+)
+
+// figureBuilders maps figure IDs to their harness constructors.
+var figureBuilders = map[string]func(Quality) Figure{
+	"figure2":          experiment.Figure2,
+	"figure3":          experiment.Figure3,
+	"figure3-burst":    experiment.Figure3Burst,
+	"figure4":          experiment.Figure4,
+	"figure5":          experiment.Figure5,
+	"figure6":          experiment.Figure6,
+	"figure6-cxl":      experiment.Figure6CXL,
+	"figure6-linerate": experiment.Figure6LineRate,
+	"baselines":        experiment.BaselineComparison,
+}
+
+// Figures lists the reproducible figure IDs in stable order.
+func Figures() []string {
+	out := make([]string, 0, len(figureBuilders))
+	for id := range figureBuilders {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RunFigure regenerates one paper figure by ID.
+func RunFigure(id string, q Quality) (Figure, error) {
+	build, ok := figureBuilders[id]
+	if !ok {
+		return Figure{}, fmt.Errorf("mindgap: unknown figure %q (have %v)", id, Figures())
+	}
+	return build(q), nil
+}

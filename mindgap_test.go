@@ -1,0 +1,57 @@
+package mindgap
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFiguresListStableAndComplete(t *testing.T) {
+	ids := Figures()
+	if len(ids) != len(figureBuilders) {
+		t.Fatalf("Figures() returned %d ids, registry has %d", len(ids), len(figureBuilders))
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Fatalf("Figures() not sorted: %v", ids)
+		}
+	}
+	for _, want := range []string{"figure2", "figure3", "figure4", "figure5", "figure6"} {
+		found := false
+		for _, id := range ids {
+			if id == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("paper figure %q missing from registry", want)
+		}
+	}
+}
+
+func TestRunFigureUnknownID(t *testing.T) {
+	_, err := RunFigure("figure99", Quick)
+	if err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+	if !strings.Contains(err.Error(), "figure99") {
+		t.Fatalf("error does not name the id: %v", err)
+	}
+}
+
+func TestRunFigureSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the figure harness")
+	}
+	f, err := RunFigure("figure4", Quality{Warmup: 300, Measure: 2_000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.ID != "figure4" || len(f.Series) != 2 {
+		t.Fatalf("unexpected figure: %+v", f.ID)
+	}
+	for _, s := range f.Series {
+		if len(s.Results) == 0 {
+			t.Fatalf("series %q empty", s.Label)
+		}
+	}
+}
