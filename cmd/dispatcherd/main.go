@@ -7,6 +7,10 @@
 //	dispatcherd -listen 127.0.0.1:9000 -workers 4 -outstanding 5
 //
 // Then start `workerd` processes and drive load with `loadgen`.
+//
+// With -metrics the scheduler's telemetry registry is served over HTTP:
+// `curl http://127.0.0.1:9090/metrics` (plain text) or `/debug/vars`
+// (JSON snapshot).
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 
 	"mindgap/internal/core"
 	"mindgap/internal/live"
+	"mindgap/internal/telemetry"
 )
 
 func main() {
@@ -28,6 +33,7 @@ func main() {
 		outstanding = flag.Int("outstanding", 5, "per-worker outstanding-request limit (queuing optimization)")
 		policy      = flag.String("policy", "least-outstanding", "worker selection: least-outstanding, round-robin, informed")
 		statsEvery  = flag.Duration("stats", 5*time.Second, "stats print interval (0 = quiet)")
+		metricsAddr = flag.String("metrics", "", "HTTP address serving /metrics and /debug/vars (empty = off)")
 	)
 	flag.Parse()
 
@@ -54,6 +60,17 @@ func main() {
 	}
 	log.Printf("dispatcherd: listening on %v, expecting %d workers (k=%d, %v)",
 		d.Addr(), *workers, *outstanding, pol)
+
+	if *metricsAddr != "" {
+		reg := telemetry.NewRegistry()
+		d.RegisterMetrics(reg)
+		ms, err := live.ServeMetrics(*metricsAddr, reg)
+		if err != nil {
+			log.Fatalf("dispatcherd: %v", err)
+		}
+		defer ms.Close()
+		log.Printf("dispatcherd: metrics on %s/metrics", ms.URL())
+	}
 
 	if *statsEvery > 0 {
 		go func() {

@@ -4,16 +4,24 @@
 // start, preemptions, completion, and client response, each with its
 // simulated timestamp.
 //
+// The -format flag selects the output: "text" (default) prints per-request
+// lifecycles, "chrome" emits Chrome trace-event JSON that opens directly
+// in ui.perfetto.dev or chrome://tracing (one track per worker core, one
+// async span per request), and "json" dumps the raw event stream as a
+// JSON array.
+//
 // Usage:
 //
 //	mindgap-trace                      # trace 5 requests on the default mix
 //	mindgap-trace -n 3 -dist fixed:30µs -slice 10µs -show preempted
+//	mindgap-trace -format chrome > trace.json   # then open ui.perfetto.dev
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"mindgap/internal/core"
@@ -34,8 +42,14 @@ func main() {
 		distSpec = flag.String("dist", "bimodal:0.8:3µs:40µs", "service-time distribution")
 		rps      = flag.Float64("rps", 200_000, "offered load")
 		show     = flag.String("show", "any", "which lifecycles: any, preempted")
+		format   = flag.String("format", "text", "output format: text, chrome (Perfetto/chrome://tracing), json")
 	)
 	flag.Parse()
+	switch *format {
+	case "text", "chrome", "json":
+	default:
+		log.Fatalf("mindgap-trace: unknown -format %q (want text, chrome, or json)", *format)
+	}
 
 	svc, err := dist.Parse(*distSpec)
 	if err != nil {
@@ -62,6 +76,19 @@ func main() {
 
 	if err := buf.ValidateAll(); err != nil {
 		log.Fatalf("mindgap-trace: causality violation: %v", err)
+	}
+
+	switch *format {
+	case "chrome":
+		if err := trace.WriteChrome(os.Stdout, buf); err != nil {
+			log.Fatalf("mindgap-trace: %v", err)
+		}
+		return
+	case "json":
+		if err := trace.WriteJSON(os.Stdout, buf); err != nil {
+			log.Fatalf("mindgap-trace: %v", err)
+		}
+		return
 	}
 
 	printed := 0

@@ -6,7 +6,9 @@
 //
 //	workerd -dispatcher 127.0.0.1:9000 -id 0 -n 4 -slice 50µs
 //
-// starts workers 0..3 in one process (each with its own socket).
+// starts workers 0..3 in one process (each with its own socket). With
+// -metrics, per-worker completion/preemption counters are served over
+// HTTP at /metrics and /debug/vars.
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 	"os/signal"
 
 	"mindgap/internal/live"
+	"mindgap/internal/telemetry"
 )
 
 func main() {
@@ -25,6 +28,7 @@ func main() {
 		id         = flag.Int("id", 0, "first worker ID")
 		n          = flag.Int("n", 1, "number of workers to run in this process")
 		slice      = flag.Duration("slice", 0, "cooperative preemption quantum (0 = run to completion)")
+		metrics    = flag.String("metrics", "", "HTTP address serving /metrics and /debug/vars (empty = off)")
 	)
 	flag.Parse()
 
@@ -50,6 +54,19 @@ func main() {
 			}
 		}()
 		workers = append(workers, w)
+	}
+
+	if *metrics != "" {
+		reg := telemetry.NewRegistry()
+		for _, w := range workers {
+			w.RegisterMetrics(reg)
+		}
+		ms, err := live.ServeMetrics(*metrics, reg)
+		if err != nil {
+			log.Fatalf("workerd: %v", err)
+		}
+		defer ms.Close()
+		log.Printf("workerd: metrics on %s/metrics", ms.URL())
 	}
 
 	sig := make(chan os.Signal, 1)

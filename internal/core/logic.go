@@ -19,10 +19,12 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"mindgap/internal/queue"
 	"mindgap/internal/sim"
 	"mindgap/internal/task"
+	"mindgap/internal/telemetry"
 )
 
 // Policy selects how the scheduler picks a worker for the request at the
@@ -79,14 +81,17 @@ type Logic struct {
 	outstanding []int
 	load        []int64
 	hasLoad     []bool
+	loadAt      []sim.Time
 	rrNext      int
 	affinity    bool
 
 	q queue.FIFO[*task.Request]
 
-	assigned  uint64
-	completed uint64
-	requeued  uint64
+	assigned    uint64
+	completed   uint64
+	requeued    uint64
+	scanSteps   uint64
+	loadReports uint64
 }
 
 // NewLogic creates scheduler state for the given worker count and
@@ -105,6 +110,7 @@ func NewLogic(workers, k int, policy Policy) *Logic {
 		outstanding: make([]int, workers),
 		load:        make([]int64, workers),
 		hasLoad:     make([]bool, workers),
+		loadAt:      make([]sim.Time, workers),
 	}
 }
 
@@ -163,6 +169,70 @@ func (l *Logic) Preempted(now sim.Time, w int, req *task.Request) []Assignment {
 func (l *Logic) ReportLoad(w int, load int64) {
 	l.load[w] = load
 	l.hasLoad[w] = true
+	l.loadReports++
+}
+
+// ReportLoadAt is ReportLoad plus a receipt timestamp, enabling staleness
+// accounting: by the time a report influences a decision it is already
+// one NIC↔host hop old, and the gap only grows between reports.
+func (l *Logic) ReportLoadAt(now sim.Time, w int, load int64) {
+	l.ReportLoad(w, load)
+	l.loadAt[w] = now
+}
+
+// LoadAge returns how stale worker w's last load report is at instant
+// now; ok is false if w never reported (or reported without a timestamp).
+func (l *Logic) LoadAge(now sim.Time, w int) (age time.Duration, ok bool) {
+	if !l.hasLoad[w] || l.loadAt[w] == 0 {
+		return 0, false
+	}
+	return now.Sub(l.loadAt[w]), true
+}
+
+// OldestLoadAge returns the worst staleness across workers that have
+// reported — the scheduler's view of its own information gap. It returns
+// 0 when no worker has reported.
+func (l *Logic) OldestLoadAge(now sim.Time) time.Duration {
+	var worst time.Duration
+	for w := range l.loadAt {
+		if age, ok := l.LoadAge(now, w); ok && age > worst {
+			worst = age
+		}
+	}
+	return worst
+}
+
+// LoadReports returns the total number of load reports received.
+func (l *Logic) LoadReports() uint64 { return l.loadReports }
+
+// Completed returns the number of FINISH notifications processed.
+func (l *Logic) Completed() uint64 { return l.completed }
+
+// Requeued returns the number of preempted requests re-admitted to the
+// central queue.
+func (l *Logic) Requeued() uint64 { return l.requeued }
+
+// ScanSteps returns the cumulative number of per-worker probes the
+// selection policy performed — the queue-scan cost that grows with the
+// worker count and bounds an ARM dispatcher core's decision rate (§5.1).
+func (l *Logic) ScanSteps() uint64 { return l.scanSteps }
+
+// RegisterTelemetry exposes the scheduler's decision counters and queue
+// probes on reg under the given component label. now supplies the current
+// instant for the load-staleness gauge (nil disables it).
+func (l *Logic) RegisterTelemetry(reg *telemetry.Registry, component string, now func() sim.Time) {
+	reg.GaugeFunc(component, "queue_depth", func() float64 { return float64(l.QueueLen()) })
+	reg.GaugeFunc(component, "queue_high_water", func() float64 { return float64(l.q.HighWater()) })
+	reg.GaugeFunc(component, "assigned", func() float64 { return float64(l.assigned) })
+	reg.GaugeFunc(component, "completed", func() float64 { return float64(l.completed) })
+	reg.GaugeFunc(component, "requeued", func() float64 { return float64(l.requeued) })
+	reg.GaugeFunc(component, "scan_steps", func() float64 { return float64(l.scanSteps) })
+	reg.GaugeFunc(component, "load_reports", func() float64 { return float64(l.loadReports) })
+	if now != nil {
+		reg.GaugeFunc(component, "load_staleness_ns", func() float64 {
+			return float64(l.OldestLoadAge(now()))
+		})
+	}
 }
 
 func (l *Logic) release(w int) {
@@ -201,6 +271,7 @@ func (l *Logic) pick() int {
 	switch l.policy {
 	case RoundRobin:
 		for i := 0; i < n; i++ {
+			l.scanSteps++
 			w := (l.rrNext + i) % n
 			if l.outstanding[w] < l.k {
 				l.rrNext = (w + 1) % n
@@ -211,6 +282,7 @@ func (l *Logic) pick() int {
 	case InformedLeastLoaded:
 		best, bestLoad := -1, int64(0)
 		for i := 0; i < n; i++ {
+			l.scanSteps++
 			w := (l.rrNext + i) % n
 			if l.outstanding[w] >= l.k {
 				continue
@@ -231,6 +303,7 @@ func (l *Logic) pick() int {
 	default: // LeastOutstanding
 		best, bestOut := -1, 0
 		for i := 0; i < n; i++ {
+			l.scanSteps++
 			w := (l.rrNext + i) % n
 			if l.outstanding[w] >= l.k {
 				continue

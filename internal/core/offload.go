@@ -11,6 +11,7 @@ import (
 	"mindgap/internal/sim"
 	"mindgap/internal/stats"
 	"mindgap/internal/task"
+	"mindgap/internal/telemetry"
 	"mindgap/internal/trace"
 )
 
@@ -65,6 +66,13 @@ type OffloadConfig struct {
 	// queueing, dispatch, execution, preemption, response) for debugging
 	// and causality checks.
 	Tracer *trace.Buffer
+	// Metrics, when set, wires every component's probes into the registry:
+	// scheduler queue depth and decision counters ("sched"), per-worker
+	// utilization and preemptions ("worker<i>"), ARM stage occupancy
+	// ("arm-networker", "arm-queue", "arm-tx", "arm-rx"), NIC steering and
+	// per-function ring occupancy ("nic", "nicfn-*"), and fabric link
+	// latency histograms ("fabric/*").
+	Metrics *telemetry.Registry
 	// Affinity makes the scheduler resume preempted requests on the worker
 	// that last ran them when possible (§3.1 cache affinity), avoiding the
 	// CtxMigratePenalty of pulling the context across cores.
@@ -113,6 +121,14 @@ type Offload struct {
 	rec  *stats.Recorder
 	done func(*task.Request)
 	shed uint64
+
+	// Telemetry drop counters (nil when cfg.Metrics is unset): mShed
+	// counts admission-control sheds, mVFDrops counts frames lost at a
+	// worker VF ring, and mDrops is their sum — it matches the recorder's
+	// Dropped() total.
+	mShed    *telemetry.Counter
+	mVFDrops *telemetry.Counter
+	mDrops   *telemetry.Counter
 
 	ingress   *fabric.Link
 	egress    *fabric.Link
@@ -269,11 +285,44 @@ func NewOffload(eng *sim.Engine, cfg OffloadConfig, rec *stats.Recorder, done fu
 			if s.rec != nil {
 				s.rec.RecordDrop()
 			}
+			if s.mVFDrops != nil {
+				s.mVFDrops.Inc()
+				s.mDrops.Inc()
+			}
 		})
 		w.exec = cores.NewExec(eng, i, execCfg, w.onComplete, w.onPreempt)
 		s.workers = append(s.workers, w)
 	}
+	if cfg.Metrics != nil {
+		s.registerTelemetry(cfg.Metrics)
+	}
 	return s
+}
+
+// registerTelemetry wires every component's probes into reg. Called once
+// from NewOffload, after all functions and workers exist.
+func (s *Offload) registerTelemetry(reg *telemetry.Registry) {
+	s.mShed = reg.Counter("sched", "shed")
+	s.mVFDrops = reg.Counter("nic", "vf_drops")
+	s.mDrops = reg.Counter("offload", "drops")
+
+	s.lgc.RegisterTelemetry(reg, "sched", s.eng.Now)
+	s.networker.RegisterTelemetry(reg, "arm-networker")
+	s.queueMgr.RegisterTelemetry(reg, "arm-queue")
+	s.txCore.RegisterTelemetry(reg, "arm-tx")
+	s.rxCore.RegisterTelemetry(reg, "arm-rx")
+	s.ingress.RegisterTelemetry(reg, "fabric/client→nic")
+	s.egress.RegisterTelemetry(reg, "fabric/nic→client")
+	s.shmNetQ.RegisterTelemetry(reg, "fabric/shm-net→q")
+	s.shmQTx.RegisterTelemetry(reg, "fabric/shm-q→tx")
+	s.shmRxQ.RegisterTelemetry(reg, "fabric/shm-rx→q")
+	s.nic.RegisterTelemetry(reg)
+	for i, w := range s.workers {
+		w.exec.RegisterTelemetry(reg, fmt.Sprintf("worker%d", i))
+	}
+	reg.GaugeFunc("offload", "worker_idle_fraction", func() float64 {
+		return s.WorkerIdleFraction(s.eng.Now())
+	})
 }
 
 // Name implements the experiment System interface.
@@ -310,6 +359,10 @@ func (s *Offload) handleQueueEvent(ev qEvent) {
 			if s.rec != nil {
 				s.rec.RecordDrop()
 			}
+			if s.mShed != nil {
+				s.mShed.Inc()
+				s.mDrops.Inc()
+			}
 			return
 		}
 		s.trace(trace.Enqueue, ev.req.ID, -1)
@@ -320,7 +373,7 @@ func (s *Offload) handleQueueEvent(ev qEvent) {
 		s.trace(trace.Enqueue, ev.req.ID, -1)
 		as = s.lgc.Preempted(now, ev.worker, ev.req)
 	case evLoad:
-		s.lgc.ReportLoad(ev.worker, ev.load)
+		s.lgc.ReportLoadAt(now, ev.worker, ev.load)
 	}
 	for _, a := range as {
 		a := a

@@ -6,6 +6,7 @@ import (
 	"mindgap/internal/queue"
 	"mindgap/internal/sim"
 	"mindgap/internal/task"
+	"mindgap/internal/telemetry"
 )
 
 // SchedulerLogic is the surface the Offload assembly (and the live
@@ -16,9 +17,11 @@ type SchedulerLogic interface {
 	Complete(w int) []Assignment
 	Preempted(now sim.Time, w int, req *task.Request) []Assignment
 	ReportLoad(w int, load int64)
+	ReportLoadAt(now sim.Time, w int, load int64)
 	QueueLen() int
 	Workers() int
 	CreditLimit() int
+	RegisterTelemetry(reg *telemetry.Registry, component string, now func() sim.Time)
 }
 
 var (
@@ -141,6 +144,28 @@ func (l *PriorityLogic) drainPriority(out []Assignment) []Assignment {
 		if req == nil {
 			return out
 		}
+	}
+}
+
+// RegisterTelemetry exposes the scheduler probes of the embedded Logic,
+// corrects the queue-depth gauges to read the class queues, and adds one
+// depth gauge per priority class.
+func (l *PriorityLogic) RegisterTelemetry(reg *telemetry.Registry, component string, now func() sim.Time) {
+	l.Logic.RegisterTelemetry(reg, component, now)
+	reg.GaugeFunc(component, "queue_depth", func() float64 { return float64(l.QueueLen()) })
+	high := func() float64 {
+		h := 0
+		for c := range l.classes {
+			h += l.classes[c].HighWater()
+		}
+		return float64(h)
+	}
+	reg.GaugeFunc(component, "queue_high_water", high)
+	for c := range l.classes {
+		c := c
+		reg.GaugeFunc(component, fmt.Sprintf("queue_depth_class%d", c), func() float64 {
+			return float64(l.classes[c].Len())
+		})
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"mindgap/internal/sim"
+	"mindgap/internal/telemetry"
 )
 
 // LinkConfig describes a link's physical properties.
@@ -37,6 +38,12 @@ type Link struct {
 	queued        int
 	delivered     uint64
 	dropped       uint64
+	stalls        uint64
+
+	// latency, when attached, records each message's send→deliver time —
+	// the NIC↔host message-latency distribution of §3.3, inflated by
+	// serialization waits near saturation.
+	latency *telemetry.Histogram
 }
 
 // NewLink creates a link on the engine. name appears in diagnostics only.
@@ -59,6 +66,9 @@ func (l *Link) Send(bytes int, deliver func()) bool {
 	now := l.eng.Now()
 	depart := now
 	if l.lastDeparture > depart {
+		// The transmitter is still serializing an earlier message: this
+		// one stalls behind it (port serialization, §3.3).
+		l.stalls++
 		depart = l.lastDeparture
 	}
 	depart = depart.Add(l.serialization(bytes))
@@ -68,6 +78,9 @@ func (l *Link) Send(bytes int, deliver func()) bool {
 		l.queued--
 		l.eng.At(depart.Add(l.cfg.Latency), func() {
 			l.delivered++
+			if l.latency != nil {
+				l.latency.Observe(l.eng.Now().Sub(now))
+			}
 			deliver()
 		})
 	})
@@ -91,3 +104,18 @@ func (l *Link) Delivered() uint64 { return l.delivered }
 
 // Dropped returns the number of messages rejected by the bounded queue.
 func (l *Link) Dropped() uint64 { return l.dropped }
+
+// Stalls returns how many messages waited behind an earlier message's
+// serialization before departing.
+func (l *Link) Stalls() uint64 { return l.stalls }
+
+// RegisterTelemetry exposes the link's counters on reg under the given
+// component label and starts recording per-message latency into the
+// registry's component/"latency" histogram.
+func (l *Link) RegisterTelemetry(reg *telemetry.Registry, component string) {
+	l.latency = reg.Histogram(component, "latency")
+	reg.GaugeFunc(component, "queued", func() float64 { return float64(l.queued) })
+	reg.GaugeFunc(component, "delivered", func() float64 { return float64(l.delivered) })
+	reg.GaugeFunc(component, "dropped", func() float64 { return float64(l.dropped) })
+	reg.GaugeFunc(component, "stalls", func() float64 { return float64(l.stalls) })
+}

@@ -1,10 +1,12 @@
 package fabric
 
 import (
+	"fmt"
 	"time"
 
 	"mindgap/internal/sim"
 	"mindgap/internal/stats"
+	"mindgap/internal/telemetry"
 )
 
 // MultiStage is a serial processing element with multiple input queues
@@ -156,3 +158,22 @@ func (s *MultiStage[T]) Name() string { return s.name }
 
 // BusyTracker exposes utilization accounting.
 func (s *MultiStage[T]) BusyTracker() *stats.BusyTracker { return &s.busyTrack }
+
+// RegisterTelemetry exposes the stage's occupancy, throughput, and
+// utilization probes on reg under the given component label, including a
+// per-class queue-depth gauge ("queue_depth_0", "queue_depth_1", …).
+func (s *MultiStage[T]) RegisterTelemetry(reg *telemetry.Registry, component string) {
+	reg.GaugeFunc(component, "queue_depth", func() float64 { return float64(s.TotalQueued()) })
+	for c := range s.qs {
+		c := c
+		reg.GaugeFunc(component, fmt.Sprintf("queue_depth_%d", c), func() float64 {
+			return float64(s.qs[c].len())
+		})
+	}
+	reg.GaugeFunc(component, "busy", func() float64 { return boolGauge(s.busy) })
+	reg.GaugeFunc(component, "processed", func() float64 { return float64(s.processed) })
+	reg.GaugeFunc(component, "dropped", func() float64 { return float64(s.dropped) })
+	reg.GaugeFunc(component, "utilization", func() float64 {
+		return s.busyTrack.BusyFraction(s.eng.Now())
+	})
+}

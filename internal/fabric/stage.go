@@ -5,6 +5,7 @@ import (
 
 	"mindgap/internal/sim"
 	"mindgap/internal/stats"
+	"mindgap/internal/telemetry"
 )
 
 // Stage models a serial processing element — a CPU core (or pipeline stage
@@ -101,6 +102,28 @@ func (s *Stage[T]) Name() string { return s.name }
 
 // BusyTracker exposes the stage's utilization accounting.
 func (s *Stage[T]) BusyTracker() *stats.BusyTracker { return &s.busyTrack }
+
+// RegisterTelemetry exposes the stage's occupancy, throughput, and
+// utilization probes on reg under the given component label. Utilization
+// reads the stage's BusyTracker at the engine's current instant, so it is
+// only meaningful after the tracker has been armed.
+func (s *Stage[T]) RegisterTelemetry(reg *telemetry.Registry, component string) {
+	reg.GaugeFunc(component, "queue_depth", func() float64 { return float64(s.q.len()) })
+	reg.GaugeFunc(component, "busy", func() float64 { return boolGauge(s.busy) })
+	reg.GaugeFunc(component, "processed", func() float64 { return float64(s.processed) })
+	reg.GaugeFunc(component, "dropped", func() float64 { return float64(s.dropped) })
+	reg.GaugeFunc(component, "utilization", func() float64 {
+		return s.busyTrack.BusyFraction(s.eng.Now())
+	})
+}
+
+// boolGauge renders a boolean as a 0/1 gauge sample.
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
 
 // deque is a minimal amortized-O(1) FIFO used by Stage.
 type deque[T any] struct {

@@ -7,13 +7,31 @@ package queue
 
 // FIFO is an unbounded first-in-first-out queue with amortized O(1)
 // operations. The zero value is an empty queue ready for use.
+//
+// Every queue keeps free telemetry probes — push/pop totals and the
+// depth high-water mark — that cost one integer update per operation, so
+// observability layers can read rates and peaks without wrapping the
+// container.
 type FIFO[T any] struct {
 	items []T
 	head  int
+
+	pushes  uint64
+	pops    uint64
+	highWat int
 }
 
 // Len returns the number of queued items.
 func (q *FIFO[T]) Len() int { return len(q.items) - q.head }
+
+// Pushes returns the total number of items ever enqueued.
+func (q *FIFO[T]) Pushes() uint64 { return q.pushes }
+
+// Pops returns the total number of items ever dequeued (head or tail).
+func (q *FIFO[T]) Pops() uint64 { return q.pops }
+
+// HighWater returns the largest depth the queue ever reached.
+func (q *FIFO[T]) HighWater() int { return q.highWat }
 
 // Push appends v to the tail.
 func (q *FIFO[T]) Push(v T) {
@@ -27,6 +45,10 @@ func (q *FIFO[T]) Push(v T) {
 		q.head = 0
 	}
 	q.items = append(q.items, v)
+	q.pushes++
+	if d := q.Len(); d > q.highWat {
+		q.highWat = d
+	}
 }
 
 // Pop removes and returns the head. ok is false on an empty queue.
@@ -42,6 +64,7 @@ func (q *FIFO[T]) Pop() (v T, ok bool) {
 		q.items = q.items[:0]
 		q.head = 0
 	}
+	q.pops++
 	return v, true
 }
 
@@ -69,6 +92,7 @@ func (q *FIFO[T]) PopTail() (v T, ok bool) {
 		q.items = q.items[:0]
 		q.head = 0
 	}
+	q.pops++
 	return v, true
 }
 
@@ -80,6 +104,11 @@ type Ring[T any] struct {
 	buf   []T
 	head  int
 	count int
+
+	pushes   uint64
+	pops     uint64
+	rejected uint64
+	highWat  int
 }
 
 // NewRing creates a ring with the given capacity (must be positive).
@@ -105,10 +134,15 @@ func (r *Ring[T]) Empty() bool { return r.count == 0 }
 // Push appends v; it reports false if the ring is full.
 func (r *Ring[T]) Push(v T) bool {
 	if r.count == len(r.buf) {
+		r.rejected++
 		return false
 	}
 	r.buf[(r.head+r.count)%len(r.buf)] = v
 	r.count++
+	r.pushes++
+	if r.count > r.highWat {
+		r.highWat = r.count
+	}
 	return true
 }
 
@@ -122,8 +156,21 @@ func (r *Ring[T]) Pop() (v T, ok bool) {
 	r.buf[r.head] = zero
 	r.head = (r.head + 1) % len(r.buf)
 	r.count--
+	r.pops++
 	return v, true
 }
+
+// Pushes returns the total number of items ever accepted.
+func (r *Ring[T]) Pushes() uint64 { return r.pushes }
+
+// Pops returns the total number of items ever dequeued.
+func (r *Ring[T]) Pops() uint64 { return r.pops }
+
+// Rejected returns how many Push calls failed on a full ring.
+func (r *Ring[T]) Rejected() uint64 { return r.rejected }
+
+// HighWater returns the peak occupancy the ring ever reached.
+func (r *Ring[T]) HighWater() int { return r.highWat }
 
 // Peek returns the oldest item without removing it.
 func (r *Ring[T]) Peek() (v T, ok bool) {

@@ -102,3 +102,60 @@ func TestTimeSeriesValidation(t *testing.T) {
 		}()
 	}
 }
+
+func TestTimeSeriesNegativeIntervalRejected(t *testing.T) {
+	eng := sim.New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative interval accepted")
+		}
+	}()
+	NewTimeSeries(eng, -time.Microsecond, 0, func() float64 { return 0 })
+}
+
+func TestTimeSeriesMaxCapacityStopsTimer(t *testing.T) {
+	eng := sim.New()
+	ts := NewTimeSeries(eng, time.Microsecond, 3, func() float64 { return 1 })
+	eng.Run()
+	if ts.Len() != 3 {
+		t.Fatalf("samples = %d, want 3", ts.Len())
+	}
+	// The sampler must not re-arm once full: the engine is drained, and
+	// running further adds nothing.
+	if eng.Pending() != 0 {
+		t.Fatalf("pending events = %d after reaching max", eng.Pending())
+	}
+	eng.RunUntil(sim.Time(100_000))
+	if ts.Len() != 3 {
+		t.Fatalf("samples grew past max: %d", ts.Len())
+	}
+}
+
+// TestTimeSeriesSameInstantTieBreak pins the engine's deterministic
+// same-instant ordering as observed through a probe: events at the same
+// instant fire in scheduling order, so whether a mutation scheduled for
+// the sampling instant lands before or after the sample depends only on
+// whether it was scheduled before or after the sampler was created.
+func TestTimeSeriesSameInstantTieBreak(t *testing.T) {
+	// Sampler created first: its 1µs timer was scheduled before the
+	// mutation at 1µs, so the sample reads the old value.
+	eng := sim.New()
+	v := 0.0
+	ts := NewTimeSeries(eng, time.Microsecond, 1, func() float64 { return v })
+	eng.At(sim.Time(1000), func() { v = 7 })
+	eng.Run()
+	if _, val := ts.At(0); val != 0 {
+		t.Fatalf("sampler-first: sample = %v, want 0 (old value)", val)
+	}
+
+	// Mutation scheduled first: it fires before the sampler's timer at
+	// the same instant, so the sample reads the new value.
+	eng2 := sim.New()
+	w := 0.0
+	eng2.At(sim.Time(1000), func() { w = 7 })
+	ts2 := NewTimeSeries(eng2, time.Microsecond, 1, func() float64 { return w })
+	eng2.Run()
+	if _, val := ts2.At(0); val != 7 {
+		t.Fatalf("mutation-first: sample = %v, want 7 (new value)", val)
+	}
+}

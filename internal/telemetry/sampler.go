@@ -1,0 +1,57 @@
+package telemetry
+
+import (
+	"time"
+
+	"mindgap/internal/sim"
+	"mindgap/internal/stats"
+)
+
+// Sampler auto-samples registry gauges into stats.TimeSeries on a
+// simulation engine — the bridge that turns instantaneous probes (queue
+// depth, per-core busy state) into the time-resolved curves behind
+// queue-dynamics plots and transient-behaviour assertions.
+type Sampler struct {
+	series map[string]*stats.TimeSeries
+}
+
+// SampleGauges starts one stats.TimeSeries per named gauge, sampling every
+// interval and keeping at most max samples each (0 = the TimeSeries
+// default). With no names given, every gauge registered at call time is
+// sampled. Unknown names are ignored (the component may be disabled in
+// this configuration).
+func (r *Registry) SampleGauges(eng *sim.Engine, interval time.Duration, max int, names ...string) *Sampler {
+	if len(names) == 0 {
+		names = r.GaugeKeys()
+	}
+	s := &Sampler{series: make(map[string]*stats.TimeSeries, len(names))}
+	for _, k := range names {
+		r.mu.Lock()
+		g, ok := r.gauges[k]
+		r.mu.Unlock()
+		if !ok {
+			continue
+		}
+		s.series[k] = stats.NewTimeSeries(eng, interval, max, g.Value)
+	}
+	return s
+}
+
+// Series returns the time series for one gauge key, or nil.
+func (s *Sampler) Series(key string) *stats.TimeSeries { return s.series[key] }
+
+// Keys returns the sampled gauge keys (unsorted).
+func (s *Sampler) Keys() []string {
+	out := make([]string, 0, len(s.series))
+	for k := range s.series {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Stop ends sampling on every series.
+func (s *Sampler) Stop() {
+	for _, ts := range s.series {
+		ts.Stop()
+	}
+}
