@@ -2,52 +2,119 @@
 // the paper's evaluation section (see DESIGN.md's experiment index) and
 // prints the series to stdout, optionally as CSV.
 //
+// Figures and tables are declared as sweeps and executed by the parallel
+// sweep runner (internal/runner): points fan out across -j workers, results
+// are keyed by grid index so output is byte-identical at any parallelism,
+// Ctrl-C (or -timeout) cancels between points and prints what completed,
+// and -cache memoises per-point results on disk so re-renders only run
+// points the cache has not seen.
+//
 // Usage:
 //
 //	mindgap-bench                    # every figure and table, full quality
 //	mindgap-bench -fig 2             # one figure
 //	mindgap-bench -table timer       # one table
-//	mindgap-bench -quick             # reduced sample counts (CI-sized)
+//	mindgap-bench -quality quick     # reduced sample counts (CI-sized)
+//	mindgap-bench -j 8               # up to 8 concurrent points
+//	mindgap-bench -cache ~/.mindgap  # reuse already-measured points
+//	mindgap-bench -timeout 2m        # stop (with partial output) after 2m
 //	mindgap-bench -csv               # machine-readable output
 //	mindgap-bench -plot              # ASCII charts of the tail curves
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
 	"time"
 
 	"mindgap/internal/experiment"
 	"mindgap/internal/params"
+	"mindgap/internal/runner"
+	"mindgap/internal/telemetry"
 )
 
 func main() {
 	var (
-		fig   = flag.String("fig", "", "figure to run: 2, 3, 3burst, 4, 5, 6, 6cxl, 6linerate, baselines (empty = all)")
-		table = flag.String("table", "", "table to run: timer, ipc, wait, latency, dispersion, policy (empty = all)")
-		quick = flag.Bool("quick", false, "reduced sample counts")
-		csv   = flag.Bool("csv", false, "CSV output for figures")
-		plot  = flag.Bool("plot", false, "ASCII chart output for figures")
-		only  = flag.Bool("figs-only", false, "skip tables")
+		fig      = flag.String("fig", "", "figure to run: 2, 3, 3burst, 4, 5, 6, 6cxl, 6linerate, baselines (empty = all)")
+		table    = flag.String("table", "", "table to run: timer, ipc, wait, latency, dispersion, policy, affinity, tenants (empty = all)")
+		quality  = flag.String("quality", "full", "sample counts: quick or full")
+		quick    = flag.Bool("quick", false, "shorthand for -quality quick")
+		csv      = flag.Bool("csv", false, "CSV output for figures")
+		plot     = flag.Bool("plot", false, "ASCII chart output for figures")
+		only     = flag.Bool("figs-only", false, "skip tables")
+		jobs     = flag.Int("j", runtime.GOMAXPROCS(0), "max concurrently simulated points")
+		timeout  = flag.Duration("timeout", 0, "overall deadline; on expiry, completed points are printed (0 = none)")
+		cacheDir = flag.String("cache", "", "directory for the on-disk result cache (empty = no caching)")
+		progress = flag.Bool("progress", false, "live point-completion progress on stderr")
 	)
 	flag.Parse()
 
 	q := experiment.Full
-	if *quick {
+	switch {
+	case *quick || *quality == "quick":
 		q = experiment.Quick
+	case *quality == "full":
+	default:
+		fmt.Fprintf(os.Stderr, "mindgap-bench: unknown -quality %q (want quick or full)\n", *quality)
+		os.Exit(2)
 	}
 
-	figures := map[string]func(experiment.Quality) experiment.Figure{
-		"2":         experiment.Figure2,
-		"3":         experiment.Figure3,
-		"3burst":    experiment.Figure3Burst,
-		"4":         experiment.Figure4,
-		"5":         experiment.Figure5,
-		"6":         experiment.Figure6,
-		"6cxl":      experiment.Figure6CXL,
-		"6linerate": experiment.Figure6LineRate,
-		"baselines": experiment.BaselineComparison,
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	rn := &runner.Runner{
+		Parallelism: *jobs,
+		Metrics:     telemetry.NewRegistry(),
+	}
+	if *cacheDir != "" {
+		c, err := runner.OpenCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mindgap-bench: %v\n", err)
+			os.Exit(1)
+		}
+		rn.Cache = c
+	}
+	if *progress {
+		rn.Progress = func(ev runner.Event) {
+			note := ""
+			if ev.Cached {
+				note = " (cached)"
+			}
+			fmt.Fprintf(os.Stderr, "[%s] %d/%d %s #%d%s\n",
+				ev.Sweep, ev.Done, ev.Total, ev.Series, ev.Index, note)
+		}
+	}
+
+	// interrupted reports (and remembers) whether the run was cut short.
+	exitCode := 0
+	interrupted := func(err error) bool {
+		if err == nil {
+			return false
+		}
+		fmt.Fprintf(os.Stderr, "mindgap-bench: %v — results below are the completed prefix\n", err)
+		exitCode = 1
+		return true
+	}
+
+	figures := map[string]func(experiment.Quality) experiment.FigureSpec{
+		"2":         experiment.Figure2Spec,
+		"3":         experiment.Figure3Spec,
+		"3burst":    experiment.Figure3BurstSpec,
+		"4":         experiment.Figure4Spec,
+		"5":         experiment.Figure5Spec,
+		"6":         experiment.Figure6Spec,
+		"6cxl":      experiment.Figure6CXLSpec,
+		"6linerate": experiment.Figure6LineRateSpec,
+		"baselines": experiment.BaselineComparisonSpec,
 	}
 	order := []string{"2", "3", "3burst", "4", "5", "6", "6cxl", "6linerate", "baselines"}
 
@@ -58,7 +125,8 @@ func main() {
 			os.Exit(2)
 		}
 		start := time.Now()
-		f := build(q)
+		f, err := build(q).Run(ctx, rn)
+		interrupted(err)
 		switch {
 		case *csv:
 			if err := f.WriteCSV(os.Stdout); err != nil {
@@ -88,15 +156,19 @@ func main() {
 		}
 		if which == "" || which == "ipc" {
 			fmt.Println("== T2: §2.2 inter-thread communication overhead (paper: ≈2µs added tail)")
-			r := experiment.IPCOverhead(q)
-			fmt.Printf("shinjuku p99 = %v, single-thread (rss) p99 = %v, overhead = %v\n\n",
-				r.ShinjukuP99, r.RSSP99, r.Overhead)
+			r, err := experiment.IPCOverheadWith(ctx, rn, q)
+			if !interrupted(err) {
+				fmt.Printf("shinjuku p99 = %v, single-thread (rss) p99 = %v, overhead = %v\n\n",
+					r.ShinjukuP99, r.RSSP99, r.Overhead)
+			}
 		}
 		if which == "" || which == "wait" {
 			fmt.Println("== T3: §4 worker wait time at saturation (paper: 1µs workload waits 110% more)")
-			r := experiment.WorkerWait(q)
-			fmt.Printf("idle@100µs = %.1f%%, idle@1µs = %.1f%%, extra waiting = %.0f%%\n\n",
-				r.IdleAt100us*100, r.IdleAt1us*100, r.ExtraWaitFrac*100)
+			r, err := experiment.WorkerWaitWith(ctx, rn, q)
+			if !interrupted(err) {
+				fmt.Printf("idle@100µs = %.1f%%, idle@1µs = %.1f%%, extra waiting = %.0f%%\n\n",
+					r.IdleAt100us*100, r.IdleAt1us*100, r.ExtraWaitFrac*100)
+			}
 		}
 		if which == "" || which == "latency" {
 			fmt.Println("== T4: §3.3 NIC↔host one-way latency")
@@ -106,19 +178,52 @@ func main() {
 		if which == "" || which == "policy" {
 			fmt.Println("== X10: worker-selection policy ablation (bimodal, k=6, no preemption, ρ=0.75)")
 			fmt.Printf("%-26s %12s %12s %14s\n", "policy", "p50", "p99", "achieved")
-			for _, r := range experiment.PolicyAblation(q) {
+			rows, err := experiment.PolicyAblationWith(ctx, rn, q)
+			for _, r := range rows {
 				fmt.Printf("%-26s %12v %12v %14.0f\n", r.Policy, r.P50, r.P99, r.Achieved)
 			}
+			interrupted(err)
 			fmt.Println()
 		}
 		if which == "" || which == "dispersion" {
 			fmt.Println("== X7: preemption win vs service-time dispersion (mean 10µs, ρ=0.7, 4 workers)")
 			fmt.Printf("%-36s %8s %16s %16s %8s\n", "workload", "cv²", "short p99 (pre)", "short p99 (rtc)", "win")
-			for _, r := range experiment.DispersionSensitivity(q) {
+			rows, err := experiment.DispersionSensitivityWith(ctx, rn, q)
+			for _, r := range rows {
 				fmt.Printf("%-36s %8.2f %16v %16v %7.1fx\n",
 					r.Workload, r.CV2, r.PreemptShortP99, r.NoPreemptShortP99, r.Win)
 			}
+			interrupted(err)
 			fmt.Println()
+		}
+		if which == "" || which == "affinity" {
+			fmt.Println("== X11: scheduling-affinity ablation (10% 100µs requests, 10µs slice, 8 workers)")
+			r, err := experiment.AffinityAblationWith(ctx, rn, q)
+			if !interrupted(err) {
+				fmt.Printf("migrations: off=%d on=%d (preemptions %d); mean: off=%v on=%v; p99: off=%v on=%v\n\n",
+					r.MigrationsOff, r.MigrationsOn, r.Preemptions,
+					r.MeanOff, r.MeanOn, r.P99Off, r.P99On)
+			}
+		}
+		if which == "" || which == "tenants" {
+			fmt.Println("== X9: multi-tenant isolation (FIFO vs strict class priority)")
+			cmp, err := experiment.MultiTenantComparisonWith(ctx, rn, experiment.MultiTenantConfig{
+				P: p, Workers: 4, Outstanding: 4, Slice: 10 * time.Microsecond,
+				Tenants: experiment.DefaultTenants(), Quality: q,
+			})
+			if !interrupted(err) {
+				fmt.Printf("%-22s %-10s %12s %12s %12s %10s\n", "tenant", "sched", "p50", "p99", "mean", "completed")
+				for _, set := range []struct {
+					name string
+					rs   []experiment.TenantResult
+				}{{"fifo", cmp.FIFO}, {"priority", cmp.Priority}} {
+					for _, tr := range set.rs {
+						fmt.Printf("%-22s %-10s %12v %12v %12v %10d\n",
+							tr.Tenant.Name, set.name, tr.P50, tr.P99, tr.Mean, tr.Completed)
+					}
+				}
+				fmt.Println()
+			}
 		}
 	}
 
@@ -135,4 +240,11 @@ func main() {
 			runTables("")
 		}
 	}
+
+	if rn.Cache != nil {
+		hits, misses := rn.Cache.Stats()
+		fmt.Fprintf(os.Stderr, "mindgap-bench: cache %s: %d hits, %d misses\n",
+			rn.Cache.Dir(), hits, misses)
+	}
+	os.Exit(exitCode)
 }

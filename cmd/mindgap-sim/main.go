@@ -1,6 +1,8 @@
 // Command mindgap-sim runs a single simulated configuration and prints its
 // measured point — the interactive counterpart to mindgap-bench's fixed
-// figure grids.
+// figure grids. With -replicates (or -seeds) the point is measured across
+// several independent seeds — fanned out in parallel by the sweep runner —
+// and reported with cross-seed error bars.
 //
 // Usage:
 //
@@ -9,18 +11,26 @@
 //	mindgap-sim -system shinjuku -workers 3 -rps 300000
 //	mindgap-sim -system rss|zygos|flowdir|rpcvalet -workers 4 ...
 //	mindgap-sim -system idealnic -cxl -linerate ...
+//	mindgap-sim -replicates 5 -j 5      # error bars across seeds 7..11
+//	mindgap-sim -seeds 1,2,3 -cache ~/.mindgap
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"mindgap/internal/dist"
 	"mindgap/internal/experiment"
 	"mindgap/internal/params"
+	"mindgap/internal/runner"
 	"mindgap/internal/systems/idealnic"
 )
 
@@ -35,6 +45,11 @@ func main() {
 		warmup      = flag.Int("warmup", 20_000, "warmup completions to discard")
 		measure     = flag.Int("measure", 100_000, "completions to measure")
 		seed        = flag.Uint64("seed", 7, "workload seed")
+		replicates  = flag.Int("replicates", 0, "measure across this many consecutive seeds starting at -seed (0 = single run)")
+		seedList    = flag.String("seeds", "", "comma-separated explicit seed list (overrides -replicates)")
+		jobs        = flag.Int("j", runtime.GOMAXPROCS(0), "max concurrently simulated replicates")
+		timeout     = flag.Duration("timeout", 0, "deadline; replicates completed by then are still summarized (0 = none)")
+		cacheDir    = flag.String("cache", "", "directory for the on-disk result cache (empty = no caching)")
 		zipfN       = flag.Int("zipf-keys", 0, "key-space size for zipf keys (0 = no keys)")
 		zipfS       = flag.Float64("zipf-skew", 0.99, "zipf skew")
 		cxl         = flag.Bool("cxl", false, "idealnic: coherent-memory communication (§5.1-2)")
@@ -79,17 +94,100 @@ func main() {
 		OfferedRPS: *rps,
 		Warmup:     *warmup,
 		Measure:    *measure,
-		Seed:       *seed,
 	}
 	if *zipfN > 0 {
 		cfg.Keys = dist.NewZipfKeys(*zipfN, *zipfS)
 	}
 
+	seeds, err := replicateSeeds(*seedList, *replicates, *seed)
+	if err != nil {
+		log.Fatalf("mindgap-sim: %v", err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	rn := &runner.Runner{Parallelism: *jobs}
+	if *cacheDir != "" {
+		c, err := runner.OpenCache(*cacheDir)
+		if err != nil {
+			log.Fatalf("mindgap-sim: %v", err)
+		}
+		rn.Cache = c
+	}
+
+	// sysKey describes the system configuration for the result cache (the
+	// factory itself is a closure the runner cannot hash).
+	sysKey := fmt.Sprintf("sim|%s|workers=%d|k=%d|slice=%s|cxl=%t|linerate=%t|directirq=%t",
+		*system, *workers, *outstanding, *slice, *cxl, *lineRate, *directIRQ)
+
 	start := time.Now()
+	if len(seeds) > 0 {
+		rep, err := experiment.RunPointReplicatedWith(ctx, rn, sysKey, cfg, seeds)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mindgap-sim: %v — %d/%d replicates completed\n",
+				err, len(rep.Runs), len(seeds))
+		}
+		if len(rep.Runs) == 0 {
+			os.Exit(1)
+		}
+		fmt.Printf("system=%s workload=%v offered=%.0f rps replicates=%d seeds=%v\n",
+			rep.Runs[0].SystemName, svc, *rps, len(rep.Runs), seeds[:len(rep.Runs)])
+		fmt.Printf("p99 = %v ± %v   achieved = %.0f ± %.0f rps   saturated=%t\n",
+			rep.MeanP99, rep.P99StdDev, rep.MeanAchieved, rep.AchievedStdDev, rep.AnySaturated)
+		fmt.Printf("relative p99 spread = %.2f%% (std dev / mean across seeds)\n",
+			rep.RelativeP99Spread()*100)
+		for i, r := range rep.Runs {
+			fmt.Printf("  seed %-6d %s\n", seeds[i], r.Point)
+		}
+		fmt.Printf("walltime=%v\n", time.Since(start).Round(time.Millisecond))
+		if err != nil {
+			os.Exit(1)
+		}
+		return
+	}
+
+	cfg.Seed = *seed
 	r := experiment.RunPoint(cfg)
 	fmt.Printf("system=%s workload=%v offered=%.0f rps\n", r.SystemName, svc, *rps)
 	fmt.Printf("%s\n", r.Point)
 	fmt.Printf("mean=%v max=%v preemptions=%d drops=%d simtime=%v walltime=%v\n",
 		r.Mean, r.Max, r.Preemptions, r.Dropped,
 		r.SimTime.Round(time.Millisecond), time.Since(start).Round(time.Millisecond))
+}
+
+// replicateSeeds resolves the -seeds / -replicates flags: an explicit list
+// wins; otherwise n consecutive seeds starting at base. An empty result
+// means single-run mode.
+func replicateSeeds(list string, n int, base uint64) ([]uint64, error) {
+	if list != "" {
+		var out []uint64
+		for _, f := range strings.Split(list, ",") {
+			f = strings.TrimSpace(f)
+			if f == "" {
+				continue
+			}
+			v, err := strconv.ParseUint(f, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad -seeds entry %q: %v", f, err)
+			}
+			out = append(out, v)
+		}
+		if len(out) == 0 {
+			return nil, fmt.Errorf("-seeds given but empty")
+		}
+		return out, nil
+	}
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = base + uint64(i)
+	}
+	return out, nil
 }

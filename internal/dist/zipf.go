@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"fmt"
 	"math"
 	"math/rand/v2"
 )
@@ -11,6 +12,7 @@ import (
 // uniform; larger s is more skewed (s ≈ 0.99 matches common KVS traces).
 type ZipfKeys struct {
 	cdf []float64
+	s   float64
 }
 
 // NewZipfKeys builds the sampler for n keys with skew s >= 0.
@@ -31,11 +33,18 @@ func NewZipfKeys(n int, s float64) *ZipfKeys {
 		cdf[i] /= acc
 	}
 	cdf[n-1] = 1
-	return &ZipfKeys{cdf: cdf}
+	return &ZipfKeys{cdf: cdf, s: s}
 }
 
 // N returns the key-space size.
 func (z *ZipfKeys) N() int { return len(z.cdf) }
+
+// Skew returns the Zipf exponent s.
+func (z *ZipfKeys) Skew() float64 { return z.s }
+
+// String describes the sampler ("zipf:<n>:<s>") — stable across runs, so
+// it can participate in experiment cache keys.
+func (z *ZipfKeys) String() string { return fmt.Sprintf("zipf:%d:%g", len(z.cdf), z.s) }
 
 // Sample draws a key.
 func (z *ZipfKeys) Sample(r *rand.Rand) uint64 {

@@ -1,12 +1,15 @@
 package experiment
 
 import (
+	"context"
+	"fmt"
 	"time"
 
 	"mindgap/internal/core"
 	"mindgap/internal/dist"
 	"mindgap/internal/loadgen"
 	"mindgap/internal/params"
+	"mindgap/internal/runner"
 	"mindgap/internal/sim"
 	"mindgap/internal/stats"
 	"mindgap/internal/task"
@@ -27,42 +30,76 @@ type AffinityResult struct {
 	P99Off, P99On   time.Duration
 }
 
-// AffinityAblation measures X11 on a preemption-heavy workload: 10% of
-// requests run 100 µs against a 10 µs slice, so every long request is
-// preempted ~9 times and each resume either stays local or migrates.
-func AffinityAblation(q Quality) AffinityResult {
-	run := func(affinity bool) (uint64, uint64, time.Duration, time.Duration) {
-		p := params.Default()
-		eng := sim.New()
-		var lat stats.Histogram
-		completions := 0
-		target := q.Warmup + q.Measure
-		sys := core.NewOffload(eng, core.OffloadConfig{
-			P: p, Workers: 8, Outstanding: 2,
-			Slice:    10 * time.Microsecond,
-			Affinity: affinity,
-		}, nil, func(r *task.Request) {
-			completions++
-			if completions > q.Warmup {
-				lat.Record(r.Latency(eng.Now()))
-			}
-			if completions >= target {
-				eng.Halt()
-			}
-		})
-		svc := dist.Bimodal{P1: 0.9, D1: 5 * time.Microsecond, D2: 100 * time.Microsecond}
-		rho := 0.7
-		rps := rho * 8 / svc.Mean().Seconds()
-		loadgen.New(eng, loadgen.Config{RPS: rps, Service: svc, Seed: q.Seed}, sys.Inject).Start()
-		expected := time.Duration(float64(target) / rps * float64(time.Second))
-		eng.At(sim.Time(8*expected+50*time.Millisecond), eng.Halt)
-		eng.Run()
-		return sys.Migrations(), sys.Preemptions(), lat.Mean(), lat.P99()
+// affinityMeasure is the runner payload of one X11 simulation.
+type affinityMeasure struct {
+	Migrations, Preemptions uint64
+	Mean, P99               time.Duration
+}
+
+// AffinityAblationWith measures X11 on rn, running the affinity-off and
+// affinity-on configurations concurrently. The workload is
+// preemption-heavy: 10% of requests run 100 µs against a 10 µs slice, so
+// every long request is preempted ~9 times and each resume either stays
+// local or migrates.
+func AffinityAblationWith(ctx context.Context, rn *runner.Runner, q Quality) (AffinityResult, error) {
+	point := func(affinity bool) runner.Point[affinityMeasure] {
+		return runner.Point[affinityMeasure]{
+			Key: fmt.Sprintf("table-affinity|affinity=%t|warm=%d|meas=%d|seed=%d|params=%s",
+				affinity, q.Warmup, q.Measure, q.Seed, paramsSig()),
+			Run: func() affinityMeasure {
+				p := params.Default()
+				eng := sim.New()
+				var lat stats.Histogram
+				completions := 0
+				target := q.Warmup + q.Measure
+				sys := core.NewOffload(eng, core.OffloadConfig{
+					P: p, Workers: 8, Outstanding: 2,
+					Slice:    10 * time.Microsecond,
+					Affinity: affinity,
+				}, nil, func(r *task.Request) {
+					completions++
+					if completions > q.Warmup {
+						lat.Record(r.Latency(eng.Now()))
+					}
+					if completions >= target {
+						eng.Halt()
+					}
+				})
+				svc := dist.Bimodal{P1: 0.9, D1: 5 * time.Microsecond, D2: 100 * time.Microsecond}
+				rho := 0.7
+				rps := rho * 8 / svc.Mean().Seconds()
+				loadgen.New(eng, loadgen.Config{RPS: rps, Service: svc, Seed: q.Seed}, sys.Inject).Start()
+				expected := time.Duration(float64(target) / rps * float64(time.Second))
+				eng.At(sim.Time(8*expected+50*time.Millisecond), eng.Halt)
+				eng.Run()
+				return affinityMeasure{
+					Migrations:  sys.Migrations(),
+					Preemptions: sys.Preemptions(),
+					Mean:        lat.Mean(),
+					P99:         lat.P99(),
+				}
+			},
+		}
 	}
-	var res AffinityResult
-	var pre uint64
-	res.MigrationsOff, pre, res.MeanOff, res.P99Off = run(false)
-	_ = pre
-	res.MigrationsOn, res.Preemptions, res.MeanOn, res.P99On = run(true)
-	return res
+	runs, err := runner.RunOne(ctx, rn, "table-affinity",
+		runner.Series[affinityMeasure]{Points: []runner.Point[affinityMeasure]{point(false), point(true)}})
+	if len(runs) < 2 {
+		return AffinityResult{}, err
+	}
+	off, on := runs[0], runs[1]
+	return AffinityResult{
+		MigrationsOff: off.Migrations,
+		MigrationsOn:  on.Migrations,
+		Preemptions:   on.Preemptions,
+		MeanOff:       off.Mean,
+		MeanOn:        on.Mean,
+		P99Off:        off.P99,
+		P99On:         on.P99,
+	}, err
+}
+
+// AffinityAblation measures X11 on the default parallel runner.
+func AffinityAblation(q Quality) AffinityResult {
+	r, _ := AffinityAblationWith(context.Background(), nil, q)
+	return r
 }

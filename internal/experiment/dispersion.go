@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"math/rand/v2"
 	"time"
@@ -9,6 +11,7 @@ import (
 	"mindgap/internal/dist"
 	"mindgap/internal/loadgen"
 	"mindgap/internal/params"
+	"mindgap/internal/runner"
 	"mindgap/internal/sim"
 	"mindgap/internal/stats"
 	"mindgap/internal/task"
@@ -35,10 +38,16 @@ type DispersionRow struct {
 	Win float64
 }
 
-// DispersionSensitivity runs the X7 sweep: distributions of increasing
-// dispersion with a 10µs mean at ρ≈0.7 on four workers, on the
-// Shinjuku-Offload system.
-func DispersionSensitivity(q Quality) []DispersionRow {
+// shortTailMeasure is the runner payload of one X7 simulation.
+type shortTailMeasure struct {
+	ShortP99 time.Duration
+}
+
+// DispersionSensitivityWith runs the X7 sweep on rn: distributions of
+// increasing dispersion with a 10µs mean at ρ≈0.7 on four workers, on the
+// Shinjuku-Offload system. Each (workload, preemption) cell is an
+// independent simulation, so the whole table fans out in parallel.
+func DispersionSensitivityWith(ctx context.Context, rn *runner.Runner, q Quality) ([]DispersionRow, error) {
 	p := params.Default()
 	const workers = 4
 	const rho = 0.7
@@ -53,15 +62,36 @@ func DispersionSensitivity(q Quality) []DispersionRow {
 		dist.Bimodal{P1: 0.995, D1: 5 * time.Microsecond, D2: 1005 * time.Microsecond},
 	}
 
-	var rows []DispersionRow
+	// One series per workload, two points each: slice on, slice off.
+	sw := runner.Sweep[shortTailMeasure]{Name: "table-dispersion"}
 	for _, w := range workloads {
-		mean := w.Mean()
-		rps := rho * float64(workers) / mean.Seconds()
-		pre := shortTail(p, w, rps, workers, slice, q)
-		nopre := shortTail(p, w, rps, workers, 0, q)
+		w := w
+		rps := rho * float64(workers) / w.Mean().Seconds()
+		point := func(slice time.Duration) runner.Point[shortTailMeasure] {
+			return runner.Point[shortTailMeasure]{
+				Key: fmt.Sprintf("table-dispersion|svc=%s|slice=%s|rps=%g|warm=%d|meas=%d|seed=%d|params=%s",
+					w, slice, rps, q.Warmup, q.Measure, q.Seed, paramsSig()),
+				Run: func() shortTailMeasure {
+					return shortTailMeasure{ShortP99: shortTail(p, w, rps, workers, slice, q)}
+				},
+			}
+		}
+		sw.Series = append(sw.Series, runner.Series[shortTailMeasure]{
+			Label:  w.String(),
+			Points: []runner.Point[shortTailMeasure]{point(slice), point(0)},
+		})
+	}
+
+	res, err := runner.Run(ctx, rn, sw)
+	var rows []DispersionRow
+	for i, sr := range res {
+		if len(sr.Results) < 2 {
+			break // cancelled mid-sweep: keep complete rows only
+		}
+		pre, nopre := sr.Results[0].ShortP99, sr.Results[1].ShortP99
 		row := DispersionRow{
-			Workload:          w.String(),
-			CV2:               empiricalCV2(w),
+			Workload:          sr.Label,
+			CV2:               empiricalCV2(workloads[i]),
 			PreemptShortP99:   pre,
 			NoPreemptShortP99: nopre,
 		}
@@ -70,6 +100,12 @@ func DispersionSensitivity(q Quality) []DispersionRow {
 		}
 		rows = append(rows, row)
 	}
+	return rows, err
+}
+
+// DispersionSensitivity runs the X7 sweep on the default parallel runner.
+func DispersionSensitivity(q Quality) []DispersionRow {
+	rows, _ := DispersionSensitivityWith(context.Background(), nil, q)
 	return rows
 }
 

@@ -6,10 +6,12 @@
 package experiment
 
 import (
+	"context"
 	"time"
 
 	"mindgap/internal/dist"
 	"mindgap/internal/loadgen"
+	"mindgap/internal/runner"
 	"mindgap/internal/sim"
 	"mindgap/internal/stats"
 	"mindgap/internal/task"
@@ -66,6 +68,10 @@ type Result struct {
 	// completions were observed.
 	Truncated bool
 }
+
+// IsSaturated lets the sweep runner apply its early-stop rule to figure
+// grids (runner.Series.StopAfterSaturated).
+func (r Result) IsSaturated() bool { return r.Saturated }
 
 // RunPoint simulates one load point to completion and returns its row.
 func RunPoint(cfg PointConfig) Result {
@@ -155,26 +161,13 @@ func RunPoint(cfg PointConfig) Result {
 	}
 }
 
-// Sweep measures one system across a grid of offered loads. Sweeping stops
-// early after the second consecutive saturated point — matching how the
-// paper's figures end shortly after the knee.
+// Sweep measures one system across a grid of offered loads on the default
+// parallel runner. The returned series stops after the second consecutive
+// saturated point — matching how the paper's figures end shortly after the
+// knee — and is byte-identical to a serial run regardless of parallelism.
 func Sweep(cfg PointConfig, loads []float64) []Result {
-	var out []Result
-	saturated := 0
-	for _, rps := range loads {
-		c := cfg
-		c.OfferedRPS = rps
-		r := RunPoint(c)
-		out = append(out, r)
-		if r.Saturated {
-			saturated++
-			if saturated >= 2 {
-				break
-			}
-		} else {
-			saturated = 0
-		}
-	}
+	out, _ := runner.RunOne(context.Background(), nil, "sweep",
+		LoadSeries("", "", cfg, loads))
 	return out
 }
 

@@ -203,11 +203,11 @@ func TestLoadGrid(t *testing.T) {
 	}
 }
 
-func TestItoa(t *testing.T) {
-	cases := map[int]string{0: "0", 4: "4", 16: "16", -3: "-3", 12345: "12345"}
+func TestOffloadLabel(t *testing.T) {
+	cases := map[int]string{1: "1 worker", 4: "4 workers", 16: "16 workers"}
 	for n, want := range cases {
-		if got := itoa(n); got != want {
-			t.Fatalf("itoa(%d) = %q", n, got)
+		if got := offloadLabel(n); got != want {
+			t.Fatalf("offloadLabel(%d) = %q", n, got)
 		}
 	}
 }
@@ -240,6 +240,19 @@ func TestRunPointReplicated(t *testing.T) {
 			}
 		}()
 		RunPointReplicated(cfg, nil)
+	}()
+	// Setting PointConfig.Seed alongside an explicit seed list must panic:
+	// the list replaces the seed, and silently ignoring it would let a
+	// replicate summary masquerade as a single-seed run.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("cfg.Seed + seed list did not panic")
+			}
+		}()
+		bad := cfg
+		bad.Seed = 42
+		RunPointReplicated(bad, []uint64{1, 2})
 	}()
 }
 

@@ -1,11 +1,14 @@
 package experiment
 
 import (
+	"fmt"
+	"strconv"
 	"time"
 
 	"mindgap/internal/core"
 	"mindgap/internal/dist"
 	"mindgap/internal/params"
+	"mindgap/internal/runner"
 	"mindgap/internal/sim"
 	"mindgap/internal/stats"
 	"mindgap/internal/systems/erss"
@@ -113,243 +116,246 @@ func loadGrid(lo, hi, step float64) []float64 {
 	return out
 }
 
-// sweepSeries runs one curve.
-func sweepSeries(label string, f Factory, svc dist.Distribution, q Quality, loads []float64) Series {
-	return sweepSeriesKeys(label, f, svc, nil, q, loads)
-}
-
-// sweepSeriesKeys is sweepSeries with a per-request key sampler (used by
-// steering-sensitive baselines).
-func sweepSeriesKeys(label string, f Factory, svc dist.Distribution, keys *dist.ZipfKeys, q Quality, loads []float64) Series {
-	cfg := PointConfig{
+// gridSeries declares one curve of a figure sweep: a factory swept across
+// the load grid at the given quality.
+func gridSeries(sweepID, label string, f Factory, svc dist.Distribution, keys *dist.ZipfKeys, q Quality, loads []float64) runner.Series[Result] {
+	return LoadSeries(sweepID, label, PointConfig{
 		Factory: f,
 		Service: svc,
 		Keys:    keys,
 		Warmup:  q.Warmup,
 		Measure: q.Measure,
 		Seed:    q.Seed,
-	}
-	return Series{Label: label, Results: Sweep(cfg, loads)}
+	}, loads)
 }
 
-// Figure2 reproduces the bimodal tail-latency figure: 99.5% 5 µs + 0.5%
+// Figure2Spec declares the bimodal tail-latency figure: 99.5% 5 µs + 0.5%
 // 100 µs, 10 µs slice, Shinjuku with 3 workers vs Shinjuku-Offload with 4
 // workers and up to 4 outstanding requests.
-func Figure2(q Quality) Figure {
+func Figure2Spec(q Quality) FigureSpec {
 	p := params.Default()
 	loads := loadGrid(50_000, 650_000, 50_000)
 	slice := 10 * time.Microsecond
-	return Figure{
-		ID:     "figure2",
+	const id = "figure2"
+	return FigureSpec{
+		ID:     id,
 		Title:  "Bimodal 99.5%/0.5% (5µs/100µs), slice 10µs",
 		XLabel: "offered load (RPS)",
 		YLabel: "p99 latency",
-		Series: []Series{
-			sweepSeries("shinjuku-offload (4 workers, k=4)",
-				OffloadFactory(p, 4, 4, slice), BimodalWorkload, q, loads),
-			sweepSeries("shinjuku (3 workers)",
-				ShinjukuFactory(p, 3, slice), BimodalWorkload, q, loads),
-		},
+		Sweep: runner.Sweep[Result]{Name: id, Series: []runner.Series[Result]{
+			gridSeries(id, "shinjuku-offload (4 workers, k=4)",
+				OffloadFactory(p, 4, 4, slice), BimodalWorkload, nil, q, loads),
+			gridSeries(id, "shinjuku (3 workers)",
+				ShinjukuFactory(p, 3, slice), BimodalWorkload, nil, q, loads),
+		}},
 	}
 }
 
-// Figure3 reproduces the queuing-optimization figure: fixed 1 µs service
-// time, Shinjuku-Offload throughput at saturation as the per-worker
-// outstanding-request limit k sweeps 1..7, for 4 and 16 workers.
-func Figure3(q Quality) Figure {
+// Figure2 runs Figure2Spec on the default parallel runner.
+func Figure2(q Quality) Figure { return mustFigure(Figure2Spec(q)) }
+
+// kSweepSeries declares one Figure 3 curve: saturating load, the
+// per-worker outstanding limit k sweeping 1..7, plotted against k.
+func kSweepSeries(sweepID, label string, q Quality, workers, burst int) runner.Series[Result] {
 	p := params.Default()
 	const saturating = 5_000_000 // far beyond capacity
-	run := func(workers int) Series {
-		s := Series{Label: offloadLabel(workers)}
-		for k := 1; k <= 7; k++ {
-			r := RunPoint(PointConfig{
-				Factory: OffloadFactory(p, workers, k, 0),
-				Service: Fixed1us,
-				// Saturating throughput converges fast; warmup matters
-				// more than sample count here.
-				OfferedRPS: saturating,
-				Warmup:     q.Warmup,
-				Measure:    q.Measure,
-				Seed:       q.Seed,
-			})
-			r.Point.OfferedRPS = float64(k) // x-axis is k, not load
-			s.Results = append(s.Results, r)
+	pts := make([]runner.Point[Result], 0, 7)
+	for k := 1; k <= 7; k++ {
+		k := k
+		cfg := PointConfig{
+			Factory: func(eng *sim.Engine, rec *stats.Recorder, done func(*task.Request)) System {
+				return core.NewOffload(eng, core.OffloadConfig{
+					P: p, Workers: workers, Outstanding: k,
+					Policy: core.LeastOutstanding, DispatchBurst: burst,
+				}, rec, done)
+			},
+			Service: Fixed1us,
+			// Saturating throughput converges fast; warmup matters more
+			// than sample count here.
+			OfferedRPS: saturating,
+			Warmup:     q.Warmup,
+			Measure:    q.Measure,
+			Seed:       q.Seed,
 		}
-		return s
+		pts = append(pts, runner.Point[Result]{
+			Key: pointKey(sweepID, label, cfg,
+				"k="+strconv.Itoa(k), "burst="+strconv.Itoa(burst)),
+			Run: func() Result {
+				r := RunPoint(cfg)
+				r.Point.OfferedRPS = float64(k) // x-axis is k, not load
+				return r
+			},
+		})
 	}
-	return Figure{
-		ID:     "figure3",
-		Title:  "Fixed 1µs service time: throughput vs outstanding requests (Shinjuku-Offload)",
-		XLabel: "outstanding requests per worker (k)",
-		YLabel: "throughput (RPS)",
-		Series: []Series{run(16), run(4)},
-	}
+	return runner.Series[Result]{Label: label, Points: pts}
 }
 
 func offloadLabel(workers int) string {
 	if workers == 1 {
 		return "1 worker"
 	}
-	return itoa(workers) + " workers"
+	return strconv.Itoa(workers) + " workers"
 }
 
-// itoa avoids pulling strconv into the hot import path for one use.
-func itoa(n int) string {
-	if n == 0 {
-		return "0"
+// Figure3Spec declares the queuing-optimization figure: fixed 1 µs service
+// time, Shinjuku-Offload throughput at saturation as the per-worker
+// outstanding-request limit k sweeps 1..7, for 4 and 16 workers.
+func Figure3Spec(q Quality) FigureSpec {
+	const id = "figure3"
+	return FigureSpec{
+		ID:     id,
+		Title:  "Fixed 1µs service time: throughput vs outstanding requests (Shinjuku-Offload)",
+		XLabel: "outstanding requests per worker (k)",
+		YLabel: "throughput (RPS)",
+		Sweep: runner.Sweep[Result]{Name: id, Series: []runner.Series[Result]{
+			kSweepSeries(id, offloadLabel(16), q, 16, 0),
+			kSweepSeries(id, offloadLabel(4), q, 4, 0),
+		}},
 	}
-	var buf [20]byte
-	i := len(buf)
-	neg := n < 0
-	if neg {
-		n = -n
-	}
-	for n > 0 {
-		i--
-		buf[i] = byte('0' + n%10)
-		n /= 10
-	}
-	if neg {
-		i--
-		buf[i] = '-'
-	}
-	return string(buf[i:])
 }
 
-// Figure3Burst is the burst-processing ablation of Figure 3: the same k
-// sweep with the queue-manager core draining DPDK-style bursts (16 events)
-// from one input ring before polling the other. Burst processing delays
-// credit handling behind floods of new arrivals, deepening the k=1 penalty
-// — the effect that made the paper's 16-worker curve gain 88% from k=1 to
-// k=3 where the fair-polling model gains almost nothing.
-func Figure3Burst(q Quality) Figure {
-	p := params.Default()
-	const saturating = 5_000_000
+// Figure3 runs Figure3Spec on the default parallel runner.
+func Figure3(q Quality) Figure { return mustFigure(Figure3Spec(q)) }
+
+// Figure3BurstSpec declares the burst-processing ablation of Figure 3: the
+// same k sweep with the queue-manager core draining DPDK-style bursts (16
+// events) from one input ring before polling the other. Burst processing
+// delays credit handling behind floods of new arrivals, deepening the k=1
+// penalty — the effect that made the paper's 16-worker curve gain 88% from
+// k=1 to k=3 where the fair-polling model gains almost nothing.
+func Figure3BurstSpec(q Quality) FigureSpec {
+	const id = "figure3-burst"
 	const burst = 16
-	run := func(workers int) Series {
-		s := Series{Label: offloadLabel(workers) + " (burst 16)"}
-		for k := 1; k <= 7; k++ {
-			r := RunPoint(PointConfig{
-				Factory: func(eng *sim.Engine, rec *stats.Recorder, done func(*task.Request)) System {
-					return core.NewOffload(eng, core.OffloadConfig{
-						P: p, Workers: workers, Outstanding: k,
-						Policy: core.LeastOutstanding, DispatchBurst: burst,
-					}, rec, done)
-				},
-				Service:    Fixed1us,
-				OfferedRPS: saturating,
-				Warmup:     q.Warmup,
-				Measure:    q.Measure,
-				Seed:       q.Seed,
-			})
-			r.Point.OfferedRPS = float64(k)
-			s.Results = append(s.Results, r)
-		}
-		return s
-	}
-	return Figure{
-		ID:     "figure3-burst",
+	return FigureSpec{
+		ID:     id,
 		Title:  "Figure 3 with DPDK burst polling (16 events) at the queue-manager core",
 		XLabel: "outstanding requests per worker (k)",
 		YLabel: "throughput (RPS)",
-		Series: []Series{run(16), run(4)},
+		Sweep: runner.Sweep[Result]{Name: id, Series: []runner.Series[Result]{
+			kSweepSeries(id, offloadLabel(16)+" (burst 16)", q, 16, burst),
+			kSweepSeries(id, offloadLabel(4)+" (burst 16)", q, 4, burst),
+		}},
 	}
 }
 
-// Figure4 reproduces the fixed 5 µs figure: preemption off, Shinjuku 3
+// Figure3Burst runs Figure3BurstSpec on the default parallel runner.
+func Figure3Burst(q Quality) Figure { return mustFigure(Figure3BurstSpec(q)) }
+
+// Figure4Spec declares the fixed 5 µs figure: preemption off, Shinjuku 3
 // workers vs Offload 4 workers (k=4).
-func Figure4(q Quality) Figure {
+func Figure4Spec(q Quality) FigureSpec {
 	p := params.Default()
 	loads := loadGrid(50_000, 750_000, 50_000)
-	return Figure{
-		ID:     "figure4",
+	const id = "figure4"
+	return FigureSpec{
+		ID:     id,
 		Title:  "Fixed 5µs service time, no preemption",
 		XLabel: "offered load (RPS)",
 		YLabel: "p99 latency",
-		Series: []Series{
-			sweepSeries("shinjuku-offload (4 workers, k=4)",
-				OffloadFactory(p, 4, 4, 0), Fixed5us, q, loads),
-			sweepSeries("shinjuku (3 workers)",
-				ShinjukuFactory(p, 3, 0), Fixed5us, q, loads),
-		},
+		Sweep: runner.Sweep[Result]{Name: id, Series: []runner.Series[Result]{
+			gridSeries(id, "shinjuku-offload (4 workers, k=4)",
+				OffloadFactory(p, 4, 4, 0), Fixed5us, nil, q, loads),
+			gridSeries(id, "shinjuku (3 workers)",
+				ShinjukuFactory(p, 3, 0), Fixed5us, nil, q, loads),
+		}},
 	}
 }
 
-// Figure5 reproduces the fixed 100 µs figure: Shinjuku 15 workers vs
+// Figure4 runs Figure4Spec on the default parallel runner.
+func Figure4(q Quality) Figure { return mustFigure(Figure4Spec(q)) }
+
+// Figure5Spec declares the fixed 100 µs figure: Shinjuku 15 workers vs
 // Offload 16 workers (k=2), preemption off.
-func Figure5(q Quality) Figure {
+func Figure5Spec(q Quality) FigureSpec {
 	p := params.Default()
 	loads := loadGrid(10_000, 170_000, 10_000)
-	return Figure{
-		ID:     "figure5",
+	const id = "figure5"
+	return FigureSpec{
+		ID:     id,
 		Title:  "Fixed 100µs service time, no preemption",
 		XLabel: "offered load (RPS)",
 		YLabel: "p99 latency",
-		Series: []Series{
-			sweepSeries("shinjuku-offload (16 workers, k=2)",
-				OffloadFactory(p, 16, 2, 0), Fixed100us, q, loads),
-			sweepSeries("shinjuku (15 workers)",
-				ShinjukuFactory(p, 15, 0), Fixed100us, q, loads),
-		},
+		Sweep: runner.Sweep[Result]{Name: id, Series: []runner.Series[Result]{
+			gridSeries(id, "shinjuku-offload (16 workers, k=2)",
+				OffloadFactory(p, 16, 2, 0), Fixed100us, nil, q, loads),
+			gridSeries(id, "shinjuku (15 workers)",
+				ShinjukuFactory(p, 15, 0), Fixed100us, nil, q, loads),
+		}},
 	}
 }
 
-// Figure6 reproduces the fixed 1 µs figure at high worker counts: Shinjuku
-// 15 workers vs Offload 16 workers (k=5). Here the offloaded dispatcher is
-// the bottleneck and vanilla Shinjuku greatly outperforms (§5.1).
-func Figure6(q Quality) Figure {
+// Figure5 runs Figure5Spec on the default parallel runner.
+func Figure5(q Quality) Figure { return mustFigure(Figure5Spec(q)) }
+
+// Figure6Spec declares the fixed 1 µs figure at high worker counts:
+// Shinjuku 15 workers vs Offload 16 workers (k=5). Here the offloaded
+// dispatcher is the bottleneck and vanilla Shinjuku greatly outperforms
+// (§5.1).
+func Figure6Spec(q Quality) FigureSpec {
 	p := params.Default()
 	loads := loadGrid(250_000, 4_000_000, 250_000)
-	return Figure{
-		ID:     "figure6",
+	const id = "figure6"
+	return FigureSpec{
+		ID:     id,
 		Title:  "Fixed 1µs service time, 15/16 workers",
 		XLabel: "offered load (RPS)",
 		YLabel: "p99 latency",
-		Series: []Series{
-			sweepSeries("shinjuku-offload (16 workers, k=5)",
-				OffloadFactory(p, 16, 5, 0), Fixed1us, q, loads),
-			sweepSeries("shinjuku (15 workers)",
-				ShinjukuFactory(p, 15, 0), Fixed1us, q, loads),
-		},
+		Sweep: runner.Sweep[Result]{Name: id, Series: []runner.Series[Result]{
+			gridSeries(id, "shinjuku-offload (16 workers, k=5)",
+				OffloadFactory(p, 16, 5, 0), Fixed1us, nil, q, loads),
+			gridSeries(id, "shinjuku (15 workers)",
+				ShinjukuFactory(p, 15, 0), Fixed1us, nil, q, loads),
+		}},
 	}
 }
 
-// Figure6CXL is the X1 ablation: Figure 6's offload configuration with the
-// §5.1(2) coherent-memory communication path.
-func Figure6CXL(q Quality) Figure {
+// Figure6 runs Figure6Spec on the default parallel runner.
+func Figure6(q Quality) Figure { return mustFigure(Figure6Spec(q)) }
+
+// Figure6CXLSpec declares the X1 ablation: Figure 6's offload
+// configuration with the §5.1(2) coherent-memory communication path.
+func Figure6CXLSpec(q Quality) FigureSpec {
 	p := params.Default()
 	loads := loadGrid(250_000, 4_000_000, 250_000)
-	return Figure{
-		ID:     "figure6-cxl",
+	const id = "figure6-cxl"
+	return FigureSpec{
+		ID:     id,
 		Title:  "Fixed 1µs, 15/16 workers, CXL communication ablation (§5.1-2)",
 		XLabel: "offered load (RPS)",
 		YLabel: "p99 latency",
-		Series: []Series{
-			sweepSeries("offload+cxl (16 workers, k=5)",
-				IdealNICFactory(idealnicCfg(16, 5, 0, true, false, false)), Fixed1us, q, loads),
-			sweepSeries("shinjuku (15 workers)",
-				ShinjukuFactory(p, 15, 0), Fixed1us, q, loads),
-		},
+		Sweep: runner.Sweep[Result]{Name: id, Series: []runner.Series[Result]{
+			gridSeries(id, "offload+cxl (16 workers, k=5)",
+				IdealNICFactory(idealnicCfg(16, 5, 0, true, false, false)), Fixed1us, nil, q, loads),
+			gridSeries(id, "shinjuku (15 workers)",
+				ShinjukuFactory(p, 15, 0), Fixed1us, nil, q, loads),
+		}},
 	}
 }
 
-// Figure6LineRate is the X2 ablation: Figure 6 with a line-rate hardware
-// scheduler (§5.1-1), alone and combined with CXL.
-func Figure6LineRate(q Quality) Figure {
+// Figure6CXL runs Figure6CXLSpec on the default parallel runner.
+func Figure6CXL(q Quality) Figure { return mustFigure(Figure6CXLSpec(q)) }
+
+// Figure6LineRateSpec declares the X2 ablation: Figure 6 with a line-rate
+// hardware scheduler (§5.1-1), alone and combined with CXL.
+func Figure6LineRateSpec(q Quality) FigureSpec {
 	loads := loadGrid(250_000, 4_000_000, 250_000)
-	return Figure{
-		ID:     "figure6-linerate",
+	const id = "figure6-linerate"
+	return FigureSpec{
+		ID:     id,
 		Title:  "Fixed 1µs, 16 workers, line-rate scheduler ablation (§5.1-1)",
 		XLabel: "offered load (RPS)",
 		YLabel: "p99 latency",
-		Series: []Series{
-			sweepSeries("offload+linerate (16 workers, k=5)",
-				IdealNICFactory(idealnicCfg(16, 5, 0, false, true, false)), Fixed1us, q, loads),
-			sweepSeries("ideal nic: linerate+cxl (16 workers, k=2)",
-				IdealNICFactory(idealnicCfg(16, 2, 0, true, true, false)), Fixed1us, q, loads),
-		},
+		Sweep: runner.Sweep[Result]{Name: id, Series: []runner.Series[Result]{
+			gridSeries(id, "offload+linerate (16 workers, k=5)",
+				IdealNICFactory(idealnicCfg(16, 5, 0, false, true, false)), Fixed1us, nil, q, loads),
+			gridSeries(id, "ideal nic: linerate+cxl (16 workers, k=2)",
+				IdealNICFactory(idealnicCfg(16, 2, 0, true, true, false)), Fixed1us, nil, q, loads),
+		}},
 	}
 }
+
+// Figure6LineRate runs Figure6LineRateSpec on the default parallel runner.
+func Figure6LineRate(q Quality) Figure { return mustFigure(Figure6LineRateSpec(q)) }
 
 func idealnicCfg(workers, k int, slice time.Duration, cxl, lineRate, directIRQ bool) idealnic.Config {
 	return idealnic.Config{
@@ -358,37 +364,43 @@ func idealnicCfg(workers, k int, slice time.Duration, cxl, lineRate, directIRQ b
 	}
 }
 
-// BaselineComparison is the X4 landscape: every system of §2.1 on the
-// bimodal workload, normalized per worker (all systems get equal host
-// cores; systems that burn a core on dispatch get fewer workers).
-func BaselineComparison(q Quality) Figure {
+// BaselineComparisonSpec declares the X4 landscape: every system of §2.1
+// on the bimodal workload, normalized per worker (all systems get equal
+// host cores; systems that burn a core on dispatch get fewer workers).
+func BaselineComparisonSpec(q Quality) FigureSpec {
 	p := params.Default()
 	loads := loadGrid(50_000, 650_000, 50_000)
 	slice := 10 * time.Microsecond
 	const hostCores = 4
+	const id = "baselines"
 	// A realistic KVS key popularity (mild skew) for the steering-sensitive
 	// baselines; informed/centralized schedulers ignore keys.
 	keys := dist.NewZipfKeys(4096, 0.9)
-	return Figure{
-		ID:     "baselines",
+	series := []runner.Series[Result]{
+		gridSeries(id, "shinjuku-offload (4 workers, k=4)",
+			OffloadFactory(p, hostCores, 4, slice), BimodalWorkload, keys, q, loads),
+		gridSeries(id, fmt.Sprintf("shinjuku (%d workers)", hostCores-1),
+			ShinjukuFactory(p, hostCores-1, slice), BimodalWorkload, keys, q, loads),
+		gridSeries(id, "rss/ix (4 workers)",
+			RSSFactory(p, hostCores), BimodalWorkload, keys, q, loads),
+		gridSeries(id, "zygos (4 workers)",
+			ZygOSFactory(p, hostCores), BimodalWorkload, keys, q, loads),
+		gridSeries(id, "flow-director (4 workers)",
+			FlowDirFactory(p, hostCores), BimodalWorkload, keys, q, loads),
+		gridSeries(id, "rpcvalet (4 workers)",
+			RPCValetFactory(p, hostCores), BimodalWorkload, keys, q, loads),
+		gridSeries(id, "erss (4 workers elastic)",
+			ERSSFactory(p, hostCores), BimodalWorkload, keys, q, loads),
+	}
+	return FigureSpec{
+		ID:     id,
 		Title:  "Bimodal workload across §2.1 systems (equal host cores, zipf(0.9) keys)",
 		XLabel: "offered load (RPS)",
 		YLabel: "p99 latency",
-		Series: []Series{
-			sweepSeriesKeys("shinjuku-offload (4 workers, k=4)",
-				OffloadFactory(p, hostCores, 4, slice), BimodalWorkload, keys, q, loads),
-			sweepSeriesKeys("shinjuku (3 workers)",
-				ShinjukuFactory(p, hostCores-1, slice), BimodalWorkload, keys, q, loads),
-			sweepSeriesKeys("rss/ix (4 workers)",
-				RSSFactory(p, hostCores), BimodalWorkload, keys, q, loads),
-			sweepSeriesKeys("zygos (4 workers)",
-				ZygOSFactory(p, hostCores), BimodalWorkload, keys, q, loads),
-			sweepSeriesKeys("flow-director (4 workers)",
-				FlowDirFactory(p, hostCores), BimodalWorkload, keys, q, loads),
-			sweepSeriesKeys("rpcvalet (4 workers)",
-				RPCValetFactory(p, hostCores), BimodalWorkload, keys, q, loads),
-			sweepSeriesKeys("erss (4 workers elastic)",
-				ERSSFactory(p, hostCores), BimodalWorkload, keys, q, loads),
-		},
+		Sweep:  runner.Sweep[Result]{Name: id, Series: series},
 	}
 }
+
+// BaselineComparison runs BaselineComparisonSpec on the default parallel
+// runner.
+func BaselineComparison(q Quality) Figure { return mustFigure(BaselineComparisonSpec(q)) }

@@ -1,11 +1,13 @@
 package experiment
 
 import (
+	"context"
 	"time"
 
 	"mindgap/internal/core"
 	"mindgap/internal/dist"
 	"mindgap/internal/params"
+	"mindgap/internal/runner"
 	"mindgap/internal/sim"
 	"mindgap/internal/stats"
 	"mindgap/internal/task"
@@ -20,14 +22,15 @@ type PolicyRow struct {
 	Achieved float64
 }
 
-// PolicyAblation compares worker-selection policies on Shinjuku-Offload.
+// PolicyAblationWith compares worker-selection policies on
+// Shinjuku-Offload, one point per policy, concurrently on rn.
 // Round-robin ignores load entirely; least-outstanding balances request
 // *counts*; informed-least-loaded balances remaining *work* using host
 // feedback. With shallow stashes the centralized FIFO absorbs nearly all
 // imbalance and the policies tie (a finding in itself); the regime below —
 // deep stashes, dispersive non-preemptible service times — is where the
 // informed policy earns its keep.
-func PolicyAblation(q Quality) []PolicyRow {
+func PolicyAblationWith(ctx context.Context, rn *runner.Runner, q Quality) ([]PolicyRow, error) {
 	p := params.Default()
 	const workers = 8
 	// Deep stashes (k=6) plus dispersive, non-preemptible service times:
@@ -38,10 +41,10 @@ func PolicyAblation(q Quality) []PolicyRow {
 	rps := rho * float64(workers) / svc.Mean().Seconds()
 
 	policies := []core.Policy{core.RoundRobin, core.LeastOutstanding, core.InformedLeastLoaded}
-	var rows []PolicyRow
-	for _, pol := range policies {
+	pts := make([]runner.Point[Result], len(policies))
+	for i, pol := range policies {
 		pol := pol
-		r := RunPoint(PointConfig{
+		cfg := PointConfig{
 			Factory: func(eng *sim.Engine, rec *stats.Recorder, done func(*task.Request)) System {
 				return core.NewOffload(eng, core.OffloadConfig{
 					P: p, Workers: workers, Outstanding: 6,
@@ -54,8 +57,22 @@ func PolicyAblation(q Quality) []PolicyRow {
 			Warmup:     q.Warmup,
 			Measure:    q.Measure,
 			Seed:       q.Seed,
-		})
-		rows = append(rows, PolicyRow{Policy: pol, P50: r.P50, P99: r.P99, Achieved: r.AchievedRPS})
+		}
+		pts[i] = runner.Point[Result]{
+			Key: pointKey("table-policy", pol.String(), cfg),
+			Run: func() Result { return RunPoint(cfg) },
+		}
 	}
+	res, err := runner.RunOne(ctx, rn, "table-policy", runner.Series[Result]{Points: pts})
+	rows := make([]PolicyRow, len(res))
+	for i, r := range res {
+		rows[i] = PolicyRow{Policy: policies[i], P50: r.P50, P99: r.P99, Achieved: r.AchievedRPS}
+	}
+	return rows, err
+}
+
+// PolicyAblation runs PolicyAblationWith on the default parallel runner.
+func PolicyAblation(q Quality) []PolicyRow {
+	rows, _ := PolicyAblationWith(context.Background(), nil, q)
 	return rows
 }

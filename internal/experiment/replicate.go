@@ -1,8 +1,12 @@
 package experiment
 
 import (
+	"context"
 	"math"
+	"strconv"
 	"time"
+
+	"mindgap/internal/runner"
 )
 
 // Replicated summarizes one load point measured across several independent
@@ -20,19 +24,41 @@ type Replicated struct {
 	AnySaturated bool
 }
 
-// RunPointReplicated measures cfg across the given seeds (cfg.Seed is
-// ignored) and returns cross-seed summary statistics.
-func RunPointReplicated(cfg PointConfig, seeds []uint64) Replicated {
+// IsSaturated implements the sweep runner's saturation probe.
+func (r Replicated) IsSaturated() bool { return r.AnySaturated }
+
+// RunPointReplicatedWith measures cfg across the given seeds — one
+// independent simulation per seed, fanned out on rn — and returns
+// cross-seed summary statistics. The explicit seed list replaces
+// cfg.Seed; setting both panics, so a replicate summary can never be
+// mistaken for (or silently collapse into) a single-seed run. sysKey must
+// uniquely describe the system under test (cfg.Factory is not
+// introspectable); it enables result caching, and an empty sysKey
+// disables it.
+func RunPointReplicatedWith(ctx context.Context, rn *runner.Runner, sysKey string, cfg PointConfig, seeds []uint64) (Replicated, error) {
 	if len(seeds) == 0 {
 		panic("experiment: need at least one seed")
 	}
-	rep := Replicated{}
-	var p99s, tputs []float64
-	for _, seed := range seeds {
+	if cfg.Seed != 0 {
+		panic("experiment: PointConfig.Seed is set alongside an explicit seed list; zero cfg.Seed (the seed list replaces it)")
+	}
+	pts := make([]runner.Point[Result], len(seeds))
+	for i, seed := range seeds {
 		c := cfg
 		c.Seed = seed
-		r := RunPoint(c)
-		rep.Runs = append(rep.Runs, r)
+		key := ""
+		if sysKey != "" {
+			key = pointKey("replicate", sysKey, c, "seed="+strconv.FormatUint(seed, 10))
+		}
+		pts[i] = runner.Point[Result]{
+			Key: key,
+			Run: func() Result { return RunPoint(c) },
+		}
+	}
+	runs, err := runner.RunOne(ctx, rn, "replicate", runner.Series[Result]{Points: pts})
+	rep := Replicated{Runs: runs}
+	var p99s, tputs []float64
+	for _, r := range runs {
 		p99s = append(p99s, float64(r.P99))
 		tputs = append(tputs, r.AchievedRPS)
 		rep.AnySaturated = rep.AnySaturated || r.Saturated
@@ -40,6 +66,13 @@ func RunPointReplicated(cfg PointConfig, seeds []uint64) Replicated {
 	mean, sd := meanStd(p99s)
 	rep.MeanP99, rep.P99StdDev = time.Duration(mean), time.Duration(sd)
 	rep.MeanAchieved, rep.AchievedStdDev = meanStd(tputs)
+	return rep, err
+}
+
+// RunPointReplicated measures cfg across the given seeds on the default
+// parallel runner. cfg.Seed must be zero — the seed list replaces it.
+func RunPointReplicated(cfg PointConfig, seeds []uint64) Replicated {
+	rep, _ := RunPointReplicatedWith(context.Background(), nil, "", cfg, seeds)
 	return rep
 }
 

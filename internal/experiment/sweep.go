@@ -1,0 +1,100 @@
+package experiment
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"mindgap/internal/params"
+	"mindgap/internal/runner"
+)
+
+// This file is the bridge between the experiment definitions and the
+// parallel sweep runner (internal/runner): it declares figure grids as
+// runner sweeps, assigns every point a stable cache key, and assembles
+// executed sweeps back into Figures.
+
+// paramsSig fingerprints the calibrated model constants, so cached results
+// are invalidated when the calibration (params.Default) changes.
+var paramsSig = sync.OnceValue(func() string {
+	b, err := json.Marshal(params.Default())
+	if err != nil {
+		// Params is a plain struct of numbers; Marshal cannot fail. Guard
+		// anyway: an empty signature merely widens cache collisions across
+		// calibrations, it never corrupts results.
+		return "params-unknown"
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:8])
+})
+
+// pointKey builds the cache identity of one measured point. sweepID and
+// label must together uniquely describe the system configuration (the
+// Factory closure is not introspectable); the remaining inputs come from
+// the point config and the calibration fingerprint. extra salts encode
+// per-point config not visible in cfg (e.g. Figure 3's k).
+func pointKey(sweepID, label string, cfg PointConfig, extra ...string) string {
+	if sweepID == "" {
+		return "" // anonymous sweeps are not cacheable
+	}
+	keys := "-"
+	if cfg.Keys != nil {
+		keys = cfg.Keys.String()
+	}
+	k := fmt.Sprintf("%s|%s|svc=%s|keys=%s|rps=%g|warm=%d|meas=%d|seed=%d|maxt=%s|params=%s",
+		sweepID, label, cfg.Service, keys, cfg.OfferedRPS,
+		cfg.Warmup, cfg.Measure, cfg.Seed, cfg.MaxSimTime, paramsSig())
+	for _, e := range extra {
+		k += "|" + e
+	}
+	return k
+}
+
+// LoadSeries declares one figure curve: cfg swept across the offered-load
+// grid, stopping after the second consecutive saturated point. sweepID
+// enables caching ("" disables it); it must be unique per figure.
+func LoadSeries(sweepID, label string, cfg PointConfig, loads []float64) runner.Series[Result] {
+	pts := make([]runner.Point[Result], len(loads))
+	for i, rps := range loads {
+		c := cfg
+		c.OfferedRPS = rps
+		pts[i] = runner.Point[Result]{
+			Key: pointKey(sweepID, label, c),
+			Run: func() Result { return RunPoint(c) },
+		}
+	}
+	return runner.Series[Result]{Label: label, Points: pts, StopAfterSaturated: 2}
+}
+
+// FigureSpec is a declarative, runnable figure: presentation metadata plus
+// the sweep that measures its curves.
+type FigureSpec struct {
+	ID             string
+	Title          string
+	XLabel, YLabel string
+	Sweep          runner.Sweep[Result]
+}
+
+// Run executes the spec's sweep on r (nil = default parallel runner) and
+// assembles the Figure. On cancellation it returns the partially measured
+// figure — every series holds its correctly-ordered completed prefix —
+// together with the context error.
+func (s FigureSpec) Run(ctx context.Context, r *runner.Runner) (Figure, error) {
+	res, err := runner.Run(ctx, r, s.Sweep)
+	f := Figure{ID: s.ID, Title: s.Title, XLabel: s.XLabel, YLabel: s.YLabel}
+	for _, sr := range res {
+		f.Series = append(f.Series, Series{Label: sr.Label, Results: sr.Results})
+	}
+	return f, err
+}
+
+// mustFigure runs a spec on the default parallel runner, for the
+// convenience wrappers (Figure2..Figure6 etc.) whose callers hold no
+// context; with a background context the error path is unreachable.
+func mustFigure(s FigureSpec) Figure {
+	f, _ := s.Run(context.Background(), nil)
+	return f
+}

@@ -1,0 +1,96 @@
+package experiment
+
+import (
+	"bytes"
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"mindgap/internal/params"
+	"mindgap/internal/runner"
+)
+
+// testQuality keeps sweep tests fast while still crossing the saturation
+// knee (so truncation is exercised).
+var testQuality = Quality{Warmup: 500, Measure: 3_000, Seed: 7}
+
+// renderFigure executes a spec at the given parallelism and returns its
+// rendered CSV bytes.
+func renderFigure(t *testing.T, spec FigureSpec, parallelism int) []byte {
+	t.Helper()
+	f, err := spec.Run(context.Background(), &runner.Runner{Parallelism: parallelism})
+	if err != nil {
+		t.Fatalf("run (j=%d): %v", parallelism, err)
+	}
+	var buf bytes.Buffer
+	if err := f.WriteCSV(&buf); err != nil {
+		t.Fatalf("render: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestFigureByteIdenticalAcrossParallelism is the refactor's headline
+// acceptance check in miniature: a real figure rendered at -j1 and at
+// GOMAXPROCS parallelism must be byte-identical, including where the
+// saturation rule truncates each curve.
+func TestFigureByteIdenticalAcrossParallelism(t *testing.T) {
+	spec := Figure2Spec(testQuality)
+	serial := renderFigure(t, spec, 1)
+	for _, par := range []int{4, runtime.GOMAXPROCS(0)} {
+		if got := renderFigure(t, spec, par); !bytes.Equal(serial, got) {
+			t.Fatalf("figure2 CSV differs between j=1 and j=%d:\n--- j=1 ---\n%s\n--- j=%d ---\n%s",
+				par, serial, par, got)
+		}
+	}
+	if len(bytes.TrimSpace(serial)) == 0 {
+		t.Fatal("rendered figure is empty")
+	}
+}
+
+// TestFigureCancellation cancels a figure sweep up front: the spec must
+// return the context error and an empty (but well-formed) figure rather
+// than hanging or panicking.
+func TestFigureCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	f, err := Figure2Spec(testQuality).Run(ctx, &runner.Runner{Parallelism: 2})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(f.Series) != 2 {
+		t.Fatalf("got %d series labels, want 2 (with empty prefixes)", len(f.Series))
+	}
+	for _, s := range f.Series {
+		if len(s.Results) != 0 {
+			t.Fatalf("series %q has %d results before any point could run", s.Label, len(s.Results))
+		}
+	}
+}
+
+// TestMultiTenantComparisonWith checks the concurrent FIFO/priority pair
+// matches two direct serial runs.
+func TestMultiTenantComparisonWith(t *testing.T) {
+	cfg := MultiTenantConfig{
+		P:       params.Default(),
+		Workers: 2, Outstanding: 2, Slice: 10 * time.Microsecond,
+		Tenants: DefaultTenants(),
+		Quality: Quality{Warmup: 200, Measure: 1_000, Seed: 7},
+	}
+	cmp, err := MultiTenantComparisonWith(context.Background(), &runner.Runner{Parallelism: 2}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialFIFO := RunMultiTenant(cfg)
+	prio := cfg
+	prio.Priority = true
+	serialPrio := RunMultiTenant(prio)
+	for i := range serialFIFO {
+		if cmp.FIFO[i] != serialFIFO[i] {
+			t.Fatalf("fifo tenant %d: concurrent %+v != serial %+v", i, cmp.FIFO[i], serialFIFO[i])
+		}
+		if cmp.Priority[i] != serialPrio[i] {
+			t.Fatalf("priority tenant %d: concurrent %+v != serial %+v", i, cmp.Priority[i], serialPrio[i])
+		}
+	}
+}

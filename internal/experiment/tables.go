@@ -1,10 +1,12 @@
 package experiment
 
 import (
+	"context"
 	"time"
 
 	"mindgap/internal/dist"
 	"mindgap/internal/params"
+	"mindgap/internal/runner"
 )
 
 // TimerCostRow is one row of the §3.4.4 timer-cost table (T1).
@@ -42,6 +44,16 @@ func TimerCosts(p params.Params) []TimerCostRow {
 	return rows
 }
 
+// pairSeries declares a two-point sweep — the shape of the T2/T3
+// experiments, which compare one configuration against another. Both
+// points run concurrently under the sweep runner.
+func pairSeries(sweepID string, a, b PointConfig, aKey, bKey string) runner.Series[Result] {
+	return runner.Series[Result]{Points: []runner.Point[Result]{
+		{Key: pointKey(sweepID, aKey, a), Run: func() Result { return RunPoint(a) }},
+		{Key: pointKey(sweepID, bKey, b), Run: func() Result { return RunPoint(b) }},
+	}}
+}
+
 // IPCOverheadResult is the T2 experiment: the extra tail latency vanilla
 // Shinjuku's inter-thread communication adds to minimal-work requests
 // compared to single-thread run-to-completion (§2.2 item 4: ≈2 µs).
@@ -51,27 +63,35 @@ type IPCOverheadResult struct {
 	Overhead    time.Duration
 }
 
-// IPCOverhead measures T2. Both systems run far from saturation with
-// near-zero application work so the path cost dominates.
-func IPCOverhead(q Quality) IPCOverheadResult {
+// IPCOverheadWith measures T2 on rn. Both systems run far from saturation
+// with near-zero application work so the path cost dominates.
+func IPCOverheadWith(ctx context.Context, rn *runner.Runner, q Quality) (IPCOverheadResult, error) {
 	p := params.Default()
 	svc := dist.Fixed{D: 200 * time.Nanosecond}
 	const load = 100_000
-	shin := RunPoint(PointConfig{
-		Factory: ShinjukuFactory(p, 3, 0),
+	base := PointConfig{
 		Service: svc, OfferedRPS: load,
 		Warmup: q.Warmup, Measure: q.Measure, Seed: q.Seed,
-	})
-	rss := RunPoint(PointConfig{
-		Factory: RSSFactory(p, 3),
-		Service: svc, OfferedRPS: load,
-		Warmup: q.Warmup, Measure: q.Measure, Seed: q.Seed,
-	})
-	return IPCOverheadResult{
-		ShinjukuP99: shin.P99,
-		RSSP99:      rss.P99,
-		Overhead:    shin.P99 - rss.P99,
 	}
+	shin, rss := base, base
+	shin.Factory = ShinjukuFactory(p, 3, 0)
+	rss.Factory = RSSFactory(p, 3)
+	res, err := runner.RunOne(ctx, rn, "table-ipc",
+		pairSeries("table-ipc", shin, rss, "shinjuku-3w", "rss-3w"))
+	if len(res) < 2 {
+		return IPCOverheadResult{}, err
+	}
+	return IPCOverheadResult{
+		ShinjukuP99: res[0].P99,
+		RSSP99:      res[1].P99,
+		Overhead:    res[0].P99 - res[1].P99,
+	}, err
+}
+
+// IPCOverhead measures T2 on the default parallel runner.
+func IPCOverhead(q Quality) IPCOverheadResult {
+	r, _ := IPCOverheadWith(context.Background(), nil, q)
+	return r
 }
 
 // WorkerWaitResult is the T3 experiment: at their respective saturation
@@ -84,28 +104,40 @@ type WorkerWaitResult struct {
 	ExtraWaitFrac float64 // (IdleAt1us - IdleAt100us) / IdleAt100us
 }
 
-// WorkerWait measures T3 at saturating load for both configurations.
-func WorkerWait(q Quality) WorkerWaitResult {
+// WorkerWaitWith measures T3 on rn at saturating load for both
+// configurations.
+func WorkerWaitWith(ctx context.Context, rn *runner.Runner, q Quality) (WorkerWaitResult, error) {
 	p := params.Default()
 	// Figure 5 configuration at its knee (just below saturation).
-	fig5 := RunPoint(PointConfig{
+	fig5 := PointConfig{
 		Factory: OffloadFactory(p, 16, 2, 0),
 		Service: Fixed100us, OfferedRPS: 150_000,
 		Warmup: q.Warmup, Measure: q.Measure, Seed: q.Seed,
-	})
+	}
 	// Figure 6 configuration at its knee.
-	fig6 := RunPoint(PointConfig{
+	fig6 := PointConfig{
 		Factory: OffloadFactory(p, 16, 5, 0),
 		Service: Fixed1us, OfferedRPS: 1_500_000,
 		Warmup: q.Warmup, Measure: q.Measure, Seed: q.Seed,
-	})
+	}
+	res, err := runner.RunOne(ctx, rn, "table-wait",
+		pairSeries("table-wait", fig5, fig6, "offload-16w-k2", "offload-16w-k5"))
+	if len(res) < 2 {
+		return WorkerWaitResult{}, err
+	}
 	r := WorkerWaitResult{
-		IdleAt100us: fig5.WorkerIdleFraction,
-		IdleAt1us:   fig6.WorkerIdleFraction,
+		IdleAt100us: res[0].WorkerIdleFraction,
+		IdleAt1us:   res[1].WorkerIdleFraction,
 	}
 	if r.IdleAt100us > 0 {
 		r.ExtraWaitFrac = (r.IdleAt1us - r.IdleAt100us) / r.IdleAt100us
 	}
+	return r, err
+}
+
+// WorkerWait measures T3 on the default parallel runner.
+func WorkerWait(q Quality) WorkerWaitResult {
+	r, _ := WorkerWaitWith(context.Background(), nil, q)
 	return r
 }
 

@@ -1,12 +1,14 @@
 package experiment
 
 import (
+	"context"
 	"time"
 
 	"mindgap/internal/core"
 	"mindgap/internal/dist"
 	"mindgap/internal/loadgen"
 	"mindgap/internal/params"
+	"mindgap/internal/runner"
 	"mindgap/internal/sim"
 	"mindgap/internal/stats"
 	"mindgap/internal/task"
@@ -122,6 +124,40 @@ func RunMultiTenant(cfg MultiTenantConfig) []TenantResult {
 		}
 	}
 	return out
+}
+
+// MultiTenantComparison is the X9 headline contrast: the same tenant mix
+// under one shared FIFO and under strict class priority.
+type MultiTenantComparison struct {
+	// FIFO and Priority hold per-tenant profiles for each discipline.
+	FIFO, Priority []TenantResult
+}
+
+// MultiTenantComparisonWith measures the X9 scenario on rn: the FIFO and
+// priority configurations are independent simulations and run
+// concurrently. Each simulation itself is one engine driving all tenants,
+// so it is the unit of parallelism.
+func MultiTenantComparisonWith(ctx context.Context, rn *runner.Runner, cfg MultiTenantConfig) (MultiTenantComparison, error) {
+	variant := func(priority bool) runner.Point[[]TenantResult] {
+		c := cfg
+		c.Priority = priority
+		// Tenant mixes embed a service-time distribution (an interface),
+		// which does not survive a JSON round-trip, so these points carry
+		// no cache key.
+		return runner.Point[[]TenantResult]{
+			Run: func() []TenantResult { return RunMultiTenant(c) },
+		}
+	}
+	runs, err := runner.RunOne(ctx, rn, "table-tenants",
+		runner.Series[[]TenantResult]{Points: []runner.Point[[]TenantResult]{variant(false), variant(true)}})
+	var out MultiTenantComparison
+	if len(runs) > 0 {
+		out.FIFO = runs[0]
+	}
+	if len(runs) > 1 {
+		out.Priority = runs[1]
+	}
+	return out, err
 }
 
 // DefaultTenants returns the X9 scenario: a latency-critical KVS tenant

@@ -1,0 +1,284 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mindgap/internal/telemetry"
+)
+
+// meas is a toy measurement with the saturation probe the runner looks for.
+type meas struct {
+	V   int
+	Sat bool
+}
+
+func (m meas) IsSaturated() bool { return m.Sat }
+
+// jitterSweep builds a sweep whose points finish in deliberately scrambled
+// wall-clock order (later grid indices finish first) so any
+// completion-order dependence in the runner would corrupt the output.
+func jitterSweep(series, points int) Sweep[meas] {
+	sw := Sweep[meas]{Name: "jitter"}
+	for si := 0; si < series; si++ {
+		s := Series[meas]{Label: fmt.Sprintf("s%d", si)}
+		for pi := 0; pi < points; pi++ {
+			si, pi := si, pi
+			s.Points = append(s.Points, Point[meas]{
+				Run: func() meas {
+					time.Sleep(time.Duration((points-pi)%5) * time.Millisecond)
+					return meas{V: si*1000 + pi}
+				},
+			})
+		}
+		sw.Series = append(sw.Series, s)
+	}
+	return sw
+}
+
+// TestRunOrderedAtAnyParallelism is the determinism contract: results are
+// keyed by grid index, so -j1 and -jN return identical slices even when
+// points complete wildly out of order.
+func TestRunOrderedAtAnyParallelism(t *testing.T) {
+	sw := jitterSweep(3, 8)
+	serial, err := Run(context.Background(), &Runner{Parallelism: 1}, sw)
+	if err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	for _, par := range []int{2, 8, runtime.GOMAXPROCS(0)} {
+		got, err := Run(context.Background(), &Runner{Parallelism: par}, sw)
+		if err != nil {
+			t.Fatalf("parallel run (j=%d): %v", par, err)
+		}
+		if !reflect.DeepEqual(serial, got) {
+			t.Fatalf("j=%d results differ from serial:\nserial: %+v\nj=%d:    %+v", par, serial, par, got)
+		}
+	}
+	for si, sr := range serial {
+		if len(sr.Results) != 8 {
+			t.Fatalf("series %d: got %d results, want 8", si, len(sr.Results))
+		}
+		for pi, m := range sr.Results {
+			if m.V != si*1000+pi {
+				t.Fatalf("series %d point %d: got %d", si, pi, m.V)
+			}
+		}
+	}
+}
+
+// TestStopAfterSaturated checks the truncation rule matches the old serial
+// sweep: the series ends at the Nth consecutive saturated point, computed
+// on grid-ordered results regardless of completion order.
+func TestStopAfterSaturated(t *testing.T) {
+	// Saturated at 2 (isolated), then 5,6 (the stopping run), then
+	// everything beyond stays saturated but must already be cut.
+	sat := map[int]bool{2: true, 5: true, 6: true, 7: true, 8: true, 9: true}
+	var ran atomic.Int64
+	s := Series[meas]{Label: "curve", StopAfterSaturated: 2}
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Points = append(s.Points, Point[meas]{Run: func() meas {
+			ran.Add(1)
+			time.Sleep(time.Duration(i%3) * time.Millisecond)
+			return meas{V: i, Sat: sat[i]}
+		}})
+	}
+	for _, par := range []int{1, 4} {
+		ran.Store(0)
+		got, err := RunOne(context.Background(), &Runner{Parallelism: par}, "trunc", s)
+		if err != nil {
+			t.Fatalf("j=%d: %v", par, err)
+		}
+		if len(got) != 7 { // indices 0..6: cut lands on the 2nd consecutive saturated point
+			t.Fatalf("j=%d: got %d results, want 7 (%+v)", par, len(got), got)
+		}
+		for i, m := range got {
+			if m.V != i {
+				t.Fatalf("j=%d: out of order at %d: %+v", par, i, got)
+			}
+		}
+		if par == 1 && ran.Load() != 7 {
+			// Serial execution must prune everything past the cut.
+			t.Fatalf("j=1: ran %d points, want 7", ran.Load())
+		}
+	}
+}
+
+// TestCancellationPartialPrefix cancels mid-sweep and checks the contract:
+// Run returns ctx.Err(), each series holds a correctly-ordered contiguous
+// prefix, and no worker goroutines are left behind.
+func TestCancellationPartialPrefix(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	gate := make(chan struct{})
+	var once sync.Once
+	const n = 12
+	s := Series[meas]{Label: "curve"}
+	for i := 0; i < n; i++ {
+		i := i
+		s.Points = append(s.Points, Point[meas]{Run: func() meas {
+			if i >= 3 {
+				// Cancel while points are in flight, then let them finish:
+				// the runner must wait for them, not abandon them.
+				once.Do(cancel)
+				<-gate
+			}
+			return meas{V: i}
+		}})
+	}
+	go func() {
+		<-ctx.Done()
+		time.Sleep(10 * time.Millisecond)
+		close(gate)
+	}()
+
+	got, err := RunOne(ctx, &Runner{Parallelism: 2}, "cancel", s)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(got) == 0 || len(got) >= n {
+		t.Fatalf("got %d results, want a non-empty strict prefix of %d", len(got), n)
+	}
+	for i, m := range got {
+		if m.V != i {
+			t.Fatalf("prefix out of order at %d: %+v", i, got)
+		}
+	}
+
+	// All workers and the feeder must have exited.
+	for deadline := time.Now().Add(2 * time.Second); ; {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: before=%d now=%d", before, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestCacheRoundTrip runs the same keyed sweep twice against one on-disk
+// cache: the second run must not execute any point and must return
+// identical results.
+func TestCacheRoundTrip(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ran atomic.Int64
+	mk := func() Sweep[meas] {
+		s := Series[meas]{Label: "curve"}
+		for i := 0; i < 6; i++ {
+			i := i
+			s.Points = append(s.Points, Point[meas]{
+				Key: fmt.Sprintf("cache-test|i=%d", i),
+				Run: func() meas { ran.Add(1); return meas{V: i * i} },
+			})
+		}
+		return Sweep[meas]{Name: "cached", Series: []Series[meas]{s}}
+	}
+
+	first, err := Run(context.Background(), &Runner{Parallelism: 4, Cache: cache}, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 6 {
+		t.Fatalf("first run executed %d points, want 6", ran.Load())
+	}
+
+	var cachedEvents atomic.Int64
+	rn := &Runner{Parallelism: 4, Cache: cache, Progress: func(ev Event) {
+		if ev.Cached {
+			cachedEvents.Add(1)
+		}
+	}}
+	second, err := Run(context.Background(), rn, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 6 {
+		t.Fatalf("second run executed %d extra points, want 0", ran.Load()-6)
+	}
+	if cachedEvents.Load() != 6 {
+		t.Fatalf("second run reported %d cached events, want 6", cachedEvents.Load())
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("cached results differ:\nfirst:  %+v\nsecond: %+v", first, second)
+	}
+	if hits, misses := cache.Stats(); hits != 6 || misses != 6 {
+		t.Fatalf("stats = %d hits / %d misses, want 6/6", hits, misses)
+	}
+
+	// Empty keys bypass the cache entirely.
+	uncached := Sweep[meas]{Name: "uncached", Series: []Series[meas]{{
+		Points: []Point[meas]{{Run: func() meas { ran.Add(1); return meas{V: 99} }}},
+	}}}
+	if _, err := Run(context.Background(), &Runner{Cache: cache}, uncached); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 7 {
+		t.Fatalf("keyless point was not executed")
+	}
+}
+
+// TestTelemetryCounters checks the wired metrics reflect a completed sweep.
+func TestTelemetryCounters(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	sw := jitterSweep(2, 3)
+	if _, err := Run(context.Background(), &Runner{Parallelism: 2, Metrics: reg}, sw); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("runner", "points_total").Value(); got != 6 {
+		t.Fatalf("points_total = %d, want 6", got)
+	}
+	if got := reg.Counter("runner", "points_done").Value(); got != 6 {
+		t.Fatalf("points_done = %d, want 6", got)
+	}
+	if got := reg.Gauge("runner", "inflight").Value(); got != 0 {
+		t.Fatalf("inflight = %v, want 0 after completion", got)
+	}
+}
+
+// TestPointPanicPropagates ensures a panicking point surfaces to the
+// caller after the pool drains, rather than crashing a bare goroutine.
+func TestPointPanicPropagates(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s := Series[meas]{Points: []Point[meas]{
+		{Run: func() meas { return meas{V: 1} }},
+		{Run: func() meas { panic("boom") }},
+		{Run: func() meas { return meas{V: 3} }},
+	}}
+	func() {
+		defer func() {
+			if p := recover(); p != "boom" {
+				t.Fatalf("recovered %v, want \"boom\"", p)
+			}
+		}()
+		_, _ = RunOne(context.Background(), &Runner{Parallelism: 2}, "panic", s)
+		t.Fatal("RunOne returned instead of panicking")
+	}()
+	for deadline := time.Now().Add(2 * time.Second); runtime.NumGoroutine() > before; {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked after panic: before=%d now=%d", before, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestNilRunner checks the documented nil-Runner convenience.
+func TestNilRunner(t *testing.T) {
+	got, err := RunOne(context.Background(), nil, "nil", Series[meas]{
+		Points: []Point[meas]{{Run: func() meas { return meas{V: 42} }}},
+	})
+	if err != nil || len(got) != 1 || got[0].V != 42 {
+		t.Fatalf("got %+v, %v", got, err)
+	}
+}
