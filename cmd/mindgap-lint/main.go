@@ -1,0 +1,66 @@
+// Command mindgap-lint enforces the determinism and model invariants of
+// the mindgap simulator:
+//
+//	simclock    no wall clock / global rand in simulation packages
+//	maporder    no order-sensitive emission from map-range loops
+//	floateq     no ==/!= between floats in sim/stats code
+//	lockedsend  no blocking channel ops while a mutex is held
+//	lintallow   every //lint:allow suppression names an analyzer and a reason
+//
+// Usage:
+//
+//	mindgap-lint [packages]             # standalone, defaults to ./...
+//	go vet -vettool=$(which mindgap-lint) ./...
+//
+// Standalone mode exits 0 if the tree is clean, 1 if there are
+// diagnostics, and 2 on a loading or internal error. When invoked by
+// the go vet driver (-V=full handshake or a *.cfg argument) it speaks
+// the unitchecker protocol instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"mindgap/internal/lint"
+	"mindgap/internal/lint/driver"
+)
+
+func main() {
+	// go vet probes the tool with `-V=full` (version handshake) and
+	// `-flags` (flag inventory), then invokes it once per package with a
+	// *.cfg file; delegate all three forms to unitchecker.
+	args := os.Args[1:]
+	if n := len(args); n > 0 && (strings.HasPrefix(args[0], "-V=") || args[0] == "-flags" || strings.HasSuffix(args[n-1], ".cfg")) {
+		unitchecker.Main(lint.Analyzers()...) // does not return
+	}
+
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: mindgap-lint [packages]\n\nAnalyzers:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	diags, err := driver.Run(patterns, lint.Analyzers())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mindgap-lint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Printf("%s\n", d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "mindgap-lint: %d diagnostic(s); fix them or add //lint:allow <analyzer> <reason>\n", len(diags))
+		os.Exit(1)
+	}
+}

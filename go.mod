@@ -1,3 +1,9 @@
 module mindgap
 
-go 1.22
+go 1.22.0
+
+// Pinned to the exact revision vendored by the Go 1.24 distribution
+// (src/cmd/vendor), from which vendor/golang.org/x/tools was populated.
+// The build always runs in -mod=vendor mode, so it is hermetic: no
+// network or module proxy is consulted after checkout.
+require golang.org/x/tools v0.28.1-0.20250131145412-98746475647e

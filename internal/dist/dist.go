@@ -119,6 +119,7 @@ type Pareto struct {
 // Sample implements Distribution.
 func (p Pareto) Sample(r *rand.Rand) time.Duration {
 	u := r.Float64()
+	//lint:allow floateq rejecting the exact value 0 from the seeded rng; any nonzero u is a valid draw
 	for u == 0 {
 		u = r.Float64()
 	}
@@ -143,6 +144,7 @@ func (p Pareto) Mean() time.Duration {
 	}
 	// Mean of a bounded Pareto on [L, H].
 	l, h, a := float64(p.Min), float64(p.Max), p.Alpha
+	//lint:allow floateq alpha exactly 1 selects the log-form closed formula; the general branch handles every nearby alpha
 	if a == 1 {
 		return time.Duration(l * h / (h - l) * math.Log(h/l))
 	}
@@ -197,6 +199,7 @@ func NewMixture(weights []float64, components []Distribution) *Mixture {
 		}
 		total += w
 	}
+	//lint:allow floateq config validation: an all-zero weight vector sums to exactly 0, not to a rounding artifact
 	if total == 0 {
 		panic("dist: mixture weights sum to zero")
 	}

@@ -147,7 +147,9 @@ func empiricalCV2(d dist.Distribution) float64 {
 	}
 	mean := sum / n
 	varr := sumSq/n - mean*mean
-	if mean == 0 {
+	// Samples are non-negative, so mean <= 0 means every draw was zero
+	// and CV² is undefined; <= sidesteps an exact float comparison.
+	if mean <= 0 {
 		return 0
 	}
 	cv2 := varr / (mean * mean)

@@ -45,10 +45,12 @@ func (f Figure) Plot(w io.Writer, width, height int) {
 		fmt.Fprintln(w, "(no data)")
 		return
 	}
-	if maxX == minX {
+	// max >= min by construction; <= (rather than ==) widens degenerate
+	// ranges without an exact float comparison.
+	if maxX <= minX {
 		maxX = minX + 1
 	}
-	if maxY == minY {
+	if maxY <= minY {
 		maxY = minY + 1
 	}
 

@@ -1,0 +1,14 @@
+package allow_test
+
+import (
+	"testing"
+
+	"mindgap/internal/lint/allow"
+	"mindgap/internal/lint/linttest"
+)
+
+// TestDirectives proves, among other cases, that a //lint:allow
+// directive without a reason is itself a diagnostic.
+func TestDirectives(t *testing.T) {
+	linttest.Run(t, allow.Analyzer, "mindgap/internal/queue", "testdata/d")
+}

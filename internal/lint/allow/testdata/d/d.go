@@ -1,0 +1,27 @@
+// Fixture for lintallow: the suppression directives themselves are
+// checked — a reasonless or mistyped suppression is a diagnostic.
+package d
+
+import "math"
+
+func directives(x float64) float64 {
+	//lint:allow simclock // want `missing a reason`
+	a := x + 1
+
+	//lint:allow // want `missing an analyzer name and a reason`
+	b := a * 2
+
+	//lint:allow speling epsilon guard // want `unknown analyzer "speling"`
+	c := math.Sqrt(b)
+
+	// Negative: well-formed directive — known analyzer plus a reason.
+	//lint:allow floateq epsilon guard on assigned sentinel value
+	if c == 0 {
+		return 0
+	}
+
+	// Negative: an ordinary comment mentioning lint:allow mid-sentence
+	// is not a directive, nor is a longer token like the next line.
+	//lint:allowed
+	return c
+}

@@ -1,0 +1,258 @@
+// Package driver loads, type-checks, and analyzes Go packages for
+// cmd/mindgap-lint without depending on golang.org/x/tools/go/packages
+// (which the offline vendor snapshot does not include).
+//
+// Loading follows the same strategy as go vet's unitchecker: `go list
+// -export -json -deps` yields, for every package in the transitive
+// closure, the on-disk location of its compiler export data. Each
+// target package is then parsed from source and type-checked against
+// that export data via go/importer, which is both fast and exact — the
+// types seen by the analyzers are the types the compiler saw.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// ListedPackage is the subset of `go list -json` output the driver
+// consumes.
+type ListedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// List runs `go list -export -json -deps patterns...` in dir (or the
+// current directory if dir is empty) and decodes the package stream.
+func List(dir string, patterns ...string) ([]*ListedPackage, error) {
+	args := append([]string{"list", "-e", "-export", "-json", "-deps"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, errb.Bytes())
+	}
+	var pkgs []*ListedPackage
+	dec := json.NewDecoder(&out)
+	for {
+		var p ListedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// Exports builds the import-path -> export-data-file map used by the
+// type-checker's importer.
+func Exports(pkgs []*ListedPackage) map[string]string {
+	m := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			m[p.ImportPath] = p.Export
+		}
+	}
+	return m
+}
+
+// Importer returns a types.Importer that resolves import paths through
+// compiler export data files.
+func Importer(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}
+
+// CheckedPackage is a parsed and type-checked package ready for
+// analysis.
+type CheckedPackage struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// NewInfo returns a types.Info with all maps allocated, as analyzers
+// expect from a driver.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// Check parses and type-checks one listed package against the export
+// map.
+func Check(fset *token.FileSet, lp *ListedPackage, imp types.Importer) (*CheckedPackage, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(lp.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := NewInfo()
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	pkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", lp.ImportPath, err)
+	}
+	return &CheckedPackage{Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// Diagnostic is a rendered finding.
+type Diagnostic struct {
+	Posn     token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Posn, d.Message, d.Analyzer)
+}
+
+// RunAnalyzers executes the analyzers (and, transitively, everything
+// they require) over one checked package, returning the diagnostics in
+// file/position order. Facts are not supported: the mindgap-lint suite
+// is fact-free, so the fact accessors are wired to no-ops.
+func RunAnalyzers(cp *CheckedPackage, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
+	if err := analysis.Validate(analyzers); err != nil {
+		return nil, err
+	}
+	results := make(map[*analysis.Analyzer]any)
+	ran := make(map[*analysis.Analyzer]bool)
+	var diags []Diagnostic
+
+	var exec func(a *analysis.Analyzer) error
+	exec = func(a *analysis.Analyzer) error {
+		if ran[a] {
+			return nil
+		}
+		ran[a] = true
+		for _, req := range a.Requires {
+			if err := exec(req); err != nil {
+				return err
+			}
+		}
+		pass := &analysis.Pass{
+			Analyzer:   a,
+			Fset:       cp.Fset,
+			Files:      cp.Files,
+			Pkg:        cp.Pkg,
+			TypesInfo:  cp.Info,
+			TypesSizes: types.SizesFor("gc", runtime.GOARCH),
+			ResultOf:   results,
+			ReadFile:   os.ReadFile,
+			Report: func(d analysis.Diagnostic) {
+				diags = append(diags, Diagnostic{
+					Posn:     cp.Fset.Position(d.Pos),
+					Analyzer: a.Name,
+					Message:  d.Message,
+				})
+			},
+			ImportObjectFact:  func(types.Object, analysis.Fact) bool { return false },
+			ImportPackageFact: func(*types.Package, analysis.Fact) bool { return false },
+			ExportObjectFact:  func(types.Object, analysis.Fact) {},
+			ExportPackageFact: func(analysis.Fact) {},
+			AllObjectFacts:    func() []analysis.ObjectFact { return nil },
+			AllPackageFacts:   func() []analysis.PackageFact { return nil },
+		}
+		res, err := a.Run(pass)
+		if err != nil {
+			return fmt.Errorf("analyzer %s on %s: %v", a.Name, cp.Pkg.Path(), err)
+		}
+		results[a] = res
+		return nil
+	}
+	for _, a := range analyzers {
+		if err := exec(a); err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Posn.Filename != b.Posn.Filename {
+			return a.Posn.Filename < b.Posn.Filename
+		}
+		if a.Posn.Line != b.Posn.Line {
+			return a.Posn.Line < b.Posn.Line
+		}
+		if a.Posn.Column != b.Posn.Column {
+			return a.Posn.Column < b.Posn.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// Run loads every package matching patterns, analyzes the non-dependency
+// ones, and returns all diagnostics in deterministic order.
+func Run(patterns []string, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
+	pkgs, err := List("", patterns...)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := Importer(fset, Exports(pkgs))
+	var all []Diagnostic
+	for _, lp := range pkgs {
+		if lp.DepOnly || lp.Standard || len(lp.GoFiles) == 0 {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("loading %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		cp, err := Check(fset, lp, imp)
+		if err != nil {
+			return nil, err
+		}
+		diags, err := RunAnalyzers(cp, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, diags...)
+	}
+	return all, nil
+}

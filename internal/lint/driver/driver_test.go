@@ -1,0 +1,25 @@
+package driver_test
+
+import (
+	"testing"
+
+	"mindgap/internal/lint"
+	"mindgap/internal/lint/driver"
+)
+
+// TestRepoLintClean is the same gate CI enforces: the full analyzer
+// suite over the whole module must produce zero diagnostics. Any
+// finding is either a real determinism/deadlock hazard to fix or needs
+// an explicit //lint:allow <analyzer> <reason>.
+func TestRepoLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module; skipped in -short")
+	}
+	diags, err := driver.Run([]string{"mindgap/..."}, lint.Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

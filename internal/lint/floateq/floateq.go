@@ -1,0 +1,71 @@
+// Package floateq flags == and != between floating-point operands in
+// simulation packages.
+//
+// Latency math in the simulator runs through float64 (utilization,
+// percentile interpolation, Zipf CDFs). Exact equality on the results
+// of such arithmetic is almost never what the author meant: two
+// mathematically equal expressions can differ in the last ulp depending
+// on evaluation order, and a refactor that changes association silently
+// flips the comparison. Compare against an epsilon, or restructure so
+// the decision is made on integers (ticks, counts) instead.
+//
+// Comparisons where both operands are compile-time constants are exact
+// by the spec and are not reported. *_test.go files are skipped: tests
+// assert exact float equality on purpose — that is the determinism
+// contract this repo enforces.
+package floateq
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"mindgap/internal/lint/allow"
+	"mindgap/internal/lint/simpkg"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "floateq",
+	Doc:      "flag ==/!= between floating-point operands in simulation and stats packages",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !simpkg.IsSimPackage(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.BinaryExpr)(nil)}, func(n ast.Node) {
+		be := n.(*ast.BinaryExpr)
+		if be.Op != token.EQL && be.Op != token.NEQ {
+			return
+		}
+		if strings.HasSuffix(pass.Fset.Position(be.Pos()).Filename, "_test.go") {
+			return
+		}
+		if !isFloat(pass.TypesInfo.TypeOf(be.X)) && !isFloat(pass.TypesInfo.TypeOf(be.Y)) {
+			return
+		}
+		// Constant folding is exact: 0.5 == 0.5 and comparisons between
+		// named float constants cannot wobble at run time.
+		if pass.TypesInfo.Types[be.X].Value != nil && pass.TypesInfo.Types[be.Y].Value != nil {
+			return
+		}
+		allow.Reportf(pass, be.OpPos, "floating-point %s comparison is not exact: compare with an epsilon or decide on integer ticks", be.Op)
+	})
+	return nil, nil
+}

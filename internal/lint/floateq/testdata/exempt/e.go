@@ -1,0 +1,5 @@
+// Fixture loaded as package path "mindgap/examples/demo": floateq only
+// applies to simulation/stats packages.
+package e
+
+func liveThreshold(load float64) bool { return load == 1.0 }

@@ -1,0 +1,39 @@
+// Fixture loaded as package path "mindgap/internal/stats": float
+// equality in sim/stats code is reported.
+package stats
+
+const eps = 1e-9
+
+func positives(a, b float64, f float32) bool {
+	if a == b { // want `floating-point == comparison is not exact`
+		return true
+	}
+	if f != 0 { // want `floating-point != comparison is not exact`
+		return false
+	}
+	interp := a*0.5 + b*0.5
+	return interp != b // want `floating-point != comparison is not exact`
+}
+
+// Negative: both operands are compile-time constants; the comparison is
+// exact by the spec.
+func constants() bool {
+	return eps == 1e-9
+}
+
+// Negative: integer comparisons and ordered float comparisons are fine.
+func ordered(a, b float64, i, j int) bool {
+	if i == j {
+		return true
+	}
+	return a <= b || a > b
+}
+
+// Negative: a well-formed suppression silences the diagnostic.
+func suppressed(cdf []float64, u float64) int {
+	//lint:allow floateq CDF entries are assigned, not computed, so exact match is intended
+	if len(cdf) > 0 && cdf[0] == u {
+		return 0
+	}
+	return -1
+}

@@ -1,0 +1,7 @@
+package stats
+
+// Negative: *_test.go files assert exact float equality on purpose —
+// deterministic output is the contract under test.
+func exactAssertion(got, want float64) bool {
+	return got == want
+}

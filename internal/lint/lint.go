@@ -1,0 +1,29 @@
+// Package lint assembles the mindgap-lint analyzer suite.
+//
+// The suite enforces the invariants the reproduction's evaluation
+// methodology rests on: simulation output must be a deterministic
+// function of (config, seed), byte-identical at -j1 and -jN. See the
+// individual analyzer packages for the rules, and package allow for the
+// //lint:allow <analyzer> <reason> suppression mechanism.
+package lint
+
+import (
+	"golang.org/x/tools/go/analysis"
+
+	"mindgap/internal/lint/allow"
+	"mindgap/internal/lint/floateq"
+	"mindgap/internal/lint/lockedsend"
+	"mindgap/internal/lint/maporder"
+	"mindgap/internal/lint/simclock"
+)
+
+// Analyzers returns the full suite in a fixed order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		simclock.Analyzer,
+		maporder.Analyzer,
+		floateq.Analyzer,
+		lockedsend.Analyzer,
+		allow.Analyzer,
+	}
+}

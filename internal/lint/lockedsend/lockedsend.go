@@ -1,0 +1,297 @@
+// Package lockedsend flags blocking channel operations performed while
+// a sync.Mutex or sync.RWMutex is held.
+//
+// This is a real deadlock class in the telemetry and runner hot paths:
+// a goroutine that sends on an unbuffered (or full) channel while
+// holding a registry mutex blocks until a receiver runs — and if that
+// receiver needs the same mutex (to snapshot counters, say), the
+// program wedges. The analysis is lexical and per-function: it tracks
+// Lock/RLock and Unlock/RUnlock calls in statement order and reports
+// sends, receives, and blocking selects that occur while at least one
+// mutex is held. A `defer mu.Unlock()` keeps the mutex held to the end
+// of the function, which is exactly how the deadlock usually ships.
+//
+// A select statement with a default clause is non-blocking and is not
+// reported — that is the sanctioned pattern for best-effort emission
+// (drop the sample rather than stall the simulator) under a lock.
+package lockedsend
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"mindgap/internal/lint/allow"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "lockedsend",
+	Doc:      "flag blocking channel operations while a sync.Mutex/RWMutex is held",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	// Each function body is analyzed independently with no mutexes
+	// held: the lock set is lexical, not interprocedural.
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil)}, func(n ast.Node) {
+		w := &walker{pass: pass}
+		var body *ast.BlockStmt
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			body = n.Body
+		case *ast.FuncLit:
+			body = n.Body
+		}
+		if body != nil {
+			w.stmts(body.List, nil)
+		}
+	})
+	return nil, nil
+}
+
+type walker struct {
+	pass *analysis.Pass
+}
+
+// held maps a mutex variable (or field) to the position where it was
+// locked. Maps are copied at branch points, so a lock taken inside an
+// if-arm does not leak into the statements after it.
+type held map[types.Object]token.Pos
+
+func (h held) clone() held {
+	c := make(held, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+// any returns an arbitrary-but-deterministic held mutex to name in the
+// diagnostic: the one locked at the smallest position.
+func (h held) any() (types.Object, token.Pos) {
+	var best types.Object
+	var bestPos token.Pos
+	for o, p := range h {
+		if best == nil || p < bestPos {
+			best, bestPos = o, p
+		}
+	}
+	return best, bestPos
+}
+
+// mutexCall reports whether e is a call m.Lock/RLock/Unlock/RUnlock on
+// a sync.Mutex or sync.RWMutex, returning the mutex object and whether
+// the call acquires (true) or releases (false).
+func (w *walker) mutexCall(e ast.Expr) (obj types.Object, acquire, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return nil, false, false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, false, false
+	}
+	var rel bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+	case "Unlock", "RUnlock":
+		rel = true
+	default:
+		return nil, false, false
+	}
+	recv := w.pass.TypesInfo.TypeOf(sel.X)
+	if recv == nil {
+		return nil, false, false
+	}
+	if p, isPtr := recv.Underlying().(*types.Pointer); isPtr {
+		recv = p.Elem()
+	}
+	named, isNamed := recv.(*types.Named)
+	if !isNamed || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return nil, false, false
+	}
+	if name := named.Obj().Name(); name != "Mutex" && name != "RWMutex" {
+		return nil, false, false
+	}
+	return exprObj(w.pass, sel.X), !rel, true
+}
+
+func exprObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.ObjectOf(x)
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.ObjectOf(x.Sel)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return exprObj(pass, x.X)
+		}
+	}
+	return nil
+}
+
+func (w *walker) report(pos token.Pos, what string, h held) {
+	obj, lockPos := h.any()
+	name := "mutex"
+	if obj != nil {
+		name = obj.Name()
+	}
+	allow.Reportf(w.pass, pos, "%s while %q is held (locked at %s): blocking under a mutex can deadlock with the receiver",
+		what, name, w.pass.Fset.Position(lockPos))
+}
+
+// stmts walks a statement list in order, threading the lock set through
+// and returning the set live after the last statement.
+func (w *walker) stmts(list []ast.Stmt, h held) held {
+	for _, s := range list {
+		h = w.stmt(s, h)
+	}
+	return h
+}
+
+func (w *walker) stmt(s ast.Stmt, h held) held {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if obj, acquire, ok := w.mutexCall(s.X); ok {
+			h = h.clone()
+			if acquire {
+				if h == nil {
+					h = make(held)
+				}
+				h[obj] = s.Pos()
+			} else {
+				delete(h, obj)
+			}
+			return h
+		}
+		w.exprs(h, s.X)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the mutex held for the rest of the
+		// function body; any other deferred call runs at return, not
+		// in map... not in lock order, so only its operands matter.
+		if _, _, ok := w.mutexCall(s.Call); !ok {
+			for _, a := range s.Call.Args {
+				w.exprs(h, a)
+			}
+		}
+	case *ast.SendStmt:
+		if len(h) > 0 {
+			w.report(s.Arrow, "send on channel", h)
+		}
+		w.exprs(h, s.Chan, s.Value)
+	case *ast.AssignStmt:
+		w.exprs(h, s.Rhs...)
+		w.exprs(h, s.Lhs...)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					w.exprs(h, vs.Values...)
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		w.exprs(h, s.Results...)
+	case *ast.IncDecStmt:
+		w.exprs(h, s.X)
+	case *ast.GoStmt:
+		// The spawned goroutine does not hold this goroutine's locks;
+		// its body is analyzed separately. Arguments are evaluated
+		// here, though.
+		for _, a := range s.Call.Args {
+			w.exprs(h, a)
+		}
+	case *ast.BlockStmt:
+		// A bare block is not a branch: locks taken inside persist.
+		h = w.stmts(s.List, h)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			h = w.stmt(s.Init, h)
+		}
+		w.exprs(h, s.Cond)
+		w.stmts(s.Body.List, h.clone())
+		if s.Else != nil {
+			w.stmt(s.Else, h.clone())
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			h = w.stmt(s.Init, h)
+		}
+		if s.Cond != nil {
+			w.exprs(h, s.Cond)
+		}
+		w.stmts(s.Body.List, h.clone())
+	case *ast.RangeStmt:
+		w.exprs(h, s.X)
+		w.stmts(s.Body.List, h.clone())
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			h = w.stmt(s.Init, h)
+		}
+		if s.Tag != nil {
+			w.exprs(h, s.Tag)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, h.clone())
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, h.clone())
+			}
+		}
+	case *ast.SelectStmt:
+		blocking := true
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				blocking = false // has a default clause
+			}
+		}
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			if cc.Comm != nil && blocking && len(h) > 0 {
+				w.report(cc.Comm.Pos(), "blocking select communication", h)
+			}
+			w.stmts(cc.Body, h.clone())
+		}
+	case *ast.LabeledStmt:
+		h = w.stmt(s.Stmt, h)
+	}
+	return h
+}
+
+// exprs reports blocking channel receives (<-ch) appearing in the given
+// expressions while h is non-empty, without descending into function
+// literals (their bodies run with their own lock context).
+func (w *walker) exprs(h held, es ...ast.Expr) {
+	if len(h) == 0 {
+		return
+	}
+	for _, e := range es {
+		if e == nil {
+			continue
+		}
+		ast.Inspect(e, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					w.report(n.OpPos, "receive from channel", h)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,12 @@
+package lockedsend_test
+
+import (
+	"testing"
+
+	"mindgap/internal/lint/linttest"
+	"mindgap/internal/lint/lockedsend"
+)
+
+func TestLockedSend(t *testing.T) {
+	linttest.Run(t, lockedsend.Analyzer, "mindgap/internal/telemetry", "testdata/l")
+}

@@ -1,0 +1,80 @@
+// Fixture for lockedsend: blocking channel operations while a
+// sync.Mutex or RWMutex is held. Package path does not matter.
+package l
+
+import "sync"
+
+type reg struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func sendLocked(r *reg) {
+	r.mu.Lock()
+	r.ch <- 1 // want `send on channel while "mu" is held`
+	r.mu.Unlock()
+}
+
+func recvDeferredUnlock(r *reg) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return <-r.ch // want `receive from channel while "mu" is held`
+}
+
+func blockingSelectUnderRLock(mu *sync.RWMutex, ch chan int) {
+	mu.RLock()
+	defer mu.RUnlock()
+	select {
+	case ch <- 1: // want `blocking select communication while "mu" is held`
+	case v := <-ch: // want `blocking select communication while "mu" is held`
+		_ = v
+	}
+}
+
+func sendInBranchUnderLock(r *reg, cond bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if cond {
+		r.ch <- 2 // want `send on channel while "mu" is held`
+	}
+}
+
+// Negative: the mutex is released before the send.
+func sendAfterUnlock(r *reg) {
+	r.mu.Lock()
+	r.mu.Unlock()
+	r.ch <- 1
+}
+
+// Negative: select with a default clause is non-blocking — the
+// sanctioned best-effort emission pattern under a lock.
+func nonBlockingUnderLock(r *reg) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	select {
+	case r.ch <- 1:
+	default:
+	}
+}
+
+// Negative: no lock held at all.
+func sendNoLock(r *reg) {
+	r.ch <- 2
+}
+
+// Negative: the spawned goroutine does not hold this goroutine's lock.
+func goroutineUnderLock(r *reg) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	go func() {
+		r.ch <- 3
+	}()
+}
+
+// Negative: a well-formed suppression silences the diagnostic.
+func suppressedSend(r *reg) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	//lint:allow lockedsend receiver is a dedicated drain goroutine that never takes this mutex
+	r.ch <- 4
+}

@@ -1,0 +1,229 @@
+// Package maporder flags order-sensitive emission from map-range loops.
+//
+// Go randomizes map iteration order on every execution, so a loop that
+// ranges over a map and appends to a slice, writes to a writer, sends
+// on a channel, or accumulates a float/string is nondeterministic
+// unless the collected output is sorted afterwards. This is exactly the
+// bug class that would silently break the -j1/-j4 byte-comparison CI
+// gate: the sim itself stays deterministic while a results table comes
+// out in a different row order each run.
+//
+// The canonical fix — collect the keys, sort them, then iterate the
+// sorted slice — is recognized: an append whose destination slice is
+// passed to a sort function after the loop is not reported.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"mindgap/internal/lint/allow"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "maporder",
+	Doc:      "flag appends, writer writes, channel sends, and order-sensitive accumulation inside map-range loops lacking a dominating sort",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// sortFuncs maps package path -> function names that establish a
+// deterministic order for their first argument.
+var sortFuncs = map[string]map[string]bool{
+	"sort": {
+		"Strings": true, "Ints": true, "Float64s": true,
+		"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
+// printFuncs are package-level output functions whose call order is
+// observable (stdout, a writer, or the log).
+var printFuncs = map[string]map[string]bool{
+	"fmt": {
+		"Print": true, "Printf": true, "Println": true,
+		"Fprint": true, "Fprintf": true, "Fprintln": true,
+	},
+	"log": {
+		"Print": true, "Printf": true, "Println": true,
+		"Fatal": true, "Fatalf": true, "Fatalln": true,
+	},
+}
+
+// writeMethods are method names that emit bytes in call order on any
+// receiver (io.Writer, strings.Builder, bytes.Buffer, hash.Hash, ...).
+var writeMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	reported := make(map[token.Pos]bool)
+	ins.WithStack([]ast.Node{(*ast.RangeStmt)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return true
+		}
+		rs := n.(*ast.RangeStmt)
+		tx := pass.TypesInfo.TypeOf(rs.X)
+		if tx == nil {
+			return true
+		}
+		if _, ok := tx.Underlying().(*types.Map); !ok {
+			return true
+		}
+		scope := enclosingFunc(stack)
+		report := func(pos token.Pos, format string, args ...any) {
+			if !reported[pos] {
+				reported[pos] = true
+				allow.Reportf(pass, pos, format, args...)
+			}
+		}
+		ast.Inspect(rs.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false // deferred execution; not in map-range order
+			case *ast.SendStmt:
+				report(n.Arrow, "send on channel inside map-range loop: receive order depends on map iteration order")
+			case *ast.AssignStmt:
+				checkAssign(pass, n, rs, scope, report)
+			case *ast.CallExpr:
+				checkCall(pass, n, rs, scope, report)
+			}
+			return true
+		})
+		return true
+	})
+	return nil, nil
+}
+
+func checkAssign(pass *analysis.Pass, as *ast.AssignStmt, rs *ast.RangeStmt, scope ast.Node, report func(token.Pos, string, ...any)) {
+	switch as.Tok {
+	case token.ADD_ASSIGN:
+		// s += v on strings concatenates and on floats accumulates with
+		// non-associative rounding; both make the result depend on map
+		// iteration order. Integer accumulation commutes and is fine.
+		t := pass.TypesInfo.TypeOf(as.Lhs[0])
+		if b, ok := t.Underlying().(*types.Basic); ok {
+			if b.Info()&types.IsString != 0 {
+				report(as.TokPos, "string concatenation inside map-range loop: result depends on map iteration order")
+			} else if b.Info()&types.IsFloat != 0 {
+				report(as.TokPos, "floating-point accumulation inside map-range loop is order-sensitive (float addition is not associative); iterate sorted keys")
+			}
+		}
+	case token.ASSIGN:
+		// keys[i] = k: index-writes into a slice in map-range order are
+		// the make()+index variant of the append idiom.
+		for _, lhs := range as.Lhs {
+			ix, ok := lhs.(*ast.IndexExpr)
+			if !ok {
+				continue
+			}
+			if _, ok := pass.TypesInfo.TypeOf(ix.X).Underlying().(*types.Slice); !ok {
+				continue
+			}
+			if obj := exprObj(pass, ix.X); obj != nil && sortedAfter(pass, scope, obj, rs.End()) {
+				continue
+			}
+			report(lhs.Pos(), "slice element written in map-range order without a later sort: iteration order is nondeterministic")
+		}
+	}
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, rs *ast.RangeStmt, scope ast.Node, report func(token.Pos, string, ...any)) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if b, ok := pass.TypesInfo.Uses[fun].(*types.Builtin); ok && b.Name() == "append" && len(call.Args) > 0 {
+			if obj := exprObj(pass, call.Args[0]); obj != nil && sortedAfter(pass, scope, obj, rs.End()) {
+				return
+			}
+			report(call.Pos(), "append inside map-range loop without a later sort: element order is nondeterministic")
+		}
+	case *ast.SelectorExpr:
+		fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		if !ok {
+			return
+		}
+		sig := fn.Type().(*types.Signature)
+		if sig.Recv() == nil {
+			if fn.Pkg() != nil && printFuncs[fn.Pkg().Path()][fn.Name()] {
+				report(call.Pos(), "%s.%s inside map-range loop: output order depends on map iteration order", fn.Pkg().Name(), fn.Name())
+			}
+		} else if writeMethods[fn.Name()] {
+			report(call.Pos(), "%s call inside map-range loop: bytes are emitted in map iteration order", fn.Name())
+		}
+	}
+}
+
+// enclosingFunc returns the innermost function (decl or literal)
+// containing the node at the top of the stack, or the file if the range
+// statement is at package scope (var initializer).
+func enclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return stack[0]
+}
+
+// exprObj resolves an expression to the variable it names, looking
+// through parens, unary &, and single-argument conversions such as
+// sort.Sort(byLoad(rows)).
+func exprObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.CallExpr:
+			if len(x.Args) != 1 {
+				return nil
+			}
+			e = x.Args[0]
+		case *ast.Ident:
+			return pass.TypesInfo.ObjectOf(x)
+		case *ast.SelectorExpr:
+			return pass.TypesInfo.ObjectOf(x.Sel)
+		default:
+			return nil
+		}
+	}
+}
+
+// sortedAfter reports whether obj is passed to a sort function at a
+// position after pos within scope — the "collect then sort" idiom.
+func sortedAfter(pass *analysis.Pass, scope ast.Node, obj types.Object, pos token.Pos) bool {
+	found := false
+	ast.Inspect(scope, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= pos || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if sortFuncs[fn.Pkg().Path()][fn.Name()] && exprObj(pass, call.Args[0]) == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"mindgap/internal/lint/linttest"
+	"mindgap/internal/lint/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	linttest.Run(t, maporder.Analyzer, "mindgap/internal/experiment", "testdata/m")
+}

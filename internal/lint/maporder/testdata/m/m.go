@@ -1,0 +1,112 @@
+// Fixture for maporder: order-sensitive emission from map-range loops.
+// The package path does not matter — maporder runs repo-wide.
+package m
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append inside map-range loop without a later sort`
+	}
+	return keys
+}
+
+func printRange(m map[string]int, b *strings.Builder) {
+	for k, v := range m {
+		fmt.Fprintf(os.Stdout, "%s=%d\n", k, v) // want `fmt\.Fprintf inside map-range loop`
+		b.WriteString(k)                        // want `WriteString call inside map-range loop`
+	}
+}
+
+func sendRange(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `send on channel inside map-range loop`
+	}
+}
+
+func accumulate(m map[string]float64) (float64, string) {
+	var sum float64
+	var s string
+	for k, v := range m {
+		sum += v // want `floating-point accumulation inside map-range loop`
+		s += k   // want `string concatenation inside map-range loop`
+	}
+	return sum, s
+}
+
+func indexWrite(m map[string]int) []string {
+	keys := make([]string, len(m))
+	i := 0
+	for k := range m {
+		keys[i] = k // want `slice element written in map-range order without a later sort`
+		i++
+	}
+	return keys
+}
+
+// Negative: the canonical collect-then-sort idiom must not be flagged —
+// it is the fix the analyzer asks for.
+func collectSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Negative: index-write variant of the same idiom, sorted with
+// sort.Slice after the loop.
+func indexWriteSorted(m map[string]int) []string {
+	keys := make([]string, len(m))
+	i := 0
+	for k := range m {
+		keys[i] = k
+		i++
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	return keys
+}
+
+// Negative: integer accumulation commutes; map order cannot change the
+// result.
+func intSum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Negative: ranging over a slice is ordered; append is fine.
+func sliceAppend(items []string) []string {
+	var out []string
+	for _, it := range items {
+		out = append(out, it)
+	}
+	return out
+}
+
+// Negative: a function literal built inside the loop runs later (or
+// never); it does not emit in map-range order at this site.
+func closures(m map[string]int) []func() string {
+	keys := make([]string, 0, len(m))
+	var fns []func() string // collected below, then sorted via keys
+	for k := range m {
+		keys = append(keys, k)
+		k := k
+		_ = func() string { return fmt.Sprintf("%s", k) }
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		k := k
+		fns = append(fns, func() string { return k })
+	}
+	return fns
+}

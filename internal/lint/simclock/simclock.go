@@ -1,0 +1,94 @@
+// Package simclock forbids wall-clock and ambient-randomness APIs in
+// simulation packages.
+//
+// Every latency number the reproduction emits must be a deterministic
+// function of (config, seed). Code inside the simulation core therefore
+// may not observe the host: time must come from the discrete-event
+// engine clock (sim.Engine.Now) and randomness from a seeded
+// *rand.Rand threaded through the config. Calling time.Now — or any of
+// the process-global math/rand helpers, which draw from a shared,
+// unseedable source — silently breaks the -j1/-jN byte-identical
+// guarantee that CI enforces.
+//
+// The analyzer skips *_test.go files: tests may legitimately poll the
+// wall clock to bound goroutine-leak checks or exercise cancellation.
+// Shipped simulator code gets no such exemption.
+package simclock
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"mindgap/internal/lint/allow"
+	"mindgap/internal/lint/simpkg"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "simclock",
+	Doc:      "forbid wall-clock reads and global math/rand in simulation packages; use the engine clock and seeded rand.Rand sources",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// forbiddenTime are the package time functions that observe or act on
+// the host clock. Pure conversions and constructors over time.Duration
+// (ParseDuration, Duration.String, ...) remain legal.
+var forbiddenTime = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// randAllowed are the constructors of math/rand and math/rand/v2:
+// building an explicitly seeded source is exactly what sim code should
+// do. Every other package-level function draws from the global source.
+func randAllowed(name string) bool { return strings.HasPrefix(name, "New") }
+
+func hint(pkg, name string) string {
+	if pkg == "time" {
+		return "use the engine clock (sim.Engine.Now / Engine.At)"
+	}
+	return "use a seeded *rand.Rand from the run config"
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !simpkg.IsSimPackage(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.Ident)(nil)}, func(n ast.Node) {
+		id := n.(*ast.Ident)
+		fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return
+		}
+		if strings.HasSuffix(pass.Fset.Position(id.Pos()).Filename, "_test.go") {
+			return
+		}
+		pkg := fn.Pkg().Path()
+		switch pkg {
+		case "time":
+			if forbiddenTime[fn.Name()] {
+				allow.Reportf(pass, id.Pos(), "time.%s is forbidden in simulation package %q: %s", fn.Name(), pass.Pkg.Path(), hint(pkg, fn.Name()))
+			}
+		case "math/rand", "math/rand/v2":
+			// Only package-level functions are globals; methods on
+			// *rand.Rand / *rand.Zipf carry their own seeded source.
+			if fn.Type().(*types.Signature).Recv() == nil && !randAllowed(fn.Name()) {
+				allow.Reportf(pass, id.Pos(), "global %s.%s is forbidden in simulation package %q: %s", pkg, fn.Name(), pass.Pkg.Path(), hint(pkg, fn.Name()))
+			}
+		}
+	})
+	return nil, nil
+}

@@ -1,0 +1,20 @@
+package simclock_test
+
+import (
+	"testing"
+
+	"mindgap/internal/lint/linttest"
+	"mindgap/internal/lint/simclock"
+)
+
+func TestSimPackage(t *testing.T) {
+	linttest.Run(t, simclock.Analyzer, "mindgap/internal/sim", "testdata/sim")
+}
+
+func TestLiveExempt(t *testing.T) {
+	linttest.Run(t, simclock.Analyzer, "mindgap/internal/live", "testdata/live")
+}
+
+func TestCmdExempt(t *testing.T) {
+	linttest.Run(t, simclock.Analyzer, "mindgap/cmd/demo", "testdata/cmd")
+}

@@ -1,0 +1,14 @@
+// Fixture loaded as package path "mindgap/cmd/demo": command frontends
+// are exempt — wall-clock progress reporting is their job.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	start := time.Now()
+	time.Sleep(time.Millisecond)
+	fmt.Println(time.Since(start))
+}

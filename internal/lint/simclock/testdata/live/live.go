@@ -1,0 +1,10 @@
+// Fixture loaded as package path "mindgap/internal/live": live-serving
+// code is exempt from the simulation clock rules.
+package live
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+func retryDeadline() time.Time { return time.Now().Add(rand.N(time.Second)) }

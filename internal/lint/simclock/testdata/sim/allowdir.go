@@ -1,0 +1,25 @@
+package sim
+
+import "time"
+
+// Negative: a well-formed suppression (analyzer + reason) silences the
+// diagnostic, on the preceding line or on the same line.
+func suppressed() time.Time {
+	//lint:allow simclock startup banner timestamp; never enters simulated results
+	t := time.Now()
+	u := time.Now() //lint:allow simclock same-line suppression form, also with a reason
+	_ = u
+	return t
+}
+
+// Positive: a reasonless directive does not suppress anything.
+func reasonless() {
+	//lint:allow simclock
+	_ = time.Now() // want `time\.Now is forbidden in simulation package`
+}
+
+// Positive: a directive naming a different analyzer does not suppress.
+func wrongName() {
+	//lint:allow maporder this names the wrong analyzer so simclock still fires
+	_ = time.Now() // want `time\.Now is forbidden in simulation package`
+}

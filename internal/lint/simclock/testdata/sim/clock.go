@@ -1,0 +1,45 @@
+// Fixture loaded as package path "mindgap/internal/sim": every
+// wall-clock read and global rand call below must be reported.
+package sim
+
+import (
+	oldrand "math/rand"
+	"math/rand/v2"
+	"time"
+)
+
+func wallClock() time.Duration {
+	t0 := time.Now()             // want `time\.Now is forbidden in simulation package`
+	time.Sleep(time.Millisecond) // want `time\.Sleep is forbidden in simulation package`
+	return time.Since(t0)        // want `time\.Since is forbidden in simulation package`
+}
+
+func timers(ch chan struct{}) {
+	<-time.After(time.Second) // want `time\.After is forbidden in simulation package`
+	f := time.Now             // want `time\.Now is forbidden in simulation package`
+	_ = f
+	close(ch)
+}
+
+func globalRand() int {
+	n := rand.IntN(10)         // want `global math/rand/v2\.IntN is forbidden in simulation package`
+	rand.Shuffle(n, func(i, j int) {}) // want `global math/rand/v2\.Shuffle is forbidden in simulation package`
+	return n + oldrand.Int()   // want `global math/rand\.Int is forbidden in simulation package`
+}
+
+// Negative: seeded sources and pure time.Duration arithmetic are the
+// sanctioned way to do randomness and delays in the simulator.
+func seeded() time.Duration {
+	r := rand.New(rand.NewPCG(1, 2))
+	d := time.Duration(r.IntN(1000)) * time.Microsecond
+	if d > 5*time.Millisecond {
+		d = 5 * time.Millisecond
+	}
+	return d
+}
+
+// Negative: constructing a Zipf over an explicitly seeded source.
+func zipf() uint64 {
+	z := rand.NewZipf(rand.New(rand.NewPCG(7, 9)), 1.1, 1, 100)
+	return z.Uint64()
+}

@@ -1,0 +1,9 @@
+package sim
+
+import "time"
+
+// Negative: *_test.go files in simulation packages may poll the wall
+// clock (goroutine-leak deadlines, cancellation tests).
+func testHarnessDeadline() bool {
+	return time.Now().After(time.Now().Add(time.Second))
+}

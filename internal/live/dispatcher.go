@@ -259,10 +259,12 @@ func (d *Dispatcher) reaper() {
 				// Reclaim the credit and give up on the request.
 				d.abandoned.Add(1)
 				delete(d.clients, id)
+				//lint:allow maporder live retry path is wall-clock driven; retry order among timed-out requests is not a determinism contract
 				as = append(as, d.lgc.Complete(e.worker)...)
 				continue
 			}
 			d.retried.Add(1)
+			//lint:allow maporder live retry path is wall-clock driven; retry order among timed-out requests is not a determinism contract
 			as = append(as, d.lgc.Preempted(0, e.worker, e.req)...)
 		}
 		d.mu.Unlock()

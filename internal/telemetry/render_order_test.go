@@ -1,0 +1,62 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"mindgap/internal/sim"
+)
+
+// renderSeriesTable emits the per-gauge sampled-series table the way a
+// results consumer does: one CSV row per sampled key via Sampler.Keys,
+// followed by the registry snapshot. This is the emission path maporder
+// flagged — Sampler.Keys used to return keys in map-iteration order,
+// which would have made this table's row order random per process.
+func renderSeriesTable() []byte {
+	eng := sim.New()
+	reg := NewRegistry()
+	for i := 0; i < 16; i++ {
+		v := float64(i)
+		reg.GaugeFunc(fmt.Sprintf("comp%02d", i), "depth", func() float64 { return v })
+	}
+	smp := reg.SampleGauges(eng, time.Microsecond, 4)
+	eng.RunUntil(sim.Time(10 * time.Microsecond))
+	smp.Stop()
+
+	var buf bytes.Buffer
+	for _, k := range smp.Keys() {
+		fmt.Fprintf(&buf, "%s", k)
+		for _, v := range smp.Series(k).Values() {
+			fmt.Fprintf(&buf, ",%g", v)
+		}
+		fmt.Fprintln(&buf)
+	}
+	if err := reg.Snapshot().WriteCSV(&buf); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSeriesTableBytesAcrossGOMAXPROCS is the regression gate for the
+// maporder fix: the rendered table must be byte-identical run after
+// run, at GOMAXPROCS=1 and GOMAXPROCS=4 alike. Map iteration order is
+// re-randomized every execution, so the repeated renders (not just the
+// GOMAXPROCS flip) are what catch an unsorted emission creeping back.
+func TestSeriesTableBytesAcrossGOMAXPROCS(t *testing.T) {
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+
+	runtime.GOMAXPROCS(1)
+	want := renderSeriesTable()
+	for _, procs := range []int{1, 4} {
+		runtime.GOMAXPROCS(procs)
+		for i := 0; i < 8; i++ {
+			if got := renderSeriesTable(); !bytes.Equal(got, want) {
+				t.Fatalf("GOMAXPROCS=%d render %d differs from baseline:\n got: %q\nwant: %q", procs, i, got, want)
+			}
+		}
+	}
+}

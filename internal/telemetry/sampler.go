@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"sort"
 	"time"
 
 	"mindgap/internal/sim"
@@ -40,12 +41,14 @@ func (r *Registry) SampleGauges(eng *sim.Engine, interval time.Duration, max int
 // Series returns the time series for one gauge key, or nil.
 func (s *Sampler) Series(key string) *stats.TimeSeries { return s.series[key] }
 
-// Keys returns the sampled gauge keys (unsorted).
+// Keys returns the sampled gauge keys in sorted order, so callers that
+// emit one series per key produce deterministic output.
 func (s *Sampler) Keys() []string {
 	out := make([]string, 0, len(s.series))
 	for k := range s.series {
 		out = append(out, k)
 	}
+	sort.Strings(out)
 	return out
 }
 
