@@ -20,6 +20,7 @@
 //	mindgap-bench -timeout 2m        # stop (with partial output) after 2m
 //	mindgap-bench -csv               # machine-readable output
 //	mindgap-bench -plot              # ASCII charts of the tail curves
+//	mindgap-bench -list              # figure/table ids and their presets
 package main
 
 import (
@@ -50,8 +51,31 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "overall deadline; on expiry, completed points are printed (0 = none)")
 		cacheDir = flag.String("cache", "", "directory for the on-disk result cache (empty = no caching)")
 		progress = flag.Bool("progress", false, "live point-completion progress on stderr")
+		list     = flag.Bool("list", false, "list figure/table ids and their scenario presets, then exit")
 	)
 	flag.Parse()
+
+	if *list {
+		fmt.Println("figures (-fig ID, scenario preset in scenarios/):")
+		for _, e := range [][2]string{
+			{"2", "figure2"}, {"3", "figure3"}, {"3burst", "figure3-burst"},
+			{"4", "figure4"}, {"5", "figure5"}, {"6", "figure6"},
+			{"6cxl", "figure6-cxl"}, {"6linerate", "figure6-linerate"},
+			{"baselines", "baselines"},
+		} {
+			fmt.Printf("  %-10s scenarios/%s.json\n", e[0], e[1])
+		}
+		fmt.Println("tables (-table ID):")
+		for _, e := range [][2]string{
+			{"timer", "(analytic, no preset)"}, {"ipc", "scenarios/table-ipc.json"},
+			{"wait", "scenarios/table-wait.json"}, {"latency", "(analytic, no preset)"},
+			{"policy", "scenarios/table-policy.json"}, {"dispersion", "scenarios/table-dispersion.json"},
+			{"affinity", "scenarios/table-affinity.json"}, {"tenants", "scenarios/table-tenants.json"},
+		} {
+			fmt.Printf("  %-10s %s\n", e[0], e[1])
+		}
+		return
+	}
 
 	q := experiment.Full
 	switch {
@@ -207,10 +231,7 @@ func main() {
 		}
 		if which == "" || which == "tenants" {
 			fmt.Println("== X9: multi-tenant isolation (FIFO vs strict class priority)")
-			cmp, err := experiment.MultiTenantComparisonWith(ctx, rn, experiment.MultiTenantConfig{
-				P: p, Workers: 4, Outstanding: 4, Slice: 10 * time.Microsecond,
-				Tenants: experiment.DefaultTenants(), Quality: q,
-			})
+			cmp, err := experiment.MultiTenantComparisonWith(ctx, rn, experiment.DefaultMultiTenant(q))
 			if !interrupted(err) {
 				fmt.Printf("%-22s %-10s %12s %12s %12s %10s\n", "tenant", "sched", "p50", "p99", "mean", "completed")
 				for _, set := range []struct {

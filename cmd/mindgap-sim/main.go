@@ -1,17 +1,23 @@
-// Command mindgap-sim runs a single simulated configuration and prints its
-// measured point — the interactive counterpart to mindgap-bench's fixed
-// figure grids. With -replicates (or -seeds) the point is measured across
-// several independent seeds — fanned out in parallel by the sweep runner —
-// and reported with cross-seed error bars.
+// Command mindgap-sim runs simulated configurations and prints their
+// measured points — the interactive counterpart to mindgap-bench's fixed
+// figure grids. Systems are assembled through the scenario registry
+// (internal/scenario): either from command-line flags, or from a
+// declarative scenario file / named preset via -scenario. With
+// -replicates (or -seeds) a flag-mode point is measured across several
+// independent seeds — fanned out in parallel by the sweep runner — and
+// reported with cross-seed error bars.
 //
 // Usage:
 //
 //	mindgap-sim -system offload -workers 4 -outstanding 4 -slice 10µs \
 //	            -dist bimodal:0.995:5µs:100µs -rps 400000
 //	mindgap-sim -system shinjuku -workers 3 -rps 300000
-//	mindgap-sim -system rss|zygos|flowdir|rpcvalet -workers 4 ...
+//	mindgap-sim -system rss|zygos|flowdir|rpcvalet|erss -workers 4 ...
 //	mindgap-sim -system idealnic -cxl -linerate ...
-//	mindgap-sim -replicates 5 -j 5      # error bars across seeds 7..11
+//	mindgap-sim -list-systems              # registry names, docs, knobs
+//	mindgap-sim -scenario figure2 -quality quick -csv
+//	mindgap-sim -scenario my-spec.json     # file: preset or single spec
+//	mindgap-sim -replicates 5 -j 5         # error bars across seeds 7..11
 //	mindgap-sim -seeds 1,2,3 -cache ~/.mindgap
 package main
 
@@ -29,14 +35,14 @@ import (
 
 	"mindgap/internal/dist"
 	"mindgap/internal/experiment"
-	"mindgap/internal/params"
 	"mindgap/internal/runner"
-	"mindgap/internal/systems/idealnic"
+	"mindgap/internal/scenario"
+	"mindgap/scenarios"
 )
 
 func main() {
 	var (
-		system      = flag.String("system", "offload", "offload, shinjuku, rss, zygos, flowdir, rpcvalet, idealnic")
+		system      = flag.String("system", "offload", "system registry name (see -list-systems)")
 		workers     = flag.Int("workers", 4, "worker cores")
 		outstanding = flag.Int("outstanding", 4, "per-worker outstanding limit (offload/idealnic)")
 		slice       = flag.Duration("slice", 10*time.Microsecond, "preemption quantum (0 disables)")
@@ -47,61 +53,30 @@ func main() {
 		seed        = flag.Uint64("seed", 7, "workload seed")
 		replicates  = flag.Int("replicates", 0, "measure across this many consecutive seeds starting at -seed (0 = single run)")
 		seedList    = flag.String("seeds", "", "comma-separated explicit seed list (overrides -replicates)")
-		jobs        = flag.Int("j", runtime.GOMAXPROCS(0), "max concurrently simulated replicates")
-		timeout     = flag.Duration("timeout", 0, "deadline; replicates completed by then are still summarized (0 = none)")
+		jobs        = flag.Int("j", runtime.GOMAXPROCS(0), "max concurrently simulated points")
+		timeout     = flag.Duration("timeout", 0, "deadline; points completed by then are still printed (0 = none)")
 		cacheDir    = flag.String("cache", "", "directory for the on-disk result cache (empty = no caching)")
 		zipfN       = flag.Int("zipf-keys", 0, "key-space size for zipf keys (0 = no keys)")
 		zipfS       = flag.Float64("zipf-skew", 0.99, "zipf skew")
 		cxl         = flag.Bool("cxl", false, "idealnic: coherent-memory communication (§5.1-2)")
 		lineRate    = flag.Bool("linerate", false, "idealnic: hardware line-rate scheduler (§5.1-1)")
 		directIRQ   = flag.Bool("directirq", false, "idealnic: NIC-posted interrupts (§5.1-3)")
+		scenarioArg = flag.String("scenario", "", "scenario file (preset or single spec JSON) or embedded preset name")
+		quality     = flag.String("quality", "", "scenario mode sample counts: quick or full (default: -warmup/-measure/-seed)")
+		csv         = flag.Bool("csv", false, "scenario mode: CSV output")
+		listSystems = flag.Bool("list-systems", false, "print the system registry and exit")
 	)
 	flag.Parse()
 
-	svc, err := dist.Parse(*distSpec)
-	if err != nil {
-		log.Fatalf("mindgap-sim: %v", err)
-	}
-	p := params.Default()
-
-	var factory experiment.Factory
-	switch *system {
-	case "offload":
-		factory = experiment.OffloadFactory(p, *workers, *outstanding, *slice)
-	case "shinjuku":
-		factory = experiment.ShinjukuFactory(p, *workers, *slice)
-	case "rss":
-		factory = experiment.RSSFactory(p, *workers)
-	case "zygos":
-		factory = experiment.ZygOSFactory(p, *workers)
-	case "flowdir":
-		factory = experiment.FlowDirFactory(p, *workers)
-	case "rpcvalet":
-		factory = experiment.RPCValetFactory(p, *workers)
-	case "idealnic":
-		factory = experiment.IdealNICFactory(idealnic.Config{
-			P: p, Workers: *workers, Outstanding: *outstanding, Slice: *slice,
-			CXL: *cxl, LineRate: *lineRate, DirectInterrupts: *directIRQ,
-		})
-	default:
-		fmt.Fprintf(os.Stderr, "mindgap-sim: unknown system %q\n", *system)
-		os.Exit(2)
-	}
-
-	cfg := experiment.PointConfig{
-		Factory:    factory,
-		Service:    svc,
-		OfferedRPS: *rps,
-		Warmup:     *warmup,
-		Measure:    *measure,
-	}
-	if *zipfN > 0 {
-		cfg.Keys = dist.NewZipfKeys(*zipfN, *zipfS)
-	}
-
-	seeds, err := replicateSeeds(*seedList, *replicates, *seed)
-	if err != nil {
-		log.Fatalf("mindgap-sim: %v", err)
+	if *listSystems {
+		fmt.Println("registered systems (build any of them with -system or a scenario file):")
+		for _, b := range scenario.Systems() {
+			fmt.Printf("  %-10s %s\n", b.Name, b.Doc)
+			fmt.Printf("  %-10s knobs: %s\n", "", strings.Join(b.Knobs, ", "))
+		}
+		fmt.Println("\nembedded presets (run with -scenario <name>):")
+		fmt.Printf("  %s\n", strings.Join(scenarios.Names(), ", "))
+		return
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -120,14 +95,64 @@ func main() {
 		rn.Cache = c
 	}
 
-	// sysKey describes the system configuration for the result cache (the
-	// factory itself is a closure the runner cannot hash).
-	sysKey := fmt.Sprintf("sim|%s|workers=%d|k=%d|slice=%s|cxl=%t|linerate=%t|directirq=%t",
-		*system, *workers, *outstanding, *slice, *cxl, *lineRate, *directIRQ)
+	q := experiment.Quality{Warmup: *warmup, Measure: *measure, Seed: *seed}
+	switch *quality {
+	case "":
+	case "quick":
+		q = experiment.Quick
+	case "full":
+		q = experiment.Full
+	default:
+		log.Fatalf("mindgap-sim: unknown -quality %q (want quick or full)", *quality)
+	}
+
+	if *scenarioArg != "" {
+		runScenario(ctx, rn, *scenarioArg, q, *csv)
+		return
+	}
+
+	// Flag mode: assemble a spec from the command line and build it
+	// through the registry — only knobs the chosen system accepts are
+	// set, so e.g. `-system rss -slice 10µs` fails loudly.
+	sp, err := specFromFlags(*system, *workers, *outstanding, *slice, *cxl, *lineRate, *directIRQ)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mindgap-sim: %v\n", err)
+		os.Exit(2)
+	}
+	sp.Workload = *distSpec
+	if *zipfN > 0 {
+		sp.Keys = &scenario.KeysSpec{N: *zipfN, Skew: *zipfS}
+	}
+	svc, err := dist.Parse(*distSpec)
+	if err != nil {
+		log.Fatalf("mindgap-sim: %v", err)
+	}
+	factory, err := scenario.Build(sp)
+	if err != nil {
+		log.Fatalf("mindgap-sim: %v", err)
+	}
+
+	cfg := experiment.PointConfig{
+		Factory:    factory,
+		Service:    svc,
+		OfferedRPS: *rps,
+		Warmup:     q.Warmup,
+		Measure:    q.Measure,
+	}
+	if sp.Keys != nil {
+		cfg.Keys = sp.Keys.Keys()
+	}
+
+	seeds, err := replicateSeeds(*seedList, *replicates, q.Seed)
+	if err != nil {
+		log.Fatalf("mindgap-sim: %v", err)
+	}
 
 	start := time.Now()
 	if len(seeds) > 0 {
-		rep, err := experiment.RunPointReplicatedWith(ctx, rn, sysKey, cfg, seeds)
+		// The spec fingerprint is the canonical cache identity of the
+		// system + workload under test.
+		rep, err := experiment.RunPointReplicatedWith(ctx, rn, sp.Fingerprint(), cfg, seeds)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mindgap-sim: %v — %d/%d replicates completed\n",
 				err, len(rep.Runs), len(seeds))
@@ -151,13 +176,112 @@ func main() {
 		return
 	}
 
-	cfg.Seed = *seed
+	cfg.Seed = q.Seed
 	r := experiment.RunPoint(cfg)
 	fmt.Printf("system=%s workload=%v offered=%.0f rps\n", r.SystemName, svc, *rps)
 	fmt.Printf("%s\n", r.Point)
 	fmt.Printf("mean=%v max=%v preemptions=%d drops=%d simtime=%v walltime=%v\n",
 		r.Mean, r.Max, r.Preemptions, r.Dropped,
 		r.SimTime.Round(time.Millisecond), time.Since(start).Round(time.Millisecond))
+}
+
+// specFromFlags maps the flag surface onto a scenario spec, setting only
+// the knobs the chosen system kind accepts.
+func specFromFlags(system string, workers, outstanding int, slice time.Duration, cxl, lineRate, directIRQ bool) (scenario.Spec, error) {
+	b, ok := scenario.Lookup(system)
+	if !ok {
+		return scenario.Spec{}, fmt.Errorf("unknown system %q (see -list-systems)", system)
+	}
+	accepts := func(name string) bool {
+		for _, k := range b.Knobs {
+			if k == name {
+				return true
+			}
+		}
+		return false
+	}
+	k := scenario.Knobs{Workers: workers}
+	if accepts("outstanding") {
+		k.Outstanding = outstanding
+	}
+	if accepts("slice") {
+		k.Slice = scenario.Duration(slice)
+	}
+	k.CXL = cxl
+	k.LineRate = lineRate
+	k.DirectInterrupts = directIRQ
+	sp := scenario.Spec{System: system, Knobs: &k}
+	if err := sp.Validate(); err != nil {
+		return scenario.Spec{}, err
+	}
+	return sp, nil
+}
+
+// runScenario resolves -scenario (embedded preset name or JSON file),
+// compiles it through the experiment harness, and prints every measured
+// series. Output is byte-identical at any -j parallelism.
+func runScenario(ctx context.Context, rn *runner.Runner, arg string, q experiment.Quality, csv bool) {
+	p, err := loadPresetArg(arg)
+	if err != nil {
+		log.Fatalf("mindgap-sim: %v", err)
+	}
+	if err := p.Validate(); err != nil {
+		log.Fatalf("mindgap-sim: %v", err)
+	}
+
+	if len(p.Tenants) > 0 {
+		cfg, err := experiment.MultiTenantFromPreset(p, q)
+		if err != nil {
+			log.Fatalf("mindgap-sim: %v", err)
+		}
+		cmp, err := experiment.MultiTenantComparisonWith(ctx, rn, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mindgap-sim: %v\n", err)
+		}
+		fmt.Printf("# scenario %s (multi-tenant)\n", p.ID)
+		for _, set := range []struct {
+			name string
+			rs   []experiment.TenantResult
+		}{{"fifo", cmp.FIFO}, {"priority", cmp.Priority}} {
+			for _, tr := range set.rs {
+				fmt.Printf("%s,%s,%s,%v,%v,%v,%d\n",
+					p.ID, set.name, tr.Tenant.Name, tr.P50, tr.P99, tr.Mean, tr.Completed)
+			}
+		}
+		if err != nil {
+			os.Exit(1)
+		}
+		return
+	}
+
+	spec, err := experiment.PresetFigureSpec(p, q)
+	if err != nil {
+		log.Fatalf("mindgap-sim: %v", err)
+	}
+	f, err := spec.Run(ctx, rn)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mindgap-sim: %v — results below are the completed prefix\n", err)
+	}
+	if csv {
+		if werr := f.WriteCSV(os.Stdout); werr != nil {
+			log.Fatalf("mindgap-sim: %v", werr)
+		}
+	} else {
+		f.Render(os.Stdout)
+	}
+	if err != nil {
+		os.Exit(1)
+	}
+}
+
+// loadPresetArg resolves the -scenario argument: a path to a JSON file
+// (preset or bare single-spec) if one exists, else an embedded preset
+// name.
+func loadPresetArg(arg string) (scenario.Preset, error) {
+	if b, err := os.ReadFile(arg); err == nil {
+		return scenario.DecodeAny(b)
+	}
+	return scenarios.Load(strings.TrimSuffix(arg, ".json"))
 }
 
 // replicateSeeds resolves the -seeds / -replicates flags: an explicit list

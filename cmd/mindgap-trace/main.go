@@ -4,6 +4,12 @@
 // start, preemptions, completion, and client response, each with its
 // simulated timestamp.
 //
+// The traced configuration starts from a scenario preset (the checked-in
+// scenarios/trace-default.json unless -scenario names another) and any
+// -workers/-outstanding/-slice/-dist/-rps flags override that preset's
+// knobs. The system is assembled through the scenario registry, so any
+// Observable system (offload, idealnic ablations) can be traced.
+//
 // The -format flag selects the output: "text" (default) prints per-request
 // lifecycles, "chrome" emits Chrome trace-event JSON that opens directly
 // in ui.perfetto.dev or chrome://tracing (one track per worker core, one
@@ -14,6 +20,7 @@
 //
 //	mindgap-trace                      # trace 5 requests on the default mix
 //	mindgap-trace -n 3 -dist fixed:30µs -slice 10µs -show preempted
+//	mindgap-trace -scenario my.json    # trace a scenario file's first series
 //	mindgap-trace -format chrome > trace.json   # then open ui.perfetto.dev
 package main
 
@@ -22,27 +29,29 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
-	"mindgap/internal/core"
 	"mindgap/internal/dist"
 	"mindgap/internal/loadgen"
-	"mindgap/internal/params"
+	"mindgap/internal/scenario"
 	"mindgap/internal/sim"
 	"mindgap/internal/task"
 	"mindgap/internal/trace"
+	"mindgap/scenarios"
 )
 
 func main() {
 	var (
-		n        = flag.Int("n", 5, "number of request lifecycles to print")
-		workers  = flag.Int("workers", 2, "worker cores")
-		k        = flag.Int("outstanding", 2, "per-worker outstanding limit")
-		slice    = flag.Duration("slice", 10*time.Microsecond, "preemption quantum")
-		distSpec = flag.String("dist", "bimodal:0.8:3µs:40µs", "service-time distribution")
-		rps      = flag.Float64("rps", 200_000, "offered load")
-		show     = flag.String("show", "any", "which lifecycles: any, preempted")
-		format   = flag.String("format", "text", "output format: text, chrome (Perfetto/chrome://tracing), json")
+		n           = flag.Int("n", 5, "number of request lifecycles to print")
+		scenarioArg = flag.String("scenario", "trace-default", "scenario file or embedded preset name; its first series is traced")
+		workers     = flag.Int("workers", 2, "override: worker cores")
+		k           = flag.Int("outstanding", 2, "override: per-worker outstanding limit")
+		slice       = flag.Duration("slice", 10*time.Microsecond, "override: preemption quantum")
+		distSpec    = flag.String("dist", "bimodal:0.8:3µs:40µs", "override: service-time distribution")
+		rps         = flag.Float64("rps", 200_000, "override: offered load")
+		show        = flag.String("show", "any", "which lifecycles: any, preempted")
+		format      = flag.String("format", "text", "output format: text, chrome (Perfetto/chrome://tracing), json")
 	)
 	flag.Parse()
 	switch *format {
@@ -51,27 +60,53 @@ func main() {
 		log.Fatalf("mindgap-trace: unknown -format %q (want text, chrome, or json)", *format)
 	}
 
-	svc, err := dist.Parse(*distSpec)
+	sp, err := traceSpec(*scenarioArg)
 	if err != nil {
 		log.Fatalf("mindgap-trace: %v", err)
+	}
+	// Explicitly-set flags override the preset's knobs (traceSpec
+	// guarantees sp.Knobs is non-nil).
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "workers":
+			sp.Knobs.Workers = *workers
+		case "outstanding":
+			sp.Knobs.Outstanding = *k
+		case "slice":
+			sp.Knobs.Slice = scenario.Duration(*slice)
+		case "dist":
+			sp.Workload = *distSpec
+		case "rps":
+			sp.Load = &scenario.LoadSpec{RPS: *rps}
+		}
+	})
+	if err := sp.Validate(); err != nil {
+		log.Fatalf("mindgap-trace: %v", err)
+	}
+
+	svc, err := dist.Parse(sp.Workload)
+	if err != nil {
+		log.Fatalf("mindgap-trace: %v", err)
+	}
+	offered := sp.Load.RPS
+	if offered <= 0 {
+		log.Fatalf("mindgap-trace: scenario %q needs a single-rps load (got %+v)", sp.Name, *sp.Load)
 	}
 
 	eng := sim.New()
 	buf := trace.New(0)
+	factory, err := scenario.BuildWith(sp, scenario.Options{Tracer: buf})
+	if err != nil {
+		log.Fatalf("mindgap-trace: %v", err)
+	}
 	completions := 0
-	sys := core.NewOffload(eng, core.OffloadConfig{
-		P:           params.Default(),
-		Workers:     *workers,
-		Outstanding: *k,
-		Slice:       *slice,
-		Tracer:      buf,
-	}, nil, func(*task.Request) {
+	sys := factory(eng, nil, func(*task.Request) {
 		completions++
 		if completions >= 500 {
 			eng.Halt()
 		}
 	})
-	loadgen.New(eng, loadgen.Config{RPS: *rps, Service: svc, Seed: 7}, sys.Inject).Start()
+	loadgen.New(eng, loadgen.Config{RPS: offered, Service: svc, Seed: sp.Seed}, sys.Inject).Start()
 	eng.Run()
 
 	if err := buf.ValidateAll(); err != nil {
@@ -133,4 +168,33 @@ func indent(s string) string {
 		}
 	}
 	return out
+}
+
+// traceSpec resolves -scenario (file path or embedded preset name) and
+// returns its first series' spec, with Knobs guaranteed non-nil so flag
+// overrides can write through it.
+func traceSpec(arg string) (scenario.Spec, error) {
+	var (
+		p   scenario.Preset
+		err error
+	)
+	if b, rerr := os.ReadFile(arg); rerr == nil {
+		p, err = scenario.DecodeAny(b)
+	} else {
+		p, err = scenarios.Load(strings.TrimSuffix(arg, ".json"))
+	}
+	if err != nil {
+		return scenario.Spec{}, err
+	}
+	if err := p.Validate(); err != nil {
+		return scenario.Spec{}, err
+	}
+	if len(p.Series) == 0 {
+		return scenario.Spec{}, fmt.Errorf("scenario %q has no series to trace", p.ID)
+	}
+	sp := p.SpecFor(0)
+	if sp.Knobs == nil {
+		sp.Knobs = &scenario.Knobs{}
+	}
+	return sp, nil
 }

@@ -1,23 +1,23 @@
 // Ideal NIC: walk the §5.1 hardware suggestions one by one and watch the
 // Figure 6 crossover disappear. Each row runs the 1µs/16-worker workload
 // that exposes the SoC SmartNIC's dispatcher bottleneck, with one more
-// hardware fix applied.
+// hardware fix applied. Every system is declared as a scenario spec and
+// assembled through the registry.
 //
 //	go run ./examples/idealnic
 package main
 
 import (
 	"fmt"
+	"log"
 	"time"
 
 	"mindgap/internal/dist"
 	"mindgap/internal/experiment"
-	"mindgap/internal/params"
-	"mindgap/internal/systems/idealnic"
+	"mindgap/internal/scenario"
 )
 
 func main() {
-	p := params.Default()
 	svc := dist.Fixed{D: time.Microsecond}
 
 	fmt.Println("Fixed 1µs service time, 16 workers (the Figure 6 configuration).")
@@ -26,21 +26,26 @@ func main() {
 
 	rows := []struct {
 		label string
-		cfg   idealnic.Config
+		spec  scenario.Spec
 	}{
 		{"stock SoC SmartNIC (ARM pipeline, packets)",
-			idealnic.Config{P: p, Workers: 16, Outstanding: 5}},
+			scenario.Spec{System: "idealnic", Knobs: &scenario.Knobs{Workers: 16, Outstanding: 5}}},
 		{"+ CXL coherent memory (§5.1-2)",
-			idealnic.Config{P: p, Workers: 16, Outstanding: 5, CXL: true}},
+			scenario.Spec{System: "idealnic", Knobs: &scenario.Knobs{Workers: 16, Outstanding: 5, CXL: true}}},
 		{"+ line-rate hardware scheduler (§5.1-1)",
-			idealnic.Config{P: p, Workers: 16, Outstanding: 5, LineRate: true}},
+			scenario.Spec{System: "idealnic", Knobs: &scenario.Knobs{Workers: 16, Outstanding: 5, LineRate: true}}},
 		{"+ both (the paper's ideal NIC, k=2 suffices)",
-			idealnic.Config{P: p, Workers: 16, Outstanding: 2, CXL: true, LineRate: true}},
+			scenario.Spec{System: "idealnic", Knobs: &scenario.Knobs{Workers: 16, Outstanding: 2, CXL: true, LineRate: true}}},
+		{"vanilla shinjuku, 15 workers (reference)",
+			scenario.Spec{System: "shinjuku", Knobs: &scenario.Knobs{Workers: 15}}},
 	}
-	shinjuku := experiment.ShinjukuFactory(p, 15, 0)
 
 	fmt.Printf("%-48s %14s %12s\n", "configuration", "peak (rps)", "p99@500k")
-	measure := func(label string, f experiment.Factory) {
+	for _, r := range rows {
+		f, err := scenario.Build(r.spec)
+		if err != nil {
+			log.Fatal(err)
+		}
 		low := experiment.RunPoint(experiment.PointConfig{
 			Factory: f, Service: svc, OfferedRPS: 500_000,
 			Warmup: 5_000, Measure: 30_000, Seed: 7,
@@ -51,13 +56,8 @@ func main() {
 			Factory: f, Service: svc, OfferedRPS: 20_000_000,
 			Warmup: 5_000, Measure: 30_000, Seed: 7,
 		})
-		fmt.Printf("%-48s %14.0f %12v\n", label, peak.AchievedRPS, low.P99)
+		fmt.Printf("%-48s %14.0f %12v\n", r.label, peak.AchievedRPS, low.P99)
 	}
-
-	for _, r := range rows {
-		measure(r.label, experiment.IdealNICFactory(r.cfg))
-	}
-	measure("vanilla shinjuku, 15 workers (reference)", shinjuku)
 
 	fmt.Println("\nThe ARM pipeline caps the stock offload ≈1.5M rps; CXL trims the")
 	fmt.Println("latency floor but not the cap; the line-rate scheduler removes the")

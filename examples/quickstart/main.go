@@ -1,38 +1,53 @@
 // Quickstart: simulate a Shinjuku-Offload server (the paper's Figure 2
 // configuration) under the bimodal workload and print its latency profile.
+// The configuration is the checked-in scenarios/quickstart.json preset,
+// assembled through the scenario registry.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
 	"fmt"
+	"log"
 	"time"
 
-	"mindgap/internal/core"
 	"mindgap/internal/dist"
 	"mindgap/internal/loadgen"
-	"mindgap/internal/params"
+	"mindgap/internal/scenario"
 	"mindgap/internal/sim"
 	"mindgap/internal/stats"
 	"mindgap/internal/task"
+	"mindgap/scenarios"
 )
 
 func main() {
-	// 1. A simulation engine: deterministic, nanosecond-resolution.
+	// 1. A scenario: the declarative description of what to simulate.
+	//    scenarios/quickstart.json pins the paper's SmartNIC-offloaded
+	//    scheduler with 4 host workers, up to 4 outstanding requests per
+	//    worker (§3.4.5), a 10µs preemption slice (§3.4.4), and Figure 2's
+	//    bimodal mix — 99.5% of requests take 5µs, 0.5% take 100µs — at
+	//    400k requests/second, open loop.
+	preset, err := scenarios.Load("quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := preset.SpecFor(0)
+	workload, err := dist.Parse(spec.Workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. A simulation engine: deterministic, nanosecond-resolution.
 	eng := sim.New()
 
-	// 2. The system under test: the paper's SmartNIC-offloaded scheduler
-	//    with 4 host workers, up to 4 outstanding requests per worker
-	//    (§3.4.5), and a 10µs preemption slice (§3.4.4).
+	// 3. The system under test, built by the registry from the spec.
+	factory, err := scenario.Build(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
 	var latency stats.Histogram
 	completed := 0
-	sys := core.NewOffload(eng, core.OffloadConfig{
-		P:           params.Default(), // calibrated to the paper's hardware
-		Workers:     4,
-		Outstanding: 4,
-		Slice:       10 * time.Microsecond,
-		Policy:      core.LeastOutstanding,
-	}, nil, func(r *task.Request) {
+	sys := factory(eng, nil, func(r *task.Request) {
 		latency.Record(r.Latency(eng.Now()))
 		completed++
 		if completed == 200_000 {
@@ -40,16 +55,14 @@ func main() {
 		}
 	})
 
-	// 3. The workload: Figure 2's bimodal mix — 99.5% of requests take
-	//    5µs, 0.5% take 100µs — at 400k requests/second, open loop.
-	workload := dist.Bimodal{P1: 0.995, D1: 5 * time.Microsecond, D2: 100 * time.Microsecond}
+	// 4. The workload generator, driven by the spec's distribution and load.
 	loadgen.New(eng, loadgen.Config{
-		RPS:     400_000,
+		RPS:     spec.Load.RPS,
 		Service: workload,
-		Seed:    42,
+		Seed:    spec.Seed,
 	}, sys.Inject).Start()
 
-	// 4. Run and report.
+	// 5. Run and report.
 	start := time.Now()
 	eng.Run()
 	fmt.Printf("simulated %v of server time in %v of wall time\n",
@@ -58,5 +71,5 @@ func main() {
 		completed, float64(completed)/eng.Now().Duration().Seconds())
 	fmt.Printf("latency:   p50=%v  p99=%v  p99.9=%v  max=%v\n",
 		latency.P50(), latency.P99(), latency.P999(), latency.Max())
-	fmt.Printf("central queue now: %d requests\n", sys.QueueLen())
+	fmt.Printf("central queue now: %d requests\n", sys.(interface{ QueueLen() int }).QueueLen())
 }

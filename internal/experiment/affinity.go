@@ -2,14 +2,12 @@ package experiment
 
 import (
 	"context"
-	"fmt"
 	"time"
 
-	"mindgap/internal/core"
 	"mindgap/internal/dist"
 	"mindgap/internal/loadgen"
-	"mindgap/internal/params"
 	"mindgap/internal/runner"
+	"mindgap/internal/scenario"
 	"mindgap/internal/sim"
 	"mindgap/internal/stats"
 	"mindgap/internal/task"
@@ -36,53 +34,72 @@ type affinityMeasure struct {
 	Mean, P99               time.Duration
 }
 
+// migrationCounter is the extra surface the affinity experiment needs
+// beyond scenario.System; the offload system implements it.
+type migrationCounter interface {
+	Migrations() uint64
+	Preemptions() uint64
+}
+
 // AffinityAblationWith measures X11 on rn, running the affinity-off and
-// affinity-on configurations concurrently. The workload is
-// preemption-heavy: 10% of requests run 100 µs against a 10 µs slice, so
-// every long request is preempted ~9 times and each resume either stays
-// local or migrates.
+// affinity-on configurations (the two series of the table-affinity
+// preset) concurrently. The workload is preemption-heavy: 10% of
+// requests run 100 µs against a 10 µs slice, so every long request is
+// preempted ~9 times and each resume either stays local or migrates.
 func AffinityAblationWith(ctx context.Context, rn *runner.Runner, q Quality) (AffinityResult, error) {
-	point := func(affinity bool) runner.Point[affinityMeasure] {
+	p := mustPreset("table-affinity")
+	point := func(i int) (runner.Point[affinityMeasure], error) {
+		sp := p.SpecFor(i)
+		f, err := scenario.Build(sp)
+		if err != nil {
+			return runner.Point[affinityMeasure]{}, err
+		}
+		svc, err := dist.Parse(sp.Workload)
+		if err != nil {
+			return runner.Point[affinityMeasure]{}, err
+		}
+		eq := qualityFor(sp, q)
+		rps := specLoads(sp, svc)[0]
 		return runner.Point[affinityMeasure]{
-			Key: fmt.Sprintf("table-affinity|affinity=%t|warm=%d|meas=%d|seed=%d|params=%s",
-				affinity, q.Warmup, q.Measure, q.Seed, paramsSig()),
+			Key: specPointKey(p.ID, sp, eq, rps),
 			Run: func() affinityMeasure {
-				p := params.Default()
 				eng := sim.New()
 				var lat stats.Histogram
 				completions := 0
-				target := q.Warmup + q.Measure
-				sys := core.NewOffload(eng, core.OffloadConfig{
-					P: p, Workers: 8, Outstanding: 2,
-					Slice:    10 * time.Microsecond,
-					Affinity: affinity,
-				}, nil, func(r *task.Request) {
+				target := eq.Warmup + eq.Measure
+				sys := f(eng, nil, func(r *task.Request) {
 					completions++
-					if completions > q.Warmup {
+					if completions > eq.Warmup {
 						lat.Record(r.Latency(eng.Now()))
 					}
 					if completions >= target {
 						eng.Halt()
 					}
 				})
-				svc := dist.Bimodal{P1: 0.9, D1: 5 * time.Microsecond, D2: 100 * time.Microsecond}
-				rho := 0.7
-				rps := rho * 8 / svc.Mean().Seconds()
-				loadgen.New(eng, loadgen.Config{RPS: rps, Service: svc, Seed: q.Seed}, sys.Inject).Start()
+				loadgen.New(eng, loadgen.Config{RPS: rps, Service: svc, Seed: eq.Seed}, sys.Inject).Start()
 				expected := time.Duration(float64(target) / rps * float64(time.Second))
 				eng.At(sim.Time(8*expected+50*time.Millisecond), eng.Halt)
 				eng.Run()
+				mc := sys.(migrationCounter)
 				return affinityMeasure{
-					Migrations:  sys.Migrations(),
-					Preemptions: sys.Preemptions(),
+					Migrations:  mc.Migrations(),
+					Preemptions: mc.Preemptions(),
 					Mean:        lat.Mean(),
 					P99:         lat.P99(),
 				}
 			},
-		}
+		}, nil
 	}
-	runs, err := runner.RunOne(ctx, rn, "table-affinity",
-		runner.Series[affinityMeasure]{Points: []runner.Point[affinityMeasure]{point(false), point(true)}})
+	offPt, err := point(0)
+	if err != nil {
+		return AffinityResult{}, err
+	}
+	onPt, err := point(1)
+	if err != nil {
+		return AffinityResult{}, err
+	}
+	runs, err := runner.RunOne(ctx, rn, p.ID,
+		runner.Series[affinityMeasure]{Points: []runner.Point[affinityMeasure]{offPt, onPt}})
 	if len(runs) < 2 {
 		return AffinityResult{}, err
 	}

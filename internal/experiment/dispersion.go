@@ -2,16 +2,14 @@ package experiment
 
 import (
 	"context"
-	"fmt"
 	"math"
 	"math/rand/v2"
 	"time"
 
-	"mindgap/internal/core"
 	"mindgap/internal/dist"
 	"mindgap/internal/loadgen"
-	"mindgap/internal/params"
 	"mindgap/internal/runner"
+	"mindgap/internal/scenario"
 	"mindgap/internal/sim"
 	"mindgap/internal/stats"
 	"mindgap/internal/task"
@@ -43,42 +41,50 @@ type shortTailMeasure struct {
 	ShortP99 time.Duration
 }
 
-// DispersionSensitivityWith runs the X7 sweep on rn: distributions of
-// increasing dispersion with a 10µs mean at ρ≈0.7 on four workers, on the
-// Shinjuku-Offload system. Each (workload, preemption) cell is an
-// independent simulation, so the whole table fans out in parallel.
+// DispersionSensitivityWith runs the X7 sweep on rn, as declared by the
+// table-dispersion preset: distributions of increasing dispersion with a
+// 10µs mean at ρ≈0.7 on four workers, on the Shinjuku-Offload system.
+// Each (workload, preemption) cell is an independent simulation, so the
+// whole table fans out in parallel.
 func DispersionSensitivityWith(ctx context.Context, rn *runner.Runner, q Quality) ([]DispersionRow, error) {
-	p := params.Default()
-	const workers = 4
-	const rho = 0.7
-	slice := 10 * time.Microsecond
+	p := mustPreset("table-dispersion")
 
-	workloads := []dist.Distribution{
-		dist.Fixed{D: 10 * time.Microsecond},
-		dist.Uniform{Lo: 5 * time.Microsecond, Hi: 15 * time.Microsecond},
-		dist.Exponential{M: 10 * time.Microsecond},
-		// The paper's bimodal shape scaled to a 10µs mean: 99.5% short,
-		// 0.5% very long.
-		dist.Bimodal{P1: 0.995, D1: 5 * time.Microsecond, D2: 1005 * time.Microsecond},
-	}
-
-	// One series per workload, two points each: slice on, slice off.
-	sw := runner.Sweep[shortTailMeasure]{Name: "table-dispersion"}
-	for _, w := range workloads {
-		w := w
-		rps := rho * float64(workers) / w.Mean().Seconds()
-		point := func(slice time.Duration) runner.Point[shortTailMeasure] {
-			return runner.Point[shortTailMeasure]{
-				Key: fmt.Sprintf("table-dispersion|svc=%s|slice=%s|rps=%g|warm=%d|meas=%d|seed=%d|params=%s",
-					w, slice, rps, q.Warmup, q.Measure, q.Seed, paramsSig()),
-				Run: func() shortTailMeasure {
-					return shortTailMeasure{ShortP99: shortTail(p, w, rps, workers, slice, q)}
-				},
+	// One series per workload, two points each: the preset's slice, and
+	// preemption off (slice 0).
+	sw := runner.Sweep[shortTailMeasure]{Name: p.ID}
+	workloads := make([]dist.Distribution, len(p.Series))
+	for i := range p.Series {
+		base := p.SpecFor(i)
+		w, err := dist.Parse(base.Workload)
+		if err != nil {
+			return nil, err
+		}
+		workloads[i] = w
+		eq := qualityFor(base, q)
+		rps := specLoads(base, w)[0]
+		point := func(sp scenario.Spec) (runner.Point[shortTailMeasure], error) {
+			f, err := scenario.Build(sp)
+			if err != nil {
+				return runner.Point[shortTailMeasure]{}, err
 			}
+			return runner.Point[shortTailMeasure]{
+				Key: specPointKey(p.ID, sp, eq, rps),
+				Run: func() shortTailMeasure {
+					return shortTailMeasure{ShortP99: shortTail(f, w, rps, eq)}
+				},
+			}, nil
+		}
+		on, err := point(base)
+		if err != nil {
+			return nil, err
+		}
+		off, err := point(base.WithSlice(0))
+		if err != nil {
+			return nil, err
 		}
 		sw.Series = append(sw.Series, runner.Series[shortTailMeasure]{
-			Label:  w.String(),
-			Points: []runner.Point[shortTailMeasure]{point(slice), point(0)},
+			Label:  p.Series[i].Label,
+			Points: []runner.Point[shortTailMeasure]{on, off},
 		})
 	}
 
@@ -109,16 +115,16 @@ func DispersionSensitivity(q Quality) []DispersionRow {
 	return rows
 }
 
-// shortTail measures the p99 latency of requests with Service <= mean.
-func shortTail(p params.Params, w dist.Distribution, rps float64, workers int, slice time.Duration, q Quality) time.Duration {
+// shortTail measures the p99 latency of requests with Service <= mean on
+// the system built by f (the preemption quantum is already baked into
+// the factory by the scenario spec).
+func shortTail(f Factory, w dist.Distribution, rps float64, q Quality) time.Duration {
 	eng := sim.New()
 	mean := w.Mean()
 	var short stats.Histogram
 	completions := 0
 	target := q.Warmup + q.Measure
-	sys := core.NewOffload(eng, core.OffloadConfig{
-		P: p, Workers: workers, Outstanding: 4, Slice: slice,
-	}, nil, func(r *task.Request) {
+	sys := f(eng, nil, func(r *task.Request) {
 		completions++
 		if completions > q.Warmup && r.Service <= mean {
 			short.Record(r.Latency(eng.Now()))

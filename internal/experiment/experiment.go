@@ -12,30 +12,20 @@ import (
 	"mindgap/internal/dist"
 	"mindgap/internal/loadgen"
 	"mindgap/internal/runner"
+	"mindgap/internal/scenario"
 	"mindgap/internal/sim"
 	"mindgap/internal/stats"
 	"mindgap/internal/task"
 )
 
-// System is the common surface of every scheduling system in this
-// repository (Shinjuku-Offload, vanilla Shinjuku, RSS, ZygOS, Flow
-// Director, RPCValet, and the ideal-NIC ablations).
-type System interface {
-	// Name identifies the system in reports.
-	Name() string
-	// Inject admits a request at the current engine instant.
-	Inject(*task.Request)
-	// WorkerIdleFraction returns the mean worker idle fraction since
-	// ArmWorkerTrackers.
-	WorkerIdleFraction(sim.Time) float64
-	// ArmWorkerTrackers starts worker utilization accounting.
-	ArmWorkerTrackers(sim.Time)
-}
-
-// Factory builds a system on the given engine. done must be invoked at the
-// instant the client receives each response; rec may be used for drop and
-// preemption accounting.
-type Factory func(eng *sim.Engine, rec *stats.Recorder, done func(*task.Request)) System
+// System and Factory are defined by the scenario layer — the registry in
+// internal/scenario is the single assembly point for every system in
+// this repository — and aliased here so experiment code and its callers
+// keep their historical names.
+type (
+	System  = scenario.System
+	Factory = scenario.Factory
+)
 
 // PointConfig describes a single measured load point.
 type PointConfig struct {

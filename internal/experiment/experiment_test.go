@@ -7,6 +7,7 @@ import (
 
 	"mindgap/internal/dist"
 	"mindgap/internal/params"
+	"mindgap/internal/scenario"
 	"mindgap/internal/stats"
 )
 
@@ -197,18 +198,11 @@ func pointAt(offered, achieved float64, sat bool) stats.Point {
 }
 
 func TestLoadGrid(t *testing.T) {
-	g := loadGrid(100, 500, 100)
+	// Load grids now come from scenario specs; the figure presets rely on
+	// inclusive endpoints and exact integer-index generation.
+	g := (scenario.Grid{Lo: 100, Hi: 500, Step: 100}).Points()
 	if len(g) != 5 || g[0] != 100 || g[4] != 500 {
-		t.Fatalf("loadGrid = %v", g)
-	}
-}
-
-func TestOffloadLabel(t *testing.T) {
-	cases := map[int]string{1: "1 worker", 4: "4 workers", 16: "16 workers"}
-	for n, want := range cases {
-		if got := offloadLabel(n); got != want {
-			t.Fatalf("offloadLabel(%d) = %q", n, got)
-		}
+		t.Fatalf("Grid.Points = %v", g)
 	}
 }
 

@@ -1,22 +1,12 @@
 package experiment
 
 import (
-	"fmt"
-	"strconv"
 	"time"
 
-	"mindgap/internal/core"
 	"mindgap/internal/dist"
 	"mindgap/internal/params"
-	"mindgap/internal/runner"
-	"mindgap/internal/sim"
-	"mindgap/internal/stats"
-	"mindgap/internal/systems/erss"
+	"mindgap/internal/scenario"
 	"mindgap/internal/systems/idealnic"
-	"mindgap/internal/systems/rpcvalet"
-	"mindgap/internal/systems/rtc"
-	"mindgap/internal/systems/shinjuku"
-	"mindgap/internal/task"
 )
 
 // Quality trades run time for statistical confidence.
@@ -45,174 +35,89 @@ var (
 	Fixed100us = dist.Fixed{D: 100 * time.Microsecond}
 )
 
+// The historical *Factory helpers below are kept for tests and examples
+// but are now thin registry lookups: every one of them assembles its
+// system through scenario.BuildWith, the single audited assembly point.
+
+// mustFactory builds a spec's factory against an explicit calibration;
+// the specs below are static and valid, so failure is a programmer error.
+func mustFactory(sp scenario.Spec, p params.Params) Factory {
+	f, err := scenario.BuildWith(sp, scenario.Options{Params: &p})
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
 // OffloadFactory builds a Shinjuku-Offload system factory.
 func OffloadFactory(p params.Params, workers, outstanding int, slice time.Duration) Factory {
-	return func(eng *sim.Engine, rec *stats.Recorder, done func(*task.Request)) System {
-		return core.NewOffload(eng, core.OffloadConfig{
-			P: p, Workers: workers, Outstanding: outstanding, Slice: slice,
-			Policy: core.LeastOutstanding,
-		}, rec, done)
-	}
+	return mustFactory(scenario.Spec{System: "offload", Knobs: &scenario.Knobs{
+		Workers: workers, Outstanding: outstanding, Slice: scenario.Duration(slice),
+	}}, p)
 }
 
 // ShinjukuFactory builds a vanilla Shinjuku system factory.
 func ShinjukuFactory(p params.Params, workers int, slice time.Duration) Factory {
-	return func(eng *sim.Engine, rec *stats.Recorder, done func(*task.Request)) System {
-		return shinjuku.New(eng, shinjuku.Config{
-			P: p, Workers: workers, Slice: slice,
-		}, rec, done)
-	}
+	return mustFactory(scenario.Spec{System: "shinjuku", Knobs: &scenario.Knobs{
+		Workers: workers, Slice: scenario.Duration(slice),
+	}}, p)
 }
 
 // RSSFactory builds an IX-style RSS run-to-completion factory.
 func RSSFactory(p params.Params, workers int) Factory {
-	return func(eng *sim.Engine, rec *stats.Recorder, done func(*task.Request)) System {
-		return rtc.New(eng, rtc.Config{P: p, Workers: workers}, rec, done)
-	}
+	return mustFactory(scenario.Spec{System: "rss", Knobs: &scenario.Knobs{Workers: workers}}, p)
 }
 
 // ZygOSFactory builds an RSS + work-stealing factory.
 func ZygOSFactory(p params.Params, workers int) Factory {
-	return func(eng *sim.Engine, rec *stats.Recorder, done func(*task.Request)) System {
-		return rtc.New(eng, rtc.Config{P: p, Workers: workers, WorkStealing: true}, rec, done)
-	}
+	return mustFactory(scenario.Spec{System: "zygos", Knobs: &scenario.Knobs{Workers: workers}}, p)
 }
 
 // FlowDirFactory builds a MICA-style key-steering factory.
 func FlowDirFactory(p params.Params, workers int) Factory {
-	return func(eng *sim.Engine, rec *stats.Recorder, done func(*task.Request)) System {
-		return rtc.New(eng, rtc.Config{P: p, Workers: workers, Steering: rtc.SteerKey}, rec, done)
-	}
+	return mustFactory(scenario.Spec{System: "flowdir", Knobs: &scenario.Knobs{Workers: workers}}, p)
 }
 
 // RPCValetFactory builds an integrated-NI hardware-queue factory.
 func RPCValetFactory(p params.Params, workers int) Factory {
-	return func(eng *sim.Engine, rec *stats.Recorder, done func(*task.Request)) System {
-		return rpcvalet.New(eng, rpcvalet.Config{P: p, Workers: workers}, rec, done)
-	}
+	return mustFactory(scenario.Spec{System: "rpcvalet", Knobs: &scenario.Knobs{Workers: workers}}, p)
 }
 
 // ERSSFactory builds an Elastic RSS factory (§5.1's cited related work:
 // load feedback resizes the RSS core set, but the policy stays fixed).
 func ERSSFactory(p params.Params, workers int) Factory {
-	return func(eng *sim.Engine, rec *stats.Recorder, done func(*task.Request)) System {
-		return erss.New(eng, erss.Config{P: p, Workers: workers}, rec, done)
-	}
+	return mustFactory(scenario.Spec{System: "erss", Knobs: &scenario.Knobs{Workers: workers}}, p)
 }
 
 // IdealNICFactory builds a §5.1 ablation factory.
 func IdealNICFactory(cfg idealnic.Config) Factory {
-	return func(eng *sim.Engine, rec *stats.Recorder, done func(*task.Request)) System {
-		return idealnic.New(eng, cfg, rec, done)
-	}
+	return mustFactory(scenario.Spec{System: "idealnic", Knobs: &scenario.Knobs{
+		Workers:          cfg.Workers,
+		Outstanding:      cfg.Outstanding,
+		Slice:            scenario.Duration(cfg.Slice),
+		CXL:              cfg.CXL,
+		LineRate:         cfg.LineRate,
+		DirectInterrupts: cfg.DirectInterrupts,
+	}}, cfg.P)
 }
 
-// loadGrid returns lo, lo+step, ..., hi.
-func loadGrid(lo, hi, step float64) []float64 {
-	var out []float64
-	for x := lo; x <= hi+step/2; x += step {
-		out = append(out, x)
-	}
-	return out
-}
-
-// gridSeries declares one curve of a figure sweep: a factory swept across
-// the load grid at the given quality.
-func gridSeries(sweepID, label string, f Factory, svc dist.Distribution, keys *dist.ZipfKeys, q Quality, loads []float64) runner.Series[Result] {
-	return LoadSeries(sweepID, label, PointConfig{
-		Factory: f,
-		Service: svc,
-		Keys:    keys,
-		Warmup:  q.Warmup,
-		Measure: q.Measure,
-		Seed:    q.Seed,
-	}, loads)
-}
+// The figure definitions are checked-in scenario presets under
+// scenarios/; each FigureSpec function compiles its preset against the
+// requested quality. Titles, labels, grids, workloads, and knobs live
+// in the JSON files.
 
 // Figure2Spec declares the bimodal tail-latency figure: 99.5% 5 µs + 0.5%
 // 100 µs, 10 µs slice, Shinjuku with 3 workers vs Shinjuku-Offload with 4
 // workers and up to 4 outstanding requests.
-func Figure2Spec(q Quality) FigureSpec {
-	p := params.Default()
-	loads := loadGrid(50_000, 650_000, 50_000)
-	slice := 10 * time.Microsecond
-	const id = "figure2"
-	return FigureSpec{
-		ID:     id,
-		Title:  "Bimodal 99.5%/0.5% (5µs/100µs), slice 10µs",
-		XLabel: "offered load (RPS)",
-		YLabel: "p99 latency",
-		Sweep: runner.Sweep[Result]{Name: id, Series: []runner.Series[Result]{
-			gridSeries(id, "shinjuku-offload (4 workers, k=4)",
-				OffloadFactory(p, 4, 4, slice), BimodalWorkload, nil, q, loads),
-			gridSeries(id, "shinjuku (3 workers)",
-				ShinjukuFactory(p, 3, slice), BimodalWorkload, nil, q, loads),
-		}},
-	}
-}
+func Figure2Spec(q Quality) FigureSpec { return presetFigureSpec("figure2", q) }
 
 // Figure2 runs Figure2Spec on the default parallel runner.
 func Figure2(q Quality) Figure { return mustFigure(Figure2Spec(q)) }
 
-// kSweepSeries declares one Figure 3 curve: saturating load, the
-// per-worker outstanding limit k sweeping 1..7, plotted against k.
-func kSweepSeries(sweepID, label string, q Quality, workers, burst int) runner.Series[Result] {
-	p := params.Default()
-	const saturating = 5_000_000 // far beyond capacity
-	pts := make([]runner.Point[Result], 0, 7)
-	for k := 1; k <= 7; k++ {
-		k := k
-		cfg := PointConfig{
-			Factory: func(eng *sim.Engine, rec *stats.Recorder, done func(*task.Request)) System {
-				return core.NewOffload(eng, core.OffloadConfig{
-					P: p, Workers: workers, Outstanding: k,
-					Policy: core.LeastOutstanding, DispatchBurst: burst,
-				}, rec, done)
-			},
-			Service: Fixed1us,
-			// Saturating throughput converges fast; warmup matters more
-			// than sample count here.
-			OfferedRPS: saturating,
-			Warmup:     q.Warmup,
-			Measure:    q.Measure,
-			Seed:       q.Seed,
-		}
-		pts = append(pts, runner.Point[Result]{
-			Key: pointKey(sweepID, label, cfg,
-				"k="+strconv.Itoa(k), "burst="+strconv.Itoa(burst)),
-			Run: func() Result {
-				r := RunPoint(cfg)
-				r.Point.OfferedRPS = float64(k) // x-axis is k, not load
-				return r
-			},
-		})
-	}
-	return runner.Series[Result]{Label: label, Points: pts}
-}
-
-func offloadLabel(workers int) string {
-	if workers == 1 {
-		return "1 worker"
-	}
-	return strconv.Itoa(workers) + " workers"
-}
-
 // Figure3Spec declares the queuing-optimization figure: fixed 1 µs service
 // time, Shinjuku-Offload throughput at saturation as the per-worker
 // outstanding-request limit k sweeps 1..7, for 4 and 16 workers.
-func Figure3Spec(q Quality) FigureSpec {
-	const id = "figure3"
-	return FigureSpec{
-		ID:     id,
-		Title:  "Fixed 1µs service time: throughput vs outstanding requests (Shinjuku-Offload)",
-		XLabel: "outstanding requests per worker (k)",
-		YLabel: "throughput (RPS)",
-		Sweep: runner.Sweep[Result]{Name: id, Series: []runner.Series[Result]{
-			kSweepSeries(id, offloadLabel(16), q, 16, 0),
-			kSweepSeries(id, offloadLabel(4), q, 4, 0),
-		}},
-	}
-}
+func Figure3Spec(q Quality) FigureSpec { return presetFigureSpec("figure3", q) }
 
 // Figure3 runs Figure3Spec on the default parallel runner.
 func Figure3(q Quality) Figure { return mustFigure(Figure3Spec(q)) }
@@ -223,66 +128,21 @@ func Figure3(q Quality) Figure { return mustFigure(Figure3Spec(q)) }
 // delays credit handling behind floods of new arrivals, deepening the k=1
 // penalty — the effect that made the paper's 16-worker curve gain 88% from
 // k=1 to k=3 where the fair-polling model gains almost nothing.
-func Figure3BurstSpec(q Quality) FigureSpec {
-	const id = "figure3-burst"
-	const burst = 16
-	return FigureSpec{
-		ID:     id,
-		Title:  "Figure 3 with DPDK burst polling (16 events) at the queue-manager core",
-		XLabel: "outstanding requests per worker (k)",
-		YLabel: "throughput (RPS)",
-		Sweep: runner.Sweep[Result]{Name: id, Series: []runner.Series[Result]{
-			kSweepSeries(id, offloadLabel(16)+" (burst 16)", q, 16, burst),
-			kSweepSeries(id, offloadLabel(4)+" (burst 16)", q, 4, burst),
-		}},
-	}
-}
+func Figure3BurstSpec(q Quality) FigureSpec { return presetFigureSpec("figure3-burst", q) }
 
 // Figure3Burst runs Figure3BurstSpec on the default parallel runner.
 func Figure3Burst(q Quality) Figure { return mustFigure(Figure3BurstSpec(q)) }
 
 // Figure4Spec declares the fixed 5 µs figure: preemption off, Shinjuku 3
 // workers vs Offload 4 workers (k=4).
-func Figure4Spec(q Quality) FigureSpec {
-	p := params.Default()
-	loads := loadGrid(50_000, 750_000, 50_000)
-	const id = "figure4"
-	return FigureSpec{
-		ID:     id,
-		Title:  "Fixed 5µs service time, no preemption",
-		XLabel: "offered load (RPS)",
-		YLabel: "p99 latency",
-		Sweep: runner.Sweep[Result]{Name: id, Series: []runner.Series[Result]{
-			gridSeries(id, "shinjuku-offload (4 workers, k=4)",
-				OffloadFactory(p, 4, 4, 0), Fixed5us, nil, q, loads),
-			gridSeries(id, "shinjuku (3 workers)",
-				ShinjukuFactory(p, 3, 0), Fixed5us, nil, q, loads),
-		}},
-	}
-}
+func Figure4Spec(q Quality) FigureSpec { return presetFigureSpec("figure4", q) }
 
 // Figure4 runs Figure4Spec on the default parallel runner.
 func Figure4(q Quality) Figure { return mustFigure(Figure4Spec(q)) }
 
 // Figure5Spec declares the fixed 100 µs figure: Shinjuku 15 workers vs
 // Offload 16 workers (k=2), preemption off.
-func Figure5Spec(q Quality) FigureSpec {
-	p := params.Default()
-	loads := loadGrid(10_000, 170_000, 10_000)
-	const id = "figure5"
-	return FigureSpec{
-		ID:     id,
-		Title:  "Fixed 100µs service time, no preemption",
-		XLabel: "offered load (RPS)",
-		YLabel: "p99 latency",
-		Sweep: runner.Sweep[Result]{Name: id, Series: []runner.Series[Result]{
-			gridSeries(id, "shinjuku-offload (16 workers, k=2)",
-				OffloadFactory(p, 16, 2, 0), Fixed100us, nil, q, loads),
-			gridSeries(id, "shinjuku (15 workers)",
-				ShinjukuFactory(p, 15, 0), Fixed100us, nil, q, loads),
-		}},
-	}
-}
+func Figure5Spec(q Quality) FigureSpec { return presetFigureSpec("figure5", q) }
 
 // Figure5 runs Figure5Spec on the default parallel runner.
 func Figure5(q Quality) Figure { return mustFigure(Figure5Spec(q)) }
@@ -291,115 +151,29 @@ func Figure5(q Quality) Figure { return mustFigure(Figure5Spec(q)) }
 // Shinjuku 15 workers vs Offload 16 workers (k=5). Here the offloaded
 // dispatcher is the bottleneck and vanilla Shinjuku greatly outperforms
 // (§5.1).
-func Figure6Spec(q Quality) FigureSpec {
-	p := params.Default()
-	loads := loadGrid(250_000, 4_000_000, 250_000)
-	const id = "figure6"
-	return FigureSpec{
-		ID:     id,
-		Title:  "Fixed 1µs service time, 15/16 workers",
-		XLabel: "offered load (RPS)",
-		YLabel: "p99 latency",
-		Sweep: runner.Sweep[Result]{Name: id, Series: []runner.Series[Result]{
-			gridSeries(id, "shinjuku-offload (16 workers, k=5)",
-				OffloadFactory(p, 16, 5, 0), Fixed1us, nil, q, loads),
-			gridSeries(id, "shinjuku (15 workers)",
-				ShinjukuFactory(p, 15, 0), Fixed1us, nil, q, loads),
-		}},
-	}
-}
+func Figure6Spec(q Quality) FigureSpec { return presetFigureSpec("figure6", q) }
 
 // Figure6 runs Figure6Spec on the default parallel runner.
 func Figure6(q Quality) Figure { return mustFigure(Figure6Spec(q)) }
 
 // Figure6CXLSpec declares the X1 ablation: Figure 6's offload
 // configuration with the §5.1(2) coherent-memory communication path.
-func Figure6CXLSpec(q Quality) FigureSpec {
-	p := params.Default()
-	loads := loadGrid(250_000, 4_000_000, 250_000)
-	const id = "figure6-cxl"
-	return FigureSpec{
-		ID:     id,
-		Title:  "Fixed 1µs, 15/16 workers, CXL communication ablation (§5.1-2)",
-		XLabel: "offered load (RPS)",
-		YLabel: "p99 latency",
-		Sweep: runner.Sweep[Result]{Name: id, Series: []runner.Series[Result]{
-			gridSeries(id, "offload+cxl (16 workers, k=5)",
-				IdealNICFactory(idealnicCfg(16, 5, 0, true, false, false)), Fixed1us, nil, q, loads),
-			gridSeries(id, "shinjuku (15 workers)",
-				ShinjukuFactory(p, 15, 0), Fixed1us, nil, q, loads),
-		}},
-	}
-}
+func Figure6CXLSpec(q Quality) FigureSpec { return presetFigureSpec("figure6-cxl", q) }
 
 // Figure6CXL runs Figure6CXLSpec on the default parallel runner.
 func Figure6CXL(q Quality) Figure { return mustFigure(Figure6CXLSpec(q)) }
 
 // Figure6LineRateSpec declares the X2 ablation: Figure 6 with a line-rate
 // hardware scheduler (§5.1-1), alone and combined with CXL.
-func Figure6LineRateSpec(q Quality) FigureSpec {
-	loads := loadGrid(250_000, 4_000_000, 250_000)
-	const id = "figure6-linerate"
-	return FigureSpec{
-		ID:     id,
-		Title:  "Fixed 1µs, 16 workers, line-rate scheduler ablation (§5.1-1)",
-		XLabel: "offered load (RPS)",
-		YLabel: "p99 latency",
-		Sweep: runner.Sweep[Result]{Name: id, Series: []runner.Series[Result]{
-			gridSeries(id, "offload+linerate (16 workers, k=5)",
-				IdealNICFactory(idealnicCfg(16, 5, 0, false, true, false)), Fixed1us, nil, q, loads),
-			gridSeries(id, "ideal nic: linerate+cxl (16 workers, k=2)",
-				IdealNICFactory(idealnicCfg(16, 2, 0, true, true, false)), Fixed1us, nil, q, loads),
-		}},
-	}
-}
+func Figure6LineRateSpec(q Quality) FigureSpec { return presetFigureSpec("figure6-linerate", q) }
 
 // Figure6LineRate runs Figure6LineRateSpec on the default parallel runner.
 func Figure6LineRate(q Quality) Figure { return mustFigure(Figure6LineRateSpec(q)) }
 
-func idealnicCfg(workers, k int, slice time.Duration, cxl, lineRate, directIRQ bool) idealnic.Config {
-	return idealnic.Config{
-		P: params.Default(), Workers: workers, Outstanding: k, Slice: slice,
-		CXL: cxl, LineRate: lineRate, DirectInterrupts: directIRQ,
-	}
-}
-
 // BaselineComparisonSpec declares the X4 landscape: every system of §2.1
 // on the bimodal workload, normalized per worker (all systems get equal
 // host cores; systems that burn a core on dispatch get fewer workers).
-func BaselineComparisonSpec(q Quality) FigureSpec {
-	p := params.Default()
-	loads := loadGrid(50_000, 650_000, 50_000)
-	slice := 10 * time.Microsecond
-	const hostCores = 4
-	const id = "baselines"
-	// A realistic KVS key popularity (mild skew) for the steering-sensitive
-	// baselines; informed/centralized schedulers ignore keys.
-	keys := dist.NewZipfKeys(4096, 0.9)
-	series := []runner.Series[Result]{
-		gridSeries(id, "shinjuku-offload (4 workers, k=4)",
-			OffloadFactory(p, hostCores, 4, slice), BimodalWorkload, keys, q, loads),
-		gridSeries(id, fmt.Sprintf("shinjuku (%d workers)", hostCores-1),
-			ShinjukuFactory(p, hostCores-1, slice), BimodalWorkload, keys, q, loads),
-		gridSeries(id, "rss/ix (4 workers)",
-			RSSFactory(p, hostCores), BimodalWorkload, keys, q, loads),
-		gridSeries(id, "zygos (4 workers)",
-			ZygOSFactory(p, hostCores), BimodalWorkload, keys, q, loads),
-		gridSeries(id, "flow-director (4 workers)",
-			FlowDirFactory(p, hostCores), BimodalWorkload, keys, q, loads),
-		gridSeries(id, "rpcvalet (4 workers)",
-			RPCValetFactory(p, hostCores), BimodalWorkload, keys, q, loads),
-		gridSeries(id, "erss (4 workers elastic)",
-			ERSSFactory(p, hostCores), BimodalWorkload, keys, q, loads),
-	}
-	return FigureSpec{
-		ID:     id,
-		Title:  "Bimodal workload across §2.1 systems (equal host cores, zipf(0.9) keys)",
-		XLabel: "offered load (RPS)",
-		YLabel: "p99 latency",
-		Sweep:  runner.Sweep[Result]{Name: id, Series: series},
-	}
-}
+func BaselineComparisonSpec(q Quality) FigureSpec { return presetFigureSpec("baselines", q) }
 
 // BaselineComparison runs BaselineComparisonSpec on the default parallel
 // runner.

@@ -5,12 +5,8 @@ import (
 	"time"
 
 	"mindgap/internal/core"
-	"mindgap/internal/dist"
-	"mindgap/internal/params"
 	"mindgap/internal/runner"
-	"mindgap/internal/sim"
-	"mindgap/internal/stats"
-	"mindgap/internal/task"
+	"mindgap/internal/scenario"
 )
 
 // PolicyRow is one row of the X10 experiment: the same system and workload
@@ -27,46 +23,34 @@ type PolicyRow struct {
 // Round-robin ignores load entirely; least-outstanding balances request
 // *counts*; informed-least-loaded balances remaining *work* using host
 // feedback. With shallow stashes the centralized FIFO absorbs nearly all
-// imbalance and the policies tie (a finding in itself); the regime below —
-// deep stashes, dispersive non-preemptible service times — is where the
-// informed policy earns its keep.
+// imbalance and the policies tie (a finding in itself); the regime in the
+// table-policy preset — deep stashes, dispersive non-preemptible service
+// times — is where the informed policy earns its keep.
 func PolicyAblationWith(ctx context.Context, rn *runner.Runner, q Quality) ([]PolicyRow, error) {
-	p := params.Default()
-	const workers = 8
-	// Deep stashes (k=6) plus dispersive, non-preemptible service times:
-	// the regime where *what* sits in a worker's stash matters, not just
-	// how many requests do.
-	svc := dist.Bimodal{P1: 0.95, D1: 5 * time.Microsecond, D2: 200 * time.Microsecond}
-	rho := 0.75
-	rps := rho * float64(workers) / svc.Mean().Seconds()
-
-	policies := []core.Policy{core.RoundRobin, core.LeastOutstanding, core.InformedLeastLoaded}
-	pts := make([]runner.Point[Result], len(policies))
-	for i, pol := range policies {
-		pol := pol
-		cfg := PointConfig{
-			Factory: func(eng *sim.Engine, rec *stats.Recorder, done func(*task.Request)) System {
-				return core.NewOffload(eng, core.OffloadConfig{
-					P: p, Workers: workers, Outstanding: 6,
-					Policy:       pol,
-					LoadFeedback: pol == core.InformedLeastLoaded,
-				}, rec, done)
-			},
-			Service:    svc,
-			OfferedRPS: rps,
-			Warmup:     q.Warmup,
-			Measure:    q.Measure,
-			Seed:       q.Seed,
+	p := mustPreset("table-policy")
+	sw := runner.Sweep[Result]{Name: p.ID}
+	policies := make([]core.Policy, len(p.Series))
+	for i := range p.Series {
+		sp := p.SpecFor(i)
+		pol, err := scenario.ParsePolicy(sp.KnobsOrZero().Policy)
+		if err != nil {
+			return nil, err
 		}
-		pts[i] = runner.Point[Result]{
-			Key: pointKey("table-policy", pol.String(), cfg),
-			Run: func() Result { return RunPoint(cfg) },
+		policies[i] = pol
+		s, err := specSeries(p.ID, p.Series[i].Label, sp, q)
+		if err != nil {
+			return nil, err
 		}
+		sw.Series = append(sw.Series, s)
 	}
-	res, err := runner.RunOne(ctx, rn, "table-policy", runner.Series[Result]{Points: pts})
-	rows := make([]PolicyRow, len(res))
-	for i, r := range res {
-		rows[i] = PolicyRow{Policy: policies[i], P50: r.P50, P99: r.P99, Achieved: r.AchievedRPS}
+	res, err := runner.Run(ctx, rn, sw)
+	var rows []PolicyRow
+	for i, sr := range res {
+		if len(sr.Results) == 0 {
+			break // cancelled mid-sweep: keep complete rows only
+		}
+		r := sr.Results[0]
+		rows = append(rows, PolicyRow{Policy: policies[i], P50: r.P50, P99: r.P99, Achieved: r.AchievedRPS})
 	}
 	return rows, err
 }

@@ -1,0 +1,208 @@
+package experiment
+
+import (
+	"fmt"
+	"strconv"
+
+	"mindgap/internal/dist"
+	"mindgap/internal/runner"
+	"mindgap/internal/scenario"
+	"mindgap/scenarios"
+)
+
+// This file bridges the checked-in scenario presets (scenarios/*.json)
+// to the sweep runner: every figure and table definition is loaded from
+// its preset, resolved against a run-time Quality, and compiled into
+// runner series whose cache keys derive from Spec.Fingerprint().
+
+// mustPreset loads a checked-in preset; the scenarios package's tests
+// validate every embedded file, so a failure here is a programmer error.
+func mustPreset(id string) scenario.Preset {
+	p, err := scenarios.Load(id)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// qualityFor resolves the effective sample counts and seed for one spec:
+// the run-time quality, overridden by any spec-pinned QualitySpec, with
+// a spec-pinned seed winning over the quality's.
+func qualityFor(sp scenario.Spec, q Quality) Quality {
+	if sp.Quality != nil {
+		switch sp.Quality.Preset {
+		case "quick":
+			q.Warmup, q.Measure = Quick.Warmup, Quick.Measure
+		case "full":
+			q.Warmup, q.Measure = Full.Warmup, Full.Measure
+		}
+		if sp.Quality.Warmup > 0 {
+			q.Warmup = sp.Quality.Warmup
+		}
+		if sp.Quality.Measure > 0 {
+			q.Measure = sp.Quality.Measure
+		}
+	}
+	if sp.Seed != 0 {
+		q.Seed = sp.Seed
+	}
+	return q
+}
+
+// specLoads resolves a spec's load declaration into offered-RPS values.
+// Utilization-derived loads (rho) are computed here — never stored as
+// floats in preset files — so the resulting values are bit-identical to
+// the historical in-code formula rho·workers/mean.
+func specLoads(sp scenario.Spec, svc dist.Distribution) []float64 {
+	l := sp.Load
+	switch {
+	case l == nil:
+		return nil
+	case l.Grid != nil:
+		return l.Grid.Points()
+	case l.Rho > 0:
+		return []float64{l.Rho * float64(sp.KnobsOrZero().Workers) / svc.Mean().Seconds()}
+	default:
+		return []float64{l.RPS}
+	}
+}
+
+// specPointKey builds the cache identity of one measured point from the
+// spec fingerprint: the spec with its load pinned to the single offered
+// rate and the effective quality and seed baked in, salted with the
+// calibration fingerprint. Unlike the label-based keys this replaces,
+// two presets that describe the same scenario share cache entries.
+func specPointKey(sweepID string, sp scenario.Spec, q Quality, rps float64, extra ...string) string {
+	if sweepID == "" {
+		return "" // anonymous sweeps are not cacheable
+	}
+	id := sp
+	id.Name = ""
+	id.Load = &scenario.LoadSpec{RPS: rps}
+	id.Quality = &scenario.QualitySpec{Warmup: q.Warmup, Measure: q.Measure}
+	id.Seed = q.Seed
+	id.Seeds = nil
+	k := sweepID + "|" + id.Fingerprint() + "|params=" + paramsSig()
+	for _, e := range extra {
+		k += "|" + e
+	}
+	return k
+}
+
+// pointConfigFor compiles a spec into a runnable point config (offered
+// load left to the caller): registry build, workload parse, keys, and
+// effective quality.
+func pointConfigFor(sp scenario.Spec, q Quality) (PointConfig, error) {
+	f, err := scenario.Build(sp)
+	if err != nil {
+		return PointConfig{}, err
+	}
+	svc, err := dist.Parse(sp.Workload)
+	if err != nil {
+		return PointConfig{}, err
+	}
+	eq := qualityFor(sp, q)
+	cfg := PointConfig{
+		Factory: f,
+		Service: svc,
+		Warmup:  eq.Warmup,
+		Measure: eq.Measure,
+		Seed:    eq.Seed,
+	}
+	if sp.Keys != nil {
+		cfg.Keys = sp.Keys.Keys()
+	}
+	return cfg, nil
+}
+
+// specSeries compiles one resolved spec into a runner series: a load
+// grid (stopping after the second consecutive saturated point, like the
+// paper's figures), a k sweep (one point per outstanding limit, plotted
+// against k), or a single offered load.
+func specSeries(sweepID, label string, sp scenario.Spec, q Quality) (runner.Series[Result], error) {
+	if sp.Load != nil && sp.Load.KSweep != nil {
+		return kSweepSeries(sweepID, label, sp, q)
+	}
+	cfg, err := pointConfigFor(sp, q)
+	if err != nil {
+		return runner.Series[Result]{}, err
+	}
+	eq := qualityFor(sp, q)
+	loads := specLoads(sp, cfg.Service)
+	pts := make([]runner.Point[Result], len(loads))
+	for i, rps := range loads {
+		c := cfg
+		c.OfferedRPS = rps
+		pts[i] = runner.Point[Result]{
+			Key: specPointKey(sweepID, sp, eq, rps),
+			Run: func() Result { return RunPoint(c) },
+		}
+	}
+	s := runner.Series[Result]{Label: label, Points: pts}
+	if sp.Load != nil && sp.Load.Grid != nil {
+		s.StopAfterSaturated = 2
+	}
+	return s, nil
+}
+
+// kSweepSeries compiles a ksweep spec: the per-worker outstanding limit
+// sweeps Lo..Hi at the spec's fixed (saturating) offered load, and the
+// reported x-coordinate is k itself.
+func kSweepSeries(sweepID, label string, sp scenario.Spec, q Quality) (runner.Series[Result], error) {
+	ks := sp.Load.KSweep
+	pts := make([]runner.Point[Result], 0, ks.Hi-ks.Lo+1)
+	for k := ks.Lo; k <= ks.Hi; k++ {
+		k := k
+		spk := sp.WithOutstanding(k)
+		cfg, err := pointConfigFor(spk, q)
+		if err != nil {
+			return runner.Series[Result]{}, err
+		}
+		cfg.OfferedRPS = sp.Load.RPS
+		pts = append(pts, runner.Point[Result]{
+			Key: specPointKey(sweepID, spk, qualityFor(spk, q), sp.Load.RPS,
+				"k="+strconv.Itoa(k)),
+			Run: func() Result {
+				r := RunPoint(cfg)
+				r.Point.OfferedRPS = float64(k) // x-axis is k, not load
+				return r
+			},
+		})
+	}
+	return runner.Series[Result]{Label: label, Points: pts}, nil
+}
+
+// PresetFigureSpec compiles a series-style preset into a runnable
+// FigureSpec. It is the one path from scenario files to the sweep
+// runner, shared by the figure definitions below and by
+// `mindgap-sim -scenario`.
+func PresetFigureSpec(p scenario.Preset, q Quality) (FigureSpec, error) {
+	if len(p.Tenants) > 0 {
+		return FigureSpec{}, fmt.Errorf("experiment: preset %q is a tenants preset; run it with RunMultiTenant", p.ID)
+	}
+	sw := runner.Sweep[Result]{Name: p.ID}
+	for i := range p.Series {
+		s, err := specSeries(p.ID, p.Series[i].Label, p.SpecFor(i), q)
+		if err != nil {
+			return FigureSpec{}, fmt.Errorf("experiment: preset %q series %q: %w", p.ID, p.Series[i].Label, err)
+		}
+		sw.Series = append(sw.Series, s)
+	}
+	return FigureSpec{
+		ID:     p.ID,
+		Title:  p.Title,
+		XLabel: p.XLabel,
+		YLabel: p.YLabel,
+		Sweep:  sw,
+	}, nil
+}
+
+// presetFigureSpec resolves a checked-in preset; embedded presets are
+// validated by tests, so failure is a programmer error.
+func presetFigureSpec(id string, q Quality) FigureSpec {
+	f, err := PresetFigureSpec(mustPreset(id), q)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}

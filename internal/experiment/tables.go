@@ -4,7 +4,6 @@ import (
 	"context"
 	"time"
 
-	"mindgap/internal/dist"
 	"mindgap/internal/params"
 	"mindgap/internal/runner"
 )
@@ -44,14 +43,24 @@ func TimerCosts(p params.Params) []TimerCostRow {
 	return rows
 }
 
-// pairSeries declares a two-point sweep — the shape of the T2/T3
-// experiments, which compare one configuration against another. Both
-// points run concurrently under the sweep runner.
-func pairSeries(sweepID string, a, b PointConfig, aKey, bKey string) runner.Series[Result] {
-	return runner.Series[Result]{Points: []runner.Point[Result]{
-		{Key: pointKey(sweepID, aKey, a), Run: func() Result { return RunPoint(a) }},
-		{Key: pointKey(sweepID, bKey, b), Run: func() Result { return RunPoint(b) }},
-	}}
+// presetPair runs a two-series preset — the shape of the T2/T3
+// experiments, which compare one configuration against another — and
+// returns the two measured points. Both run concurrently under the
+// sweep runner.
+func presetPair(ctx context.Context, rn *runner.Runner, id string, q Quality) ([]Result, error) {
+	spec, err := PresetFigureSpec(mustPreset(id), q)
+	if err != nil {
+		return nil, err
+	}
+	res, err := runner.Run(ctx, rn, spec.Sweep)
+	var out []Result
+	for _, sr := range res {
+		if len(sr.Results) == 0 {
+			break // cancelled mid-sweep: keep the completed prefix
+		}
+		out = append(out, sr.Results[0])
+	}
+	return out, err
 }
 
 // IPCOverheadResult is the T2 experiment: the extra tail latency vanilla
@@ -63,21 +72,11 @@ type IPCOverheadResult struct {
 	Overhead    time.Duration
 }
 
-// IPCOverheadWith measures T2 on rn. Both systems run far from saturation
-// with near-zero application work so the path cost dominates.
+// IPCOverheadWith measures T2 (the table-ipc preset) on rn. Both systems
+// run far from saturation with near-zero application work so the path
+// cost dominates.
 func IPCOverheadWith(ctx context.Context, rn *runner.Runner, q Quality) (IPCOverheadResult, error) {
-	p := params.Default()
-	svc := dist.Fixed{D: 200 * time.Nanosecond}
-	const load = 100_000
-	base := PointConfig{
-		Service: svc, OfferedRPS: load,
-		Warmup: q.Warmup, Measure: q.Measure, Seed: q.Seed,
-	}
-	shin, rss := base, base
-	shin.Factory = ShinjukuFactory(p, 3, 0)
-	rss.Factory = RSSFactory(p, 3)
-	res, err := runner.RunOne(ctx, rn, "table-ipc",
-		pairSeries("table-ipc", shin, rss, "shinjuku-3w", "rss-3w"))
+	res, err := presetPair(ctx, rn, "table-ipc", q)
 	if len(res) < 2 {
 		return IPCOverheadResult{}, err
 	}
@@ -104,24 +103,11 @@ type WorkerWaitResult struct {
 	ExtraWaitFrac float64 // (IdleAt1us - IdleAt100us) / IdleAt100us
 }
 
-// WorkerWaitWith measures T3 on rn at saturating load for both
-// configurations.
+// WorkerWaitWith measures T3 (the table-wait preset) on rn: the Figure 5
+// and Figure 6 offload configurations, each at its knee (just below
+// saturation).
 func WorkerWaitWith(ctx context.Context, rn *runner.Runner, q Quality) (WorkerWaitResult, error) {
-	p := params.Default()
-	// Figure 5 configuration at its knee (just below saturation).
-	fig5 := PointConfig{
-		Factory: OffloadFactory(p, 16, 2, 0),
-		Service: Fixed100us, OfferedRPS: 150_000,
-		Warmup: q.Warmup, Measure: q.Measure, Seed: q.Seed,
-	}
-	// Figure 6 configuration at its knee.
-	fig6 := PointConfig{
-		Factory: OffloadFactory(p, 16, 5, 0),
-		Service: Fixed1us, OfferedRPS: 1_500_000,
-		Warmup: q.Warmup, Measure: q.Measure, Seed: q.Seed,
-	}
-	res, err := runner.RunOne(ctx, rn, "table-wait",
-		pairSeries("table-wait", fig5, fig6, "offload-16w-k2", "offload-16w-k5"))
+	res, err := presetPair(ctx, rn, "table-wait", q)
 	if len(res) < 2 {
 		return WorkerWaitResult{}, err
 	}

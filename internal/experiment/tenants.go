@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"context"
+	"fmt"
 	"time"
 
 	"mindgap/internal/core"
@@ -9,6 +10,7 @@ import (
 	"mindgap/internal/loadgen"
 	"mindgap/internal/params"
 	"mindgap/internal/runner"
+	"mindgap/internal/scenario"
 	"mindgap/internal/sim"
 	"mindgap/internal/stats"
 	"mindgap/internal/task"
@@ -160,11 +162,46 @@ func MultiTenantComparisonWith(ctx context.Context, rn *runner.Runner, cfg Multi
 	return out, err
 }
 
-// DefaultTenants returns the X9 scenario: a latency-critical KVS tenant
-// co-located with a batch-analytics tenant.
-func DefaultTenants() []Tenant {
-	return []Tenant{
-		{Name: "kvs (critical)", RPS: 300_000, Service: dist.Fixed{D: 2 * time.Microsecond}, Class: 0},
-		{Name: "analytics (batch)", RPS: 8_000, Service: dist.Uniform{Lo: 100 * time.Microsecond, Hi: 400 * time.Microsecond}, Class: 1},
+// MultiTenantFromPreset compiles a tenants-style scenario preset (one
+// with a Tenants list, like table-tenants) into a runnable
+// MultiTenantConfig. The server knobs come from the preset's System +
+// Knobs; tenant workloads are parsed from the dist mini-language.
+func MultiTenantFromPreset(p scenario.Preset, q Quality) (MultiTenantConfig, error) {
+	if len(p.Tenants) == 0 {
+		return MultiTenantConfig{}, fmt.Errorf("experiment: preset %q declares no tenants", p.ID)
 	}
+	k := scenario.Spec{System: p.System, Knobs: p.Knobs}.KnobsOrZero()
+	cfg := MultiTenantConfig{
+		P:           params.Default(),
+		Workers:     k.Workers,
+		Outstanding: k.Outstanding,
+		Slice:       k.Slice.D(),
+		Quality:     q,
+	}
+	for _, t := range p.Tenants {
+		svc, err := dist.Parse(t.Workload)
+		if err != nil {
+			return MultiTenantConfig{}, fmt.Errorf("experiment: preset %q tenant %q: %w", p.ID, t.Name, err)
+		}
+		cfg.Tenants = append(cfg.Tenants, Tenant{
+			Name: t.Name, RPS: t.RPS, Service: svc, Class: t.Class,
+		})
+	}
+	return cfg, nil
+}
+
+// DefaultMultiTenant returns the X9 scenario as checked in under
+// scenarios/table-tenants.json: a latency-critical KVS tenant co-located
+// with a batch-analytics tenant on a 4-worker offload server.
+func DefaultMultiTenant(q Quality) MultiTenantConfig {
+	cfg, err := MultiTenantFromPreset(mustPreset("table-tenants"), q)
+	if err != nil {
+		panic(err) // the embedded preset is validated by tests
+	}
+	return cfg
+}
+
+// DefaultTenants returns the X9 tenant mix (see DefaultMultiTenant).
+func DefaultTenants() []Tenant {
+	return DefaultMultiTenant(Quality{}).Tenants
 }

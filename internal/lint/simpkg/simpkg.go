@@ -27,6 +27,8 @@ var simSegments = map[string]bool{
 	"experiment": true,
 	"runner":     true,
 	"stats":      true,
+	"scenario":   true,
+	"scenarios":  true,
 }
 
 // exemptPrefixes are path fragments that are never simulation packages

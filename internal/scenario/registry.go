@@ -1,0 +1,312 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mindgap/internal/core"
+	"mindgap/internal/params"
+	"mindgap/internal/sim"
+	"mindgap/internal/stats"
+	"mindgap/internal/systems/erss"
+	"mindgap/internal/systems/idealnic"
+	"mindgap/internal/systems/rpcvalet"
+	"mindgap/internal/systems/rtc"
+	"mindgap/internal/systems/shinjuku"
+	"mindgap/internal/task"
+	"mindgap/internal/telemetry"
+	"mindgap/internal/trace"
+)
+
+// Options carries per-run wiring that is not part of a scenario's
+// identity: the calibration constants and optional observability sinks.
+type Options struct {
+	// Params overrides the hardware cost model (nil = params.Default()).
+	Params *params.Params
+	// Tracer, when non-nil, records request lifecycles. Only systems
+	// that support tracing accept it; others refuse to build.
+	Tracer *trace.Buffer
+	// Metrics, when non-nil, wires component probes into the registry.
+	// Only systems that support telemetry accept it.
+	Metrics *telemetry.Registry
+}
+
+func (o Options) params() params.Params {
+	if o.Params != nil {
+		return *o.Params
+	}
+	return params.Default()
+}
+
+// Builder registers one system kind: its registry name, documentation,
+// the knobs it accepts, and the function that assembles it.
+type Builder struct {
+	// Name is the registry key ("offload", "shinjuku", ...).
+	Name string
+	// Doc is a one-line description for -list-systems.
+	Doc string
+	// Knobs lists the JSON names of the knobs this kind accepts; Build
+	// rejects specs that set any other knob.
+	Knobs []string
+	// Observable marks systems that accept Options.Tracer / Options.Metrics.
+	Observable bool
+	// Build assembles the factory from validated knobs.
+	Build func(o Options, k Knobs) (Factory, error)
+}
+
+// checkKnobs rejects knobs the kind does not accept.
+func (b Builder) checkKnobs(k Knobs) error {
+	allowed := make(map[string]bool, len(b.Knobs))
+	for _, n := range b.Knobs {
+		allowed[n] = true
+	}
+	var bad []string
+	for _, n := range k.set() {
+		if !allowed[n] {
+			bad = append(bad, n)
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("scenario: system %q does not accept knob(s) %s (accepted: %s)",
+			b.Name, strings.Join(bad, ", "), strings.Join(b.Knobs, ", "))
+	}
+	return nil
+}
+
+// registry maps system names to builders. It is written once during
+// package init and read-only afterwards.
+var registry = map[string]Builder{}
+
+// Register adds a system kind; duplicate names are a programmer error.
+func Register(b Builder) {
+	if b.Name == "" || b.Build == nil {
+		panic("scenario: Register needs a name and a build function")
+	}
+	if _, dup := registry[b.Name]; dup {
+		panic("scenario: duplicate system " + b.Name)
+	}
+	registry[b.Name] = b
+}
+
+// Lookup returns the builder registered under name.
+func Lookup(name string) (Builder, bool) {
+	b, ok := registry[name]
+	return b, ok
+}
+
+// Systems returns every registered builder, sorted by name.
+func Systems() []Builder {
+	out := make([]Builder, 0, len(registry))
+	for _, b := range registry {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// SystemNames returns the sorted registry names.
+func SystemNames() []string {
+	sys := Systems()
+	out := make([]string, len(sys))
+	for i, b := range sys {
+		out[i] = b.Name
+	}
+	return out
+}
+
+func unknownSystemError(name string) error {
+	return fmt.Errorf("scenario: unknown system %q (known: %s)",
+		name, strings.Join(SystemNames(), ", "))
+}
+
+// Build assembles the spec's system factory with default options. It is
+// the single assembly point for every system in the repository: knob
+// validation happens here, so an invalid spec fails before any
+// simulation runs.
+func Build(sp Spec) (Factory, error) { return BuildWith(sp, Options{}) }
+
+// BuildWith assembles the spec's system factory with explicit options.
+func BuildWith(sp Spec, o Options) (Factory, error) {
+	b, ok := Lookup(sp.System)
+	if !ok {
+		return nil, unknownSystemError(sp.System)
+	}
+	k := sp.KnobsOrZero()
+	if err := b.checkKnobs(k); err != nil {
+		return nil, err
+	}
+	if k.Workers < 1 {
+		return nil, fmt.Errorf("scenario: system %q needs workers >= 1", sp.System)
+	}
+	if (o.Tracer != nil || o.Metrics != nil || sp.Trace || sp.Telemetry) && !b.Observable {
+		return nil, fmt.Errorf("scenario: system %q does not support tracing/telemetry", sp.System)
+	}
+	return b.Build(o, k)
+}
+
+// ParsePolicy maps a policy knob string to the core policy; the empty
+// string is the default (least-outstanding, the paper prototype's
+// idle-first FIFO dispatch).
+func ParsePolicy(s string) (core.Policy, error) {
+	switch s {
+	case "", core.LeastOutstanding.String():
+		return core.LeastOutstanding, nil
+	case core.RoundRobin.String():
+		return core.RoundRobin, nil
+	case core.InformedLeastLoaded.String():
+		return core.InformedLeastLoaded, nil
+	}
+	return 0, fmt.Errorf("scenario: unknown policy %q (known: %s, %s, %s)",
+		s, core.LeastOutstanding, core.RoundRobin, core.InformedLeastLoaded)
+}
+
+// rtcBuilder makes a run-to-completion variant builder (RSS, ZygOS,
+// Flow Director differ only in steering and stealing).
+func rtcBuilder(name, doc string, cfg func(k Knobs) rtc.Config) Builder {
+	return Builder{
+		Name:  name,
+		Doc:   doc,
+		Knobs: []string{"workers", "queue_cap"},
+		Build: func(o Options, k Knobs) (Factory, error) {
+			c := cfg(k)
+			c.P = o.params()
+			c.Workers = k.Workers
+			c.QueueCap = k.QueueCap
+			return func(eng *sim.Engine, rec *stats.Recorder, done func(*task.Request)) System {
+				return rtc.New(eng, c, rec, done)
+			}, nil
+		},
+	}
+}
+
+func init() {
+	Register(Builder{
+		Name: "offload",
+		Doc:  "Shinjuku-Offload: the paper's informed NIC-resident scheduler (§3)",
+		Knobs: []string{"workers", "outstanding", "slice", "policy", "load_feedback",
+			"dispatch_burst", "ddio_to_l1", "admission_limit", "affinity"},
+		Observable: true,
+		Build: func(o Options, k Knobs) (Factory, error) {
+			pol, err := ParsePolicy(k.Policy)
+			if err != nil {
+				return nil, err
+			}
+			if k.Outstanding < 1 {
+				return nil, fmt.Errorf("scenario: offload needs outstanding >= 1")
+			}
+			cfg := core.OffloadConfig{
+				P:              o.params(),
+				Workers:        k.Workers,
+				Outstanding:    k.Outstanding,
+				Slice:          k.Slice.D(),
+				Policy:         pol,
+				LoadFeedback:   k.LoadFeedback,
+				DispatchBurst:  k.DispatchBurst,
+				DDIOToL1:       k.DDIOToL1,
+				AdmissionLimit: k.AdmissionLimit,
+				Affinity:       k.Affinity,
+				Tracer:         o.Tracer,
+				Metrics:        o.Metrics,
+			}
+			return func(eng *sim.Engine, rec *stats.Recorder, done func(*task.Request)) System {
+				return core.NewOffload(eng, cfg, rec, done)
+			}, nil
+		},
+	})
+
+	Register(Builder{
+		Name:  "shinjuku",
+		Doc:   "vanilla Shinjuku: host-core networker + dispatcher baseline (§2.1)",
+		Knobs: []string{"workers", "outstanding", "slice", "policy", "sockets"},
+		Build: func(o Options, k Knobs) (Factory, error) {
+			pol, err := ParsePolicy(k.Policy)
+			if err != nil {
+				return nil, err
+			}
+			cfg := shinjuku.Config{
+				P:           o.params(),
+				Workers:     k.Workers,
+				Slice:       k.Slice.D(),
+				Outstanding: k.Outstanding,
+				Policy:      pol,
+				Sockets:     k.Sockets,
+			}
+			return func(eng *sim.Engine, rec *stats.Recorder, done func(*task.Request)) System {
+				return shinjuku.New(eng, cfg, rec, done)
+			}, nil
+		},
+	})
+
+	Register(rtcBuilder("rss",
+		"IX-style RSS: hash steering, run to completion, no preemption (§2.1)",
+		func(Knobs) rtc.Config { return rtc.Config{} }))
+	Register(rtcBuilder("zygos",
+		"ZygOS: RSS steering plus work stealing from sibling queues (§2.1)",
+		func(Knobs) rtc.Config { return rtc.Config{WorkStealing: true} }))
+	Register(rtcBuilder("flowdir",
+		"MICA-style Flow Director: key-affinity steering, run to completion (§2.1)",
+		func(Knobs) rtc.Config { return rtc.Config{Steering: rtc.SteerKey} }))
+
+	Register(Builder{
+		Name:  "rpcvalet",
+		Doc:   "RPCValet: NI-integrated single queue, no preemption (§2.1)",
+		Knobs: []string{"workers"},
+		Build: func(o Options, k Knobs) (Factory, error) {
+			cfg := rpcvalet.Config{P: o.params(), Workers: k.Workers}
+			return func(eng *sim.Engine, rec *stats.Recorder, done func(*task.Request)) System {
+				return rpcvalet.New(eng, cfg, rec, done)
+			}, nil
+		},
+	})
+
+	Register(Builder{
+		Name:  "erss",
+		Doc:   "Elastic RSS: load feedback resizes the core set, fixed policy (§5.1)",
+		Knobs: []string{"workers", "min_workers", "interval", "up_threshold", "down_threshold"},
+		Build: func(o Options, k Knobs) (Factory, error) {
+			cfg := erss.Config{
+				P:             o.params(),
+				Workers:       k.Workers,
+				MinWorkers:    k.MinWorkers,
+				Interval:      k.Interval.D(),
+				UpThreshold:   k.UpThreshold,
+				DownThreshold: k.DownThreshold,
+			}
+			return func(eng *sim.Engine, rec *stats.Recorder, done func(*task.Request)) System {
+				return erss.New(eng, cfg, rec, done)
+			}, nil
+		},
+	})
+
+	Register(Builder{
+		Name:       "idealnic",
+		Doc:        "§5 ideal SmartNIC ablations: CXL memory, line-rate scheduler, direct interrupts",
+		Knobs:      []string{"workers", "outstanding", "slice", "policy", "cxl", "linerate", "directirq"},
+		Observable: true,
+		Build: func(o Options, k Knobs) (Factory, error) {
+			pol, err := ParsePolicy(k.Policy)
+			if err != nil {
+				return nil, err
+			}
+			if k.Outstanding < 1 {
+				return nil, fmt.Errorf("scenario: idealnic needs outstanding >= 1")
+			}
+			cfg := idealnic.Config{
+				P:                o.params(),
+				Workers:          k.Workers,
+				Outstanding:      k.Outstanding,
+				Slice:            k.Slice.D(),
+				Policy:           pol,
+				CXL:              k.CXL,
+				LineRate:         k.LineRate,
+				DirectInterrupts: k.DirectInterrupts,
+				Tracer:           o.Tracer,
+				Metrics:          o.Metrics,
+			}
+			return func(eng *sim.Engine, rec *stats.Recorder, done func(*task.Request)) System {
+				return idealnic.New(eng, cfg, rec, done)
+			}, nil
+		},
+	})
+}

@@ -1,0 +1,134 @@
+package scenario
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"mindgap/internal/sim"
+	"mindgap/internal/task"
+)
+
+// TestRegistryCompleteness pins the registry against DESIGN.md's system
+// inventory: every simulated system in the repository must be buildable
+// through the registry, under exactly these names. Adding a system
+// package without registering it — or renaming a registry entry — fails
+// here first.
+func TestRegistryCompleteness(t *testing.T) {
+	// Implementation package → the registry names it provides.
+	inventory := map[string][]string{
+		"internal/core":             {"offload"},
+		"internal/systems/shinjuku": {"shinjuku"},
+		"internal/systems/rtc":      {"rss", "zygos", "flowdir"},
+		"internal/systems/rpcvalet": {"rpcvalet"},
+		"internal/systems/erss":     {"erss"},
+		"internal/systems/idealnic": {"idealnic"},
+	}
+	var want []string
+	for _, names := range inventory {
+		want = append(want, names...)
+	}
+	got := SystemNames()
+	if len(got) != len(want) {
+		t.Errorf("registry has %d systems %v, DESIGN.md inventory has %d", len(got), got, len(want))
+	}
+	for _, n := range want {
+		if _, ok := Lookup(n); !ok {
+			t.Errorf("inventory system %q is not registered", n)
+		}
+	}
+	sorted := append([]string(nil), got...)
+	sort.Strings(sorted)
+	if !reflect.DeepEqual(got, sorted) {
+		t.Errorf("SystemNames() not sorted: %v", got)
+	}
+}
+
+// TestBuildEverySystem builds one instance of every registered system
+// and checks it reports a sensible Name. This is the "every system in
+// DESIGN.md's inventory is constructible via scenario.Build" gate.
+func TestBuildEverySystem(t *testing.T) {
+	// Minimal valid knobs per system kind.
+	knobs := map[string]Knobs{
+		"offload":  {Workers: 2, Outstanding: 2, Slice: Duration(10 * time.Microsecond)},
+		"shinjuku": {Workers: 2, Slice: Duration(10 * time.Microsecond)},
+		"rss":      {Workers: 2},
+		"zygos":    {Workers: 2},
+		"flowdir":  {Workers: 2},
+		"rpcvalet": {Workers: 2},
+		"erss":     {Workers: 4, MinWorkers: 1},
+		"idealnic": {Workers: 2, Outstanding: 2, CXL: true},
+	}
+	wantName := map[string]string{
+		"offload":  "shinjuku-offload",
+		"idealnic": "idealnic/cxl",
+	}
+	for _, name := range SystemNames() {
+		k, ok := knobs[name]
+		if !ok {
+			t.Errorf("no test knobs for system %q — extend this table", name)
+			continue
+		}
+		kn := k
+		f, err := Build(Spec{System: name, Knobs: &kn})
+		if err != nil {
+			t.Errorf("Build(%q): %v", name, err)
+			continue
+		}
+		sys := f(sim.New(), nil, func(*task.Request) {})
+		if sys == nil {
+			t.Errorf("factory for %q returned nil", name)
+			continue
+		}
+		got := sys.Name()
+		if got == "" {
+			t.Errorf("system %q has empty Name()", name)
+		}
+		if want, ok := wantName[name]; ok && got != want {
+			t.Errorf("system %q Name() = %q, want %q", name, got, want)
+		}
+	}
+}
+
+// TestBuildValidation checks the registry's refusal paths.
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(Spec{System: "nope", Knobs: &Knobs{Workers: 1}}); err == nil ||
+		!strings.Contains(err.Error(), "unknown system") {
+		t.Errorf("unknown system: err = %v", err)
+	}
+	if _, err := Build(Spec{System: "rss"}); err == nil {
+		t.Error("rss with zero workers built; want workers >= 1 error")
+	}
+	if _, err := Build(Spec{System: "offload", Knobs: &Knobs{Workers: 2}}); err == nil {
+		t.Error("offload with zero outstanding built; want outstanding >= 1 error")
+	}
+	if _, err := Build(Spec{System: "offload", Knobs: &Knobs{Workers: 2, Outstanding: 2, Policy: "banana"}}); err == nil {
+		t.Error("offload with unknown policy built; want error")
+	}
+	// Non-observable systems must refuse tracing/telemetry requests
+	// instead of silently dropping them.
+	if _, err := Build(Spec{System: "rss", Knobs: &Knobs{Workers: 2}, Trace: true}); err == nil {
+		t.Error("rss with trace:true built; want rejection")
+	}
+}
+
+// TestBuilderMetadata checks every builder carries the -list-systems
+// surface: a doc line and at least the workers knob.
+func TestBuilderMetadata(t *testing.T) {
+	for _, b := range Systems() {
+		if b.Doc == "" {
+			t.Errorf("system %q has no doc line", b.Name)
+		}
+		found := false
+		for _, k := range b.Knobs {
+			if k == "workers" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("system %q does not accept the workers knob: %v", b.Name, b.Knobs)
+		}
+	}
+}

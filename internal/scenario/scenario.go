@@ -1,0 +1,40 @@
+// Package scenario is the declarative layer between experiment
+// definitions and the systems they measure: a serializable Spec (system
+// kind + typed knobs, workload, keys, load grid, quality, seeds,
+// telemetry/trace toggles) with a canonical JSON encoding and
+// fingerprint, plus a central registry that maps system names to
+// builders with per-kind knob validation.
+//
+// Every system in the repository — the paper's Shinjuku-Offload and all
+// §2.1 baselines — is assembled through Build, so scenarios are data:
+// the experiment harness, the CLIs, and the examples all construct
+// systems from the same audited specs, the runner's result cache keys
+// derive from Spec.Fingerprint, and checked-in presets under scenarios/
+// replace hand-rolled factory closures.
+package scenario
+
+import (
+	"mindgap/internal/sim"
+	"mindgap/internal/stats"
+	"mindgap/internal/task"
+)
+
+// System is the common surface of every scheduling system in this
+// repository (Shinjuku-Offload, vanilla Shinjuku, RSS, ZygOS, Flow
+// Director, RPCValet, eRSS, and the ideal-NIC ablations).
+type System interface {
+	// Name identifies the system in reports.
+	Name() string
+	// Inject admits a request at the current engine instant.
+	Inject(*task.Request)
+	// WorkerIdleFraction returns the mean worker idle fraction since
+	// ArmWorkerTrackers.
+	WorkerIdleFraction(sim.Time) float64
+	// ArmWorkerTrackers starts worker utilization accounting.
+	ArmWorkerTrackers(sim.Time)
+}
+
+// Factory builds a system on the given engine. done must be invoked at
+// the instant the client receives each response; rec may be used for
+// drop and preemption accounting.
+type Factory func(eng *sim.Engine, rec *stats.Recorder, done func(*task.Request)) System

@@ -1,0 +1,369 @@
+package scenario
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"time"
+
+	"mindgap/internal/dist"
+)
+
+// SchemaVersion is baked into every fingerprint. Bump it whenever the
+// Spec schema changes meaning (a renamed knob, a reinterpreted field),
+// so cached results keyed by older fingerprints are never served.
+const SchemaVersion = "mindgap-scenario/1"
+
+// Duration is a time.Duration that serializes as a human-readable
+// string ("10µs") in scenario files; plain nanosecond numbers are also
+// accepted on decode.
+type Duration time.Duration
+
+// D converts back to the standard library type.
+func (d Duration) D() time.Duration { return time.Duration(d) }
+
+// MarshalJSON implements json.Marshaler.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("scenario: bad duration %q: %v", s, err)
+		}
+		*d = Duration(v)
+		return nil
+	}
+	var n int64
+	if err := json.Unmarshal(b, &n); err != nil {
+		return err
+	}
+	*d = Duration(n)
+	return nil
+}
+
+// Knobs is the union of every per-system configuration knob. Which
+// fields a given system kind accepts is declared by its registry
+// Builder; Build rejects specs that set knobs their system ignores, so
+// a typo'd or misplaced knob fails loudly instead of silently running
+// the wrong experiment.
+type Knobs struct {
+	// Workers is the number of host worker cores (all systems).
+	Workers int `json:"workers,omitempty"`
+	// Outstanding is the per-worker outstanding-request limit k of the
+	// §3.4.5 queuing optimization (offload, idealnic, shinjuku ablations).
+	Outstanding int `json:"outstanding,omitempty"`
+	// Slice is the preemption quantum; zero disables preemption.
+	Slice Duration `json:"slice,omitempty"`
+	// Policy is the worker-selection policy: "least-outstanding" (the
+	// default), "round-robin", or "informed-least-loaded".
+	Policy string `json:"policy,omitempty"`
+	// LoadFeedback enables the host→NIC load reports that feed the
+	// informed-least-loaded policy (offload).
+	LoadFeedback bool `json:"load_feedback,omitempty"`
+	// DispatchBurst is the queue-manager core's DPDK-style burst size
+	// (offload; see the Figure 3 burst ablation).
+	DispatchBurst int `json:"dispatch_burst,omitempty"`
+	// DDIOToL1 models §5.2 direct-to-L1 packet placement (offload).
+	DDIOToL1 bool `json:"ddio_to_l1,omitempty"`
+	// AdmissionLimit bounds the central queue; the NIC sheds arrivals
+	// beyond it (offload).
+	AdmissionLimit int `json:"admission_limit,omitempty"`
+	// Affinity resumes preempted requests on their previous worker when
+	// possible (offload, §3.1).
+	Affinity bool `json:"affinity,omitempty"`
+	// Sockets models a multi-socket host with NUMA-blind dispatch
+	// (shinjuku, §1).
+	Sockets int `json:"sockets,omitempty"`
+	// QueueCap bounds each per-core queue (rss/zygos/flowdir; 0 =
+	// unbounded).
+	QueueCap int `json:"queue_cap,omitempty"`
+	// MinWorkers, Interval, UpThreshold and DownThreshold tune the
+	// elastic provisioning loop (erss).
+	MinWorkers    int      `json:"min_workers,omitempty"`
+	Interval      Duration `json:"interval,omitempty"`
+	UpThreshold   float64  `json:"up_threshold,omitempty"`
+	DownThreshold float64  `json:"down_threshold,omitempty"`
+	// CXL, LineRate and DirectInterrupts select the §5.1 ideal-NIC
+	// ablations (idealnic).
+	CXL              bool `json:"cxl,omitempty"`
+	LineRate         bool `json:"linerate,omitempty"`
+	DirectInterrupts bool `json:"directirq,omitempty"`
+}
+
+// set returns the JSON names of every non-zero knob, in declaration
+// order, for per-kind validation and error messages.
+func (k Knobs) set() []string {
+	var out []string
+	add := func(name string, isSet bool) {
+		if isSet {
+			out = append(out, name)
+		}
+	}
+	add("workers", k.Workers != 0)
+	add("outstanding", k.Outstanding != 0)
+	add("slice", k.Slice != 0)
+	add("policy", k.Policy != "")
+	add("load_feedback", k.LoadFeedback)
+	add("dispatch_burst", k.DispatchBurst != 0)
+	add("ddio_to_l1", k.DDIOToL1)
+	add("admission_limit", k.AdmissionLimit != 0)
+	add("affinity", k.Affinity)
+	add("sockets", k.Sockets != 0)
+	add("queue_cap", k.QueueCap != 0)
+	add("min_workers", k.MinWorkers != 0)
+	add("interval", k.Interval != 0)
+	add("up_threshold", k.UpThreshold != 0)     //lint:allow floateq exact zero means "field unset", not a computed value
+	add("down_threshold", k.DownThreshold != 0) //lint:allow floateq exact zero means "field unset", not a computed value
+	add("cxl", k.CXL)
+	add("linerate", k.LineRate)
+	add("directirq", k.DirectInterrupts)
+	return out
+}
+
+// KeysSpec samples per-request application keys from a Zipf popularity
+// distribution (key-steering baselines read them; informed schedulers
+// ignore them).
+type KeysSpec struct {
+	N    int     `json:"n"`
+	Skew float64 `json:"skew"`
+}
+
+// Keys builds the sampler.
+func (k KeysSpec) Keys() *dist.ZipfKeys { return dist.NewZipfKeys(k.N, k.Skew) }
+
+// Grid is an inclusive arithmetic load grid: Lo, Lo+Step, ..., Hi.
+type Grid struct {
+	Lo   float64 `json:"lo"`
+	Hi   float64 `json:"hi"`
+	Step float64 `json:"step"`
+}
+
+// Points materializes the grid. Points are generated by integer index
+// (Lo + i·Step), never by accumulating x += Step, so long grids do not
+// drift and a grid's points — and every fingerprint derived from them —
+// are exactly reproducible.
+func (g Grid) Points() []float64 {
+	if g.Step <= 0 || g.Hi < g.Lo {
+		return nil
+	}
+	n := int(math.Floor((g.Hi-g.Lo)/g.Step + 0.5))
+	out := make([]float64, 0, n+1)
+	for i := 0; i <= n; i++ {
+		x := g.Lo + float64(i)*g.Step
+		if x > g.Hi+g.Step/2 {
+			break
+		}
+		out = append(out, x)
+	}
+	return out
+}
+
+// KSweep varies the per-worker outstanding limit k from Lo to Hi at a
+// fixed offered load — the x-axis of the paper's Figure 3.
+type KSweep struct {
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+}
+
+// LoadSpec declares how a scenario is loaded. Exactly one of RPS, Rho
+// or Grid applies; KSweep additionally requires RPS (the saturating
+// load the k sweep runs at).
+type LoadSpec struct {
+	// RPS is a single offered load.
+	RPS float64 `json:"rps,omitempty"`
+	// Rho derives a single offered load from a target utilization:
+	// rho · workers / mean service time.
+	Rho float64 `json:"rho,omitempty"`
+	// Grid sweeps offered load across an arithmetic grid.
+	Grid *Grid `json:"grid,omitempty"`
+	// KSweep sweeps the outstanding limit at the fixed RPS.
+	KSweep *KSweep `json:"ksweep,omitempty"`
+}
+
+// QualitySpec optionally pins sample counts inside a spec; most specs
+// leave it nil and take the run-time quality (quick/full) instead.
+type QualitySpec struct {
+	// Preset names a standard quality: "quick" or "full".
+	Preset string `json:"preset,omitempty"`
+	// Warmup completions are discarded; Measure completions recorded.
+	// Either overrides the preset when non-zero.
+	Warmup  int `json:"warmup,omitempty"`
+	Measure int `json:"measure,omitempty"`
+}
+
+// Spec is the serializable description of one simulated scenario: which
+// system to build (by registry name), how it is configured, what drives
+// it, and how it is measured. Specs are plain data — they JSON-encode
+// canonically, round-trip exactly, and fingerprint stably — so every
+// layer (experiment presets, CLIs, examples, the result cache) can
+// share one description of a system under test.
+type Spec struct {
+	// Name optionally labels the spec (presets use the series label).
+	Name string `json:"name,omitempty"`
+	// System is the registry name: offload, shinjuku, rss, zygos,
+	// flowdir, rpcvalet, erss, or idealnic.
+	System string `json:"system"`
+	// Knobs configures the system; which knobs apply depends on System.
+	Knobs *Knobs `json:"knobs,omitempty"`
+	// Workload is the service-time distribution in the dist
+	// mini-language (e.g. "bimodal:0.995:5µs:100µs").
+	Workload string `json:"workload,omitempty"`
+	// Keys optionally samples per-request application keys.
+	Keys *KeysSpec `json:"keys,omitempty"`
+	// Load declares the offered load (single point, utilization-derived
+	// point, load grid, or k sweep).
+	Load *LoadSpec `json:"load,omitempty"`
+	// Quality optionally pins sample counts.
+	Quality *QualitySpec `json:"quality,omitempty"`
+	// Seed fixes the workload streams (0 = take the run-time default).
+	Seed uint64 `json:"seed,omitempty"`
+	// Seeds requests replicated runs across an explicit seed list.
+	Seeds []uint64 `json:"seeds,omitempty"`
+	// Telemetry asks the run to wire a metrics registry through the
+	// system's probes; Trace asks for request-lifecycle tracing. Both
+	// are only honored by systems that support them.
+	Telemetry bool `json:"telemetry,omitempty"`
+	Trace     bool `json:"trace,omitempty"`
+}
+
+// KnobsOrZero returns the knob set, zero-valued when unset.
+func (s Spec) KnobsOrZero() Knobs {
+	if s.Knobs == nil {
+		return Knobs{}
+	}
+	return *s.Knobs
+}
+
+// WithOutstanding returns a copy of the spec with the outstanding-limit
+// knob replaced (the k-sweep axis).
+func (s Spec) WithOutstanding(k int) Spec {
+	kn := s.KnobsOrZero()
+	kn.Outstanding = k
+	s.Knobs = &kn
+	return s
+}
+
+// WithSlice returns a copy of the spec with the preemption quantum
+// replaced (the preemption on/off axis of the dispersion table).
+func (s Spec) WithSlice(d time.Duration) Spec {
+	kn := s.KnobsOrZero()
+	kn.Slice = Duration(d)
+	s.Knobs = &kn
+	return s
+}
+
+// Encode renders the spec in the canonical on-disk form: two-space
+// indented JSON with a trailing newline. Decode(Encode(s)) is the
+// identity; the scenarios package's golden tests enforce it for every
+// checked-in preset.
+func (s Spec) Encode() ([]byte, error) {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Decode parses a spec, rejecting unknown fields so a misspelled knob
+// cannot silently vanish.
+func Decode(b []byte) (Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("scenario: decode spec: %w", err)
+	}
+	return s, nil
+}
+
+// Fingerprint returns the canonical identity of the spec: a SHA-256
+// over the schema version and the compact canonical encoding. Two specs
+// fingerprint equal iff they describe the same scenario, which makes
+// the fingerprint the natural result-cache key component.
+func (s Spec) Fingerprint() string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		// Spec is a plain data struct; Marshal cannot fail. Guard anyway:
+		// a constant fingerprint merely widens cache collisions, it never
+		// corrupts results.
+		return "spec-unknown"
+	}
+	h := sha256.New()
+	h.Write([]byte(SchemaVersion))
+	h.Write([]byte{0})
+	h.Write(b)
+	return "spec-" + hex.EncodeToString(h.Sum(nil)[:12])
+}
+
+// Validate checks everything that can be checked without building: the
+// system is registered, only knobs that system accepts are set, the
+// workload parses, and the load declaration is coherent.
+func (s Spec) Validate() error {
+	b, ok := Lookup(s.System)
+	if !ok {
+		return unknownSystemError(s.System)
+	}
+	if err := b.checkKnobs(s.KnobsOrZero()); err != nil {
+		return err
+	}
+	if s.Workload != "" {
+		if _, err := dist.Parse(s.Workload); err != nil {
+			return fmt.Errorf("scenario: spec %q: %w", s.System, err)
+		}
+	}
+	if s.Keys != nil && (s.Keys.N <= 0 || s.Keys.Skew < 0) {
+		return fmt.Errorf("scenario: keys need n > 0 and skew >= 0 (got n=%d skew=%g)", s.Keys.N, s.Keys.Skew)
+	}
+	if s.Load != nil {
+		if err := s.Load.validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (l LoadSpec) validate() error {
+	modes := 0
+	if l.RPS < 0 || l.Rho < 0 {
+		return fmt.Errorf("scenario: negative load (rps=%g rho=%g)", l.RPS, l.Rho)
+	}
+	if l.RPS > 0 {
+		modes++
+	}
+	if l.Rho > 0 {
+		modes++
+	}
+	if l.Grid != nil {
+		modes++
+		if l.Grid.Step <= 0 || l.Grid.Hi < l.Grid.Lo || l.Grid.Lo <= 0 {
+			return fmt.Errorf("scenario: bad load grid lo=%g hi=%g step=%g", l.Grid.Lo, l.Grid.Hi, l.Grid.Step)
+		}
+	}
+	if l.KSweep != nil {
+		if l.KSweep.Lo < 1 || l.KSweep.Hi < l.KSweep.Lo {
+			return fmt.Errorf("scenario: bad ksweep lo=%d hi=%d", l.KSweep.Lo, l.KSweep.Hi)
+		}
+		if l.RPS <= 0 {
+			return fmt.Errorf("scenario: ksweep needs a fixed rps load")
+		}
+		if l.Grid != nil || l.Rho > 0 {
+			return fmt.Errorf("scenario: ksweep combines only with rps")
+		}
+		return nil
+	}
+	if modes != 1 {
+		return fmt.Errorf("scenario: load needs exactly one of rps, rho, or grid")
+	}
+	return nil
+}

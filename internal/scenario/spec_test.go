@@ -1,0 +1,239 @@
+package scenario
+
+import (
+	"encoding/json"
+	"math/rand/v2"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestGridPointsExact pins the integer-index grid generation: every point
+// is exactly lo + i·step, even on long grids where accumulating x += step
+// would drift.
+func TestGridPointsExact(t *testing.T) {
+	cases := []struct {
+		g    Grid
+		want []float64
+	}{
+		{Grid{Lo: 50_000, Hi: 650_000, Step: 50_000},
+			[]float64{50_000, 100_000, 150_000, 200_000, 250_000, 300_000, 350_000,
+				400_000, 450_000, 500_000, 550_000, 600_000, 650_000}},
+		{Grid{Lo: 1, Hi: 1, Step: 1}, []float64{1}},
+		{Grid{Lo: 0, Hi: 1, Step: 0}, nil},
+		{Grid{Lo: 2, Hi: 1, Step: 1}, nil},
+	}
+	for _, c := range cases {
+		if got := c.g.Points(); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Grid%+v.Points() = %v, want %v", c.g, got, c.want)
+		}
+	}
+
+	// The drift case: 10001 points at step 0.1. Accumulation would be off
+	// by many ULPs at the tail; index generation must match lo + i*step
+	// bit for bit.
+	long := Grid{Lo: 0.1, Hi: 1000.1, Step: 0.1}
+	pts := long.Points()
+	if len(pts) != 10001 {
+		t.Fatalf("long grid: got %d points, want 10001", len(pts))
+	}
+	for i, x := range pts {
+		if want := long.Lo + float64(i)*long.Step; x != want {
+			t.Fatalf("long grid point %d = %v, want exactly %v", i, x, want)
+		}
+	}
+}
+
+// randomSpec builds a bounded random-but-valid spec for round-trip
+// checks. Durations stay non-negative (time.ParseDuration round-trips
+// any duration, but the knobs are semantically non-negative anyway).
+func randomSpec(r *rand.Rand) Spec {
+	sp := Spec{
+		Name:     "series-" + string(rune('a'+r.IntN(26))),
+		System:   SystemNames()[r.IntN(len(SystemNames()))],
+		Workload: "bimodal:0.995:5µs:100µs",
+		Seed:     r.Uint64N(1 << 40),
+	}
+	k := Knobs{Workers: 1 + r.IntN(32)}
+	if r.IntN(2) == 0 {
+		k.Outstanding = 1 + r.IntN(8)
+	}
+	if r.IntN(2) == 0 {
+		k.Slice = Duration(time.Duration(r.IntN(100)) * time.Microsecond)
+	}
+	sp.Knobs = &k
+	switch r.IntN(3) {
+	case 0:
+		sp.Load = &LoadSpec{RPS: float64(1000 * (1 + r.IntN(1000)))}
+	case 1:
+		sp.Load = &LoadSpec{Rho: 0.05 * float64(1+r.IntN(19))}
+	case 2:
+		lo := float64(1000 * (1 + r.IntN(100)))
+		sp.Load = &LoadSpec{Grid: &Grid{Lo: lo, Hi: lo * 10, Step: lo}}
+	}
+	if r.IntN(3) == 0 {
+		sp.Keys = &KeysSpec{N: 1 + r.IntN(10_000), Skew: float64(r.IntN(12)) / 10}
+	}
+	if r.IntN(4) == 0 {
+		sp.Quality = &QualitySpec{Preset: "quick"}
+	}
+	if r.IntN(4) == 0 {
+		sp.Seeds = []uint64{1, 2, 3}
+	}
+	return sp
+}
+
+// TestSpecRoundTrip checks Decode(Encode(s)) == s for deterministic
+// random specs: the serialized form loses nothing.
+func TestSpecRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewPCG(11, 17))
+	for i := 0; i < 200; i++ {
+		sp := randomSpec(r)
+		b, err := sp.Encode()
+		if err != nil {
+			t.Fatalf("encode %+v: %v", sp, err)
+		}
+		got, err := Decode(b)
+		if err != nil {
+			t.Fatalf("decode %s: %v", b, err)
+		}
+		if !reflect.DeepEqual(got, sp) {
+			t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v\njson: %s", sp, got, b)
+		}
+	}
+}
+
+// TestFingerprintStable pins one fingerprint so accidental schema or
+// hashing changes (which would orphan every cached result) fail loudly,
+// and checks basic fingerprint semantics.
+func TestFingerprintStable(t *testing.T) {
+	sp := Spec{
+		System:   "offload",
+		Knobs:    &Knobs{Workers: 4, Outstanding: 4, Slice: Duration(10 * time.Microsecond)},
+		Workload: "bimodal:0.995:5µs:100µs",
+		Load:     &LoadSpec{RPS: 400_000},
+		Seed:     7,
+	}
+	const want = "spec-4f3702dfaf2be8395bfa82a2"
+	if got := sp.Fingerprint(); got != want {
+		t.Errorf("Fingerprint() = %q, want %q (if the schema changed on purpose, bump SchemaVersion and update this golden)", got, want)
+	}
+	if sp.Fingerprint() != sp.Fingerprint() {
+		t.Error("fingerprint is not deterministic")
+	}
+	other := sp
+	other.Seed = 8
+	if other.Fingerprint() == sp.Fingerprint() {
+		t.Error("specs differing in seed share a fingerprint")
+	}
+}
+
+// TestValidateRejectsForeignKnobs checks the loud-failure contract: a
+// knob a system does not accept refuses to validate or build.
+func TestValidateRejectsForeignKnobs(t *testing.T) {
+	sp := Spec{
+		System:   "rss",
+		Knobs:    &Knobs{Workers: 4, Slice: Duration(10 * time.Microsecond)},
+		Workload: "fixed:1µs",
+		Load:     &LoadSpec{RPS: 1000},
+	}
+	if err := sp.Validate(); err == nil {
+		t.Error("rss spec with a slice knob validated; want rejection")
+	}
+	if _, err := Build(sp); err == nil {
+		t.Error("rss spec with a slice knob built; want rejection")
+	}
+	sp.Knobs.Slice = 0
+	if err := sp.Validate(); err != nil {
+		t.Errorf("clean rss spec failed validation: %v", err)
+	}
+}
+
+// TestValidateLoad checks the exactly-one-load-mode contract.
+func TestValidateLoad(t *testing.T) {
+	base := Spec{System: "rpcvalet", Knobs: &Knobs{Workers: 2}, Workload: "fixed:1µs"}
+	bad := []*LoadSpec{
+		{},                    // no mode
+		{RPS: 1000, Rho: 0.5}, // two modes
+		{Rho: 0.5, Grid: &Grid{Lo: 1, Hi: 2, Step: 1}},       // two modes
+		{Grid: &Grid{Lo: 0, Hi: 2, Step: 1}},                 // lo <= 0
+		{KSweep: &KSweep{Lo: 1, Hi: 4}},                      // ksweep without rps
+		{RPS: 1000, Rho: 0.5, KSweep: &KSweep{Lo: 1, Hi: 4}}, // ksweep + rho
+		{RPS: -5}, // negative
+	}
+	for _, l := range bad {
+		sp := base
+		sp.Load = l
+		if err := sp.Validate(); err == nil {
+			t.Errorf("load %+v validated; want rejection", *l)
+		}
+	}
+	good := []*LoadSpec{
+		{RPS: 1000},
+		{Rho: 0.7},
+		{Grid: &Grid{Lo: 1000, Hi: 5000, Step: 1000}},
+		{RPS: 1000, KSweep: &KSweep{Lo: 1, Hi: 7}},
+	}
+	for _, l := range good {
+		sp := base
+		sp.Load = l
+		if err := sp.Validate(); err != nil {
+			t.Errorf("load %+v failed validation: %v", *l, err)
+		}
+	}
+}
+
+// TestDurationDecode checks both accepted wire forms: duration strings
+// and plain nanosecond numbers.
+func TestDurationDecode(t *testing.T) {
+	var d Duration
+	if err := json.Unmarshal([]byte(`"10µs"`), &d); err != nil || d.D() != 10*time.Microsecond {
+		t.Errorf(`decode "10µs" = %v, %v`, d.D(), err)
+	}
+	if err := json.Unmarshal([]byte(`2500`), &d); err != nil || d.D() != 2500*time.Nanosecond {
+		t.Errorf("decode 2500 = %v, %v", d.D(), err)
+	}
+	if err := json.Unmarshal([]byte(`"banana"`), &d); err == nil {
+		t.Error(`decode "banana" succeeded; want error`)
+	}
+}
+
+// TestDecodeRejectsUnknownFields checks that a misspelled knob cannot
+// silently vanish.
+func TestDecodeRejectsUnknownFields(t *testing.T) {
+	if _, err := Decode([]byte(`{"system":"offload","knobs":{"workerz":4}}`)); err == nil {
+		t.Error("spec with unknown knob field decoded; want error")
+	}
+	if _, err := DecodePreset([]byte(`{"id":"x","seriez":[]}`)); err == nil {
+		t.Error("preset with unknown field decoded; want error")
+	}
+}
+
+// TestDecodeAny checks both accepted file shapes.
+func TestDecodeAny(t *testing.T) {
+	p, err := DecodeAny([]byte(`{"system":"rss","knobs":{"workers":4},"workload":"fixed:1µs","load":{"rps":1000}}`))
+	if err != nil {
+		t.Fatalf("bare spec: %v", err)
+	}
+	if len(p.Series) != 1 || p.Series[0].System != "rss" || p.ID != "rss" {
+		t.Errorf("bare spec wrapped wrong: %+v", p)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("wrapped bare spec fails validation: %v", err)
+	}
+
+	p, err = DecodeAny([]byte(`{"id":"two","workload":"fixed:1µs","load":{"rps":1000},"series":[{"label":"a","system":"rss","knobs":{"workers":2}}]}`))
+	if err != nil {
+		t.Fatalf("preset: %v", err)
+	}
+	if p.ID != "two" || len(p.Series) != 1 {
+		t.Errorf("preset decoded wrong: %+v", p)
+	}
+	if sp := p.SpecFor(0); sp.Workload != "fixed:1µs" || sp.Load == nil || sp.Name != "a" {
+		t.Errorf("series defaults not inherited: %+v", sp)
+	}
+
+	if _, err := DecodeAny([]byte(`{"id":"empty"}`)); err == nil {
+		t.Error("file with neither series nor tenants nor system decoded; want error")
+	}
+}

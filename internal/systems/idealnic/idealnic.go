@@ -14,6 +14,7 @@
 package idealnic
 
 import (
+	"strings"
 	"time"
 
 	"mindgap/internal/core"
@@ -21,6 +22,8 @@ import (
 	"mindgap/internal/sim"
 	"mindgap/internal/stats"
 	"mindgap/internal/task"
+	"mindgap/internal/telemetry"
+	"mindgap/internal/trace"
 )
 
 // Config describes the ablation point.
@@ -37,10 +40,25 @@ type Config struct {
 	CXL              bool
 	LineRate         bool
 	DirectInterrupts bool
+
+	// Tracer and Metrics forward to the underlying Offload's
+	// observability hooks.
+	Tracer  *trace.Buffer
+	Metrics *telemetry.Registry
 }
 
+// System is an ablated Offload with its own name, so report rows
+// distinguish "idealnic/cxl" from the stock "shinjuku-offload".
+type System struct {
+	*core.Offload
+	name string
+}
+
+// Name identifies the ablation point in reports.
+func (s *System) Name() string { return s.name }
+
 // New assembles the ablated system on top of the core Offload machinery.
-func New(eng *sim.Engine, cfg Config, rec *stats.Recorder, done func(*task.Request)) *core.Offload {
+func New(eng *sim.Engine, cfg Config, rec *stats.Recorder, done func(*task.Request)) *System {
 	p := cfg.P
 	if cfg.CXL {
 		p = p.WithCXL()
@@ -48,27 +66,35 @@ func New(eng *sim.Engine, cfg Config, rec *stats.Recorder, done func(*task.Reque
 	if cfg.LineRate {
 		p = p.WithLineRateScheduler()
 	}
-	return core.NewOffload(eng, core.OffloadConfig{
+	off := core.NewOffload(eng, core.OffloadConfig{
 		P:                p,
 		Workers:          cfg.Workers,
 		Outstanding:      cfg.Outstanding,
 		Slice:            cfg.Slice,
 		Policy:           cfg.Policy,
 		DirectInterrupts: cfg.DirectInterrupts,
+		Tracer:           cfg.Tracer,
+		Metrics:          cfg.Metrics,
 	}, rec, done)
+	return &System{Offload: off, name: NameFor(cfg)}
 }
 
-// NameFor returns a descriptive system name for the ablation point.
+// NameFor returns the system name for the ablation point: "idealnic"
+// bare, or "idealnic/" plus the "+"-joined active ablations, e.g.
+// "idealnic/cxl" or "idealnic/cxl+linerate+directirq".
 func NameFor(cfg Config) string {
-	name := "idealnic"
+	var abl []string
 	if cfg.CXL {
-		name += "+cxl"
+		abl = append(abl, "cxl")
 	}
 	if cfg.LineRate {
-		name += "+linerate"
+		abl = append(abl, "linerate")
 	}
 	if cfg.DirectInterrupts {
-		name += "+directirq"
+		abl = append(abl, "directirq")
 	}
-	return name
+	if len(abl) == 0 {
+		return "idealnic"
+	}
+	return "idealnic/" + strings.Join(abl, "+")
 }

@@ -98,10 +98,17 @@ func TestDirectInterruptsStillPreempt(t *testing.T) {
 
 func TestNameFor(t *testing.T) {
 	cfg := Config{CXL: true, LineRate: true, DirectInterrupts: true}
-	if got := NameFor(cfg); got != "idealnic+cxl+linerate+directirq" {
+	if got := NameFor(cfg); got != "idealnic/cxl+linerate+directirq" {
+		t.Fatalf("NameFor = %q", got)
+	}
+	if got := NameFor(Config{CXL: true}); got != "idealnic/cxl" {
 		t.Fatalf("NameFor = %q", got)
 	}
 	if got := NameFor(Config{}); got != "idealnic" {
 		t.Fatalf("NameFor = %q", got)
+	}
+	sys := New(sim.New(), base(2, 1), nil, func(*task.Request) {})
+	if got := sys.Name(); got != "idealnic" {
+		t.Fatalf("Name = %q", got)
 	}
 }
