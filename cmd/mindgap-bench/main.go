@@ -40,8 +40,8 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "", "figure to run: 2, 3, 3burst, 4, 5, 6, 6cxl, 6linerate, baselines (empty = all)")
-		table    = flag.String("table", "", "table to run: timer, ipc, wait, latency, dispersion, policy, affinity, tenants (empty = all)")
+		fig      = flag.String("fig", "", "figure to run: 2, 3, 3burst, 4, 5, 6, 6cxl, 6linerate, baselines, faults-niccrash, faults-lossyfabric (empty = all)")
+		table    = flag.String("table", "", "table to run: timer, ipc, wait, latency, dispersion, policy, affinity, tenants, faults (empty = all)")
 		quality  = flag.String("quality", "full", "sample counts: quick or full")
 		quick    = flag.Bool("quick", false, "shorthand for -quality quick")
 		csv      = flag.Bool("csv", false, "CSV output for figures")
@@ -62,6 +62,8 @@ func main() {
 			{"4", "figure4"}, {"5", "figure5"}, {"6", "figure6"},
 			{"6cxl", "figure6-cxl"}, {"6linerate", "figure6-linerate"},
 			{"baselines", "baselines"},
+			{"faults-niccrash", "figure-faults-niccrash"},
+			{"faults-lossyfabric", "figure-faults-lossyfabric"},
 		} {
 			fmt.Printf("  %-10s scenarios/%s.json\n", e[0], e[1])
 		}
@@ -71,6 +73,7 @@ func main() {
 			{"wait", "scenarios/table-wait.json"}, {"latency", "(analytic, no preset)"},
 			{"policy", "scenarios/table-policy.json"}, {"dispersion", "scenarios/table-dispersion.json"},
 			{"affinity", "scenarios/table-affinity.json"}, {"tenants", "scenarios/table-tenants.json"},
+			{"faults", "scenarios/figure-faults-*.json"},
 		} {
 			fmt.Printf("  %-10s %s\n", e[0], e[1])
 		}
@@ -139,8 +142,12 @@ func main() {
 		"6cxl":      experiment.Figure6CXLSpec,
 		"6linerate": experiment.Figure6LineRateSpec,
 		"baselines": experiment.BaselineComparisonSpec,
+
+		"faults-niccrash":    experiment.FigureFaultsNICCrashSpec,
+		"faults-lossyfabric": experiment.FigureFaultsLossyFabricSpec,
 	}
-	order := []string{"2", "3", "3burst", "4", "5", "6", "6cxl", "6linerate", "baselines"}
+	order := []string{"2", "3", "3burst", "4", "5", "6", "6cxl", "6linerate", "baselines",
+		"faults-niccrash", "faults-lossyfabric"}
 
 	runFigure := func(id string) {
 		build, ok := figures[id]
@@ -227,6 +234,26 @@ func main() {
 				fmt.Printf("migrations: off=%d on=%d (preemptions %d); mean: off=%v on=%v; p99: off=%v on=%v\n\n",
 					r.MigrationsOff, r.MigrationsOn, r.Preemptions,
 					r.MeanOff, r.MeanOn, r.P99Off, r.P99On)
+			}
+		}
+		if which == "" || which == "faults" {
+			fmt.Println("== X12: fault recovery timeline (goodput and tail per phase of a faulted run)")
+			for _, id := range experiment.FaultPresetIDs() {
+				r, err := experiment.FaultTimeline(id, q)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "mindgap-bench: %v\n", err)
+					exitCode = 1
+					continue
+				}
+				fmt.Printf("%s — %s @ %.0f rps\n", r.Preset, r.Label, r.OfferedRPS)
+				fmt.Printf("  %-10s %16s %10s %12s %12s %12s %12s\n",
+					"phase", "window", "completed", "goodput", "p50", "p99", "max")
+				for _, ph := range r.Phases {
+					fmt.Printf("  %-10s %7v–%-8v %10d %12.0f %12v %12v %12v\n",
+						ph.Phase, ph.Start, ph.End, ph.Completed, ph.GoodputRPS, ph.P50, ph.P99, ph.Max)
+				}
+				fmt.Printf("  retries=%d timeout_drops=%d degraded=%d loss_drops=%d delay_hits=%d drops=%d\n\n",
+					r.Retries, r.TimeoutDrops, r.Degraded, r.LossDrops, r.DelayHits, r.RecorderDrops)
 			}
 		}
 		if which == "" || which == "tenants" {

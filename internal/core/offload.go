@@ -6,6 +6,7 @@ import (
 
 	"mindgap/internal/cores"
 	"mindgap/internal/fabric"
+	"mindgap/internal/faults"
 	"mindgap/internal/nicmodel"
 	"mindgap/internal/params"
 	"mindgap/internal/sim"
@@ -77,6 +78,16 @@ type OffloadConfig struct {
 	// that last ran them when possible (§3.1 cache affinity), avoiding the
 	// CtxMigratePenalty of pulling the context across cores.
 	Affinity bool
+	// FaultSpec, when set, injects the deterministic fault schedule into
+	// the assembled system (NIC ARM crash/slowdown windows, NIC↔host link
+	// loss/latency bursts, worker stalls) and enables the timeout/retry
+	// and hash-steering degradation machinery it configures. FaultSeed
+	// seeds the schedule's own random stream; each Offload instance
+	// compiles its own faults.Schedule so concurrent sweep points never
+	// share fault state. Nil leaves every hook nil — the healthy path is
+	// byte-identical to a build without the fault layer.
+	FaultSpec *faults.Spec
+	FaultSeed uint64
 }
 
 // qEventKind tags events entering the queue-manager ARM core.
@@ -87,14 +98,37 @@ const (
 	evFinish
 	evPreempted
 	evLoad
+	// evTimeout is a dispatch-timeout expiry (fault layer): the NIC never
+	// heard back about a dispatched request within its timeout and must
+	// decide between retry and abandonment.
+	evTimeout
 )
 
 // qEvent is one input to the queue-manager stage.
 type qEvent struct {
-	kind   qEventKind
-	worker int
-	req    *task.Request
-	load   int64 // evLoad only: reported instantaneous load (ns)
+	kind    qEventKind
+	worker  int
+	req     *task.Request
+	load    int64 // evLoad only: reported instantaneous load (ns)
+	attempt int   // evTimeout only: the dispatch attempt the timer guarded
+}
+
+// degradedReq wraps a request hash-steered directly to a worker VF while
+// the NIC ARM cores are down: the worker runs it to completion and skips
+// the FINISH notification (no credit was consumed for it).
+type degradedReq struct {
+	req *task.Request
+}
+
+// flight tracks one dispatched request under the fault layer's timeout
+// machinery: which worker and attempt the armed timer guards. worker is
+// -1 while the request sits in the central queue (preempted or awaiting
+// a retry dispatch).
+type flight struct {
+	req     *task.Request
+	worker  int
+	attempt int
+	timer   *sim.Timer
 }
 
 // Queue-manager input classes: the networker's new-request ring and the RX
@@ -124,11 +158,32 @@ type Offload struct {
 
 	// Telemetry drop counters (nil when cfg.Metrics is unset): mShed
 	// counts admission-control sheds, mVFDrops counts frames lost at a
-	// worker VF ring, and mDrops is their sum — it matches the recorder's
-	// Dropped() total.
+	// worker VF ring, and mDrops is their sum plus timeout abandonments —
+	// it matches the recorder's Dropped() total.
 	mShed    *telemetry.Counter
 	mVFDrops *telemetry.Counter
 	mDrops   *telemetry.Counter
+
+	// flt is the compiled fault schedule (nil on the healthy path). The
+	// maps exist only when the schedule configures a timeout: flights
+	// tracks in-flight dispatch attempts by request ID, responded dedupes
+	// client responses when retries race original completions.
+	flt       *faults.Schedule
+	flights   map[uint64]*flight
+	responded map[uint64]bool
+
+	// Fault-layer counters (always maintained while flt is set; mirrored
+	// into telemetry when cfg.Metrics is set).
+	retries       uint64
+	timeoutDrops  uint64
+	degradedCount uint64
+	staleNotifs   uint64
+	dupResponses  uint64
+	mRetries      *telemetry.Counter
+	mTimeoutDrops *telemetry.Counter
+	mDegraded     *telemetry.Counter
+	mStale        *telemetry.Counter
+	mDup          *telemetry.Counter
 
 	ingress   *fabric.Link
 	egress    *fabric.Link
@@ -163,6 +218,22 @@ type offWorker struct {
 	// after finishing or preempting a request; the core is serial, so the
 	// next pickup waits for it.
 	post bool
+	// stretch dilates the worker's off-exec overheads (pickup, response
+	// and notify building) through the stall timeline; nil when this
+	// worker never stalls.
+	stretch faults.StretchFunc
+	// curDegraded marks the in-execution request as hash-steered while
+	// the NIC was down: run to completion, no FINISH notification.
+	curDegraded bool
+}
+
+// after schedules fn once d of worker busy time elapses, dilating d
+// through the stall timeline when one applies.
+func (w *offWorker) after(d time.Duration, fn func()) {
+	if w.stretch != nil {
+		d = w.stretch(w.sys.eng.Now(), d)
+	}
+	w.sys.eng.After(d, fn)
 }
 
 // NewOffload builds the system on eng. done is invoked at the instant the
@@ -200,6 +271,16 @@ func NewOffload(eng *sim.Engine, cfg OffloadConfig, rec *stats.Recorder, done fu
 		rec:  rec,
 		done: done,
 	}
+	if cfg.FaultSpec != nil && !cfg.FaultSpec.Empty() {
+		if cfg.DirectInterrupts {
+			panic("core: fault injection is incompatible with DirectInterrupts (posted interrupts cannot reconstruct stalled progress)")
+		}
+		s.flt = faults.New(*cfg.FaultSpec, cfg.FaultSeed)
+		if s.flt.Timeout() > 0 {
+			s.flights = make(map[uint64]*flight)
+			s.responded = make(map[uint64]bool)
+		}
+	}
 
 	s.ingress = fabric.NewLink(eng, "client→nic", fabric.LinkConfig{
 		Latency: p.ClientWireOneWay, BandwidthBps: p.WireBandwidth,
@@ -236,7 +317,11 @@ func NewOffload(eng *sim.Engine, cfg OffloadConfig, rec *stats.Recorder, done fu
 	// The Stingray datapath: every dispatcher↔worker message is an
 	// Ethernet frame steered by destination MAC through the NIC with the
 	// measured 2.56 µs one-way latency (§3.3).
-	s.nic = nicmodel.New(eng, nicmodel.Config{InternalLatency: p.NicHostOneWay})
+	nicCfg := nicmodel.Config{InternalLatency: p.NicHostOneWay}
+	if s.flt != nil && s.flt.HasLinkFaults() {
+		nicCfg.LinkFault = s.flt.LinkFault
+	}
+	s.nic = nicmodel.New(eng, nicCfg)
 	s.armFn = s.nic.AddFunction("arm", nicmodel.MACForIndex(0), 0)
 	s.armFn.OnRx(func() {
 		// The RX ARM core drains the ring as frames land; its own input
@@ -273,8 +358,22 @@ func NewOffload(eng *sim.Engine, cfg OffloadConfig, rec *stats.Recorder, done fu
 		CtxResume:  p.CtxResumeCost,
 		CtxMigrate: p.CtxMigratePenalty,
 	}
+	if st := s.nicStretch(); st != nil {
+		// Every ARM-complex stage shares the NIC crash/slowdown timeline:
+		// a crashed ARM complex freezes the networker, queue manager, TX
+		// and RX cores together.
+		s.networker.SetStretch(st)
+		s.queueMgr.SetStretch(st)
+		s.txCore.SetStretch(st)
+		s.rxCore.SetStretch(st)
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		w := &offWorker{sys: s, id: i}
+		ec := execCfg
+		if s.flt != nil {
+			w.stretch = s.flt.WorkerStretch(i)
+			ec.Stretch = w.stretch
+		}
 		// The VF ring holds the stashed requests; credits guarantee it
 		// never overflows, and the +1 headroom plus drop accounting guard
 		// the invariant.
@@ -290,7 +389,7 @@ func NewOffload(eng *sim.Engine, cfg OffloadConfig, rec *stats.Recorder, done fu
 				s.mDrops.Inc()
 			}
 		})
-		w.exec = cores.NewExec(eng, i, execCfg, w.onComplete, w.onPreempt)
+		w.exec = cores.NewExec(eng, i, ec, w.onComplete, w.onPreempt)
 		s.workers = append(s.workers, w)
 	}
 	if cfg.Metrics != nil {
@@ -299,12 +398,29 @@ func NewOffload(eng *sim.Engine, cfg OffloadConfig, rec *stats.Recorder, done fu
 	return s
 }
 
+// nicStretch returns the ARM-complex stretch function, nil when no fault
+// schedule (or no NIC windows) applies.
+func (s *Offload) nicStretch() faults.StretchFunc {
+	if s.flt == nil {
+		return nil
+	}
+	return s.flt.NICStretch()
+}
+
 // registerTelemetry wires every component's probes into reg. Called once
 // from NewOffload, after all functions and workers exist.
 func (s *Offload) registerTelemetry(reg *telemetry.Registry) {
 	s.mShed = reg.Counter("sched", "shed")
 	s.mVFDrops = reg.Counter("nic", "vf_drops")
 	s.mDrops = reg.Counter("offload", "drops")
+	if s.flt != nil {
+		s.flt.RegisterTelemetry(reg)
+		s.mRetries = reg.Counter("faults", "retries")
+		s.mTimeoutDrops = reg.Counter("faults", "timeout_drops")
+		s.mDegraded = reg.Counter("faults", "degraded_steered")
+		s.mStale = reg.Counter("faults", "stale_notifications")
+		s.mDup = reg.Counter("faults", "duplicate_responses")
+	}
 
 	s.lgc.RegisterTelemetry(reg, "sched", s.eng.Now)
 	s.networker.RegisterTelemetry(reg, "arm-networker")
@@ -333,8 +449,65 @@ func (s *Offload) Inject(req *task.Request) {
 	s.trace(trace.Arrive, req.ID, -1)
 	s.ingress.Send(s.cfg.P.RequestFrameBytes, func() {
 		s.trace(trace.Ingress, req.ID, -1)
+		if s.flt != nil && s.flt.Degrade() && s.flt.NICDown(s.eng.Now()) {
+			// Graceful degradation: the MAC-steering hardware outlives the
+			// ARM cores, so the NIC falls back to RSS-style hash steering
+			// straight into a worker VF ring instead of queueing behind a
+			// dead dispatcher. Informed scheduling is lost; goodput is not.
+			s.steerDegraded(req)
+			return
+		}
 		s.networker.Submit(req)
 	})
+}
+
+// steerDegraded hash-steers a request to a worker VF, bypassing the ARM
+// pipeline. No credit is consumed and no FINISH notification will be
+// sent; overflowing the VF ring sheds the request (graceful shedding).
+func (s *Offload) steerDegraded(req *task.Request) {
+	w := s.workers[int(steerHash(req)%uint64(len(s.workers)))]
+	s.degradedCount++
+	if s.mDegraded != nil {
+		s.mDegraded.Inc()
+	}
+	s.trace(trace.Dispatch, req.ID, w.id)
+	s.nic.Send(nicmodel.Frame{
+		Dst:     w.vf.MAC(),
+		Src:     s.armFn.MAC(),
+		Bytes:   s.cfg.P.RequestFrameBytes,
+		Payload: degradedReq{req: req},
+	})
+}
+
+// steerHash is the RSS-style steering hash: the flow key when present
+// (what real RSS hashes — the 5-tuple), else the request ID, mixed
+// through a 64-bit finalizer so consecutive IDs spread across workers.
+func steerHash(req *task.Request) uint64 {
+	h := req.Key
+	if h == 0 {
+		h = req.ID
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+// respond delivers the response to the client exactly once per request
+// ID: under timeout/retry a slow original and its retry clone can both
+// finish, and the client must see a single response.
+func (s *Offload) respond(req *task.Request) {
+	if s.responded != nil {
+		if s.responded[req.ID] {
+			s.dupResponses++
+			if s.mDup != nil {
+				s.mDup.Inc()
+			}
+			return
+		}
+		s.responded[req.ID] = true
+	}
+	s.done(req)
 }
 
 // trace records a lifecycle event when tracing is enabled.
@@ -368,18 +541,124 @@ func (s *Offload) handleQueueEvent(ev qEvent) {
 		s.trace(trace.Enqueue, ev.req.ID, -1)
 		as = s.lgc.Enqueue(now, ev.req)
 	case evFinish:
+		if s.flights != nil {
+			fl := s.flights[ev.req.ID]
+			if fl == nil || fl.req != ev.req {
+				// A completion from an abandoned dispatch attempt: its
+				// credit was already reclaimed synthetically at timeout, so
+				// releasing again would violate the credit invariant.
+				s.recordStale()
+				return
+			}
+			if fl.timer != nil {
+				fl.timer.Stop()
+			}
+			delete(s.flights, ev.req.ID)
+		}
 		as = s.lgc.Complete(ev.worker)
 	case evPreempted:
+		if s.flights != nil {
+			fl := s.flights[ev.req.ID]
+			if fl == nil || fl.req != ev.req {
+				// A preemption from an abandoned dispatch attempt: drop it
+				// entirely — re-queueing it would duplicate the retry clone.
+				s.recordStale()
+				return
+			}
+			if fl.timer != nil {
+				fl.timer.Stop()
+			}
+			fl.worker = -1
+		}
 		s.trace(trace.Enqueue, ev.req.ID, -1)
 		as = s.lgc.Preempted(now, ev.worker, ev.req)
 	case evLoad:
 		s.lgc.ReportLoadAt(now, ev.worker, ev.load)
+	case evTimeout:
+		as = s.handleTimeout(now, ev)
 	}
 	for _, a := range as {
 		a := a
 		s.trace(trace.Dispatch, a.Req.ID, a.Worker)
+		if s.flights != nil {
+			s.trackDispatch(a)
+		}
 		s.shmQTx.Send(0, func() { s.txCore.Submit(a) })
 	}
+}
+
+func (s *Offload) recordStale() {
+	s.staleNotifs++
+	if s.mStale != nil {
+		s.mStale.Inc()
+	}
+}
+
+// trackDispatch records a dispatch attempt and arms its timeout. The
+// timer routes its expiry through the notification ring, so timeout
+// processing pays ARM queueing — and crash-window stretch — like every
+// other control event (a dead dispatcher cannot retry until it
+// recovers).
+func (s *Offload) trackDispatch(a Assignment) {
+	fl := s.flights[a.Req.ID]
+	if fl == nil {
+		fl = &flight{}
+		s.flights[a.Req.ID] = fl
+	}
+	fl.req = a.Req
+	fl.worker = a.Worker
+	req, wk, att := a.Req, a.Worker, fl.attempt
+	fl.timer = s.eng.AfterTimer(s.flt.AttemptTimeout(att), func() {
+		s.queueMgr.Submit(qcNotif, qEvent{kind: evTimeout, worker: wk, req: req, attempt: att})
+	})
+}
+
+// handleTimeout decides a dispatch-timeout expiry on the queue-manager
+// core: ignore if stale (the notification won the race), retry with a
+// fresh clone while budget remains, abandon otherwise. Either live
+// outcome synthetically reclaims the suspected-lost credit — the worker
+// either never got the frame or its notification path is broken.
+func (s *Offload) handleTimeout(now sim.Time, ev qEvent) []Assignment {
+	fl := s.flights[ev.req.ID]
+	if fl == nil || fl.req != ev.req || fl.worker != ev.worker || fl.attempt != ev.attempt || fl.worker < 0 {
+		return nil
+	}
+	w := fl.worker
+	if fl.attempt >= s.flt.Retries() {
+		// Retry budget exhausted: abandon the request. A late response
+		// from a still-executing original must not resurrect it.
+		delete(s.flights, ev.req.ID)
+		s.responded[ev.req.ID] = true
+		s.timeoutDrops++
+		s.trace(trace.Drop, ev.req.ID, -1)
+		if s.rec != nil {
+			s.rec.RecordDrop()
+		}
+		if s.mTimeoutDrops != nil {
+			s.mTimeoutDrops.Inc()
+			s.mDrops.Inc()
+		}
+		return s.lgc.Complete(w)
+	}
+	// Retry: the original dispatch may still be alive (merely slow), and
+	// the worker will keep mutating that request object — so the retry is
+	// a fresh clone with the full service time and the original arrival
+	// (client-observed latency spans all attempts). respond() dedupes
+	// whichever copy answers first.
+	fl.attempt++
+	s.retries++
+	if s.mRetries != nil {
+		s.mRetries.Inc()
+	}
+	clone := task.New(ev.req.ID, ev.req.Arrival, ev.req.Service)
+	clone.ClientID = ev.req.ClientID
+	clone.Key = ev.req.Key
+	fl.req = clone
+	fl.worker = -1
+	fl.timer = nil
+	as := s.lgc.Complete(w)
+	s.trace(trace.Enqueue, clone.ID, -1)
+	return append(as, s.lgc.Enqueue(now, clone)...)
 }
 
 // maybeStart begins the next stashed request if the core is free. The
@@ -390,15 +669,30 @@ func (w *offWorker) maybeStart() {
 		return
 	}
 	w.pickupPending = true
-	w.sys.eng.After(w.sys.cfg.P.PickupCost(w.sys.cfg.DDIOToL1), func() {
+	w.after(w.sys.cfg.P.PickupCost(w.sys.cfg.DDIOToL1), func() {
 		w.pickupPending = false
 		frame, ok := w.vf.Poll()
 		if !ok {
 			return
 		}
-		req := frame.Payload.(*task.Request)
+		var req *task.Request
+		deg := false
+		switch p := frame.Payload.(type) {
+		case *task.Request:
+			req = p
+		case degradedReq:
+			req = p.req
+			deg = true
+		}
 		w.sys.trace(trace.Start, req.ID, w.id)
-		w.exec.Start(req)
+		if deg {
+			// Hash-steered while the NIC was down: run to completion, like
+			// the RSS baseline this mode degrades to.
+			w.curDegraded = true
+			w.exec.StartRTC(req)
+		} else {
+			w.exec.Start(req)
+		}
 		if w.sys.cfg.LoadFeedback {
 			w.reportLoad()
 		}
@@ -426,14 +720,23 @@ func (w *offWorker) onComplete(req *task.Request) {
 	p := w.sys.cfg.P
 	sys := w.sys
 	sys.trace(trace.Complete, req.ID, w.id)
+	deg := w.curDegraded
+	w.curDegraded = false
 	w.post = true
-	sys.eng.After(p.WorkerResponseCost, func() {
+	w.after(p.WorkerResponseCost, func() {
 		sys.egress.Send(p.ResponseFrameBytes, func() {
 			sys.trace(trace.Respond, req.ID, -1)
-			sys.done(req)
+			sys.respond(req)
 		})
-		sys.eng.After(p.WorkerNotifyCost, func() {
-			w.notifyDispatcher(qEvent{kind: evFinish, worker: w.id})
+		if deg {
+			// Degraded requests consumed no credit and the dispatcher never
+			// saw them: no FINISH notification to build.
+			w.post = false
+			w.maybeStart()
+			return
+		}
+		w.after(p.WorkerNotifyCost, func() {
+			w.notifyDispatcher(qEvent{kind: evFinish, worker: w.id, req: req})
 			w.post = false
 			w.maybeStart()
 		})
@@ -454,7 +757,7 @@ func (w *offWorker) onPreempt(req *task.Request) {
 		sys.rec.RecordPreemption()
 	}
 	w.post = true
-	sys.eng.After(p.WorkerNotifyCost, func() {
+	w.after(p.WorkerNotifyCost, func() {
 		w.notifyDispatcher(qEvent{kind: evPreempted, worker: w.id, req: req})
 		w.post = false
 		w.maybeStart()
@@ -483,8 +786,11 @@ func (w *offWorker) reportLoad() {
 		load += int64(cur.Remaining)
 	}
 	w.vf.Each(func(f nicmodel.Frame) {
-		if r, ok := f.Payload.(*task.Request); ok {
-			load += int64(r.Remaining)
+		switch p := f.Payload.(type) {
+		case *task.Request:
+			load += int64(p.Remaining)
+		case degradedReq:
+			load += int64(p.req.Remaining)
 		}
 	})
 	id := w.id
@@ -554,6 +860,30 @@ func (s *Offload) Preemptions() uint64 {
 	}
 	return n
 }
+
+// FaultSchedule exposes the compiled fault schedule (nil on the healthy
+// path) — the bench recovery table reads its crash windows.
+func (s *Offload) FaultSchedule() *faults.Schedule { return s.flt }
+
+// Retries returns how many dispatch attempts the timeout machinery
+// re-issued.
+func (s *Offload) Retries() uint64 { return s.retries }
+
+// TimeoutDrops returns how many requests were abandoned after the retry
+// budget ran out.
+func (s *Offload) TimeoutDrops() uint64 { return s.timeoutDrops }
+
+// DegradedSteered returns how many arrivals were hash-steered past the
+// dead ARM complex.
+func (s *Offload) DegradedSteered() uint64 { return s.degradedCount }
+
+// StaleNotifications returns how many worker notifications arrived for
+// already-abandoned dispatch attempts.
+func (s *Offload) StaleNotifications() uint64 { return s.staleNotifs }
+
+// DuplicateResponses returns how many completed copies of a request lost
+// the response race to an earlier copy.
+func (s *Offload) DuplicateResponses() uint64 { return s.dupResponses }
 
 // Migrations returns how many preempted requests resumed on a different
 // core than they last ran on (each paid the cache-migration penalty).

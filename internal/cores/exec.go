@@ -39,6 +39,14 @@ type ExecConfig struct {
 	// CtxMigrate is the additional resume cost when the request last ran
 	// on a different core (cold caches for its context).
 	CtxMigrate time.Duration
+	// Stretch, when set, converts the core's busy time into the wall
+	// duration it takes under a fault timeline (worker-stall windows
+	// freeze the core). The reported work amounts (slice lengths,
+	// Remaining) stay in work units; only the wall clock dilates. Nil —
+	// the only state healthy systems ever see — changes nothing.
+	// Incompatible with Interrupt-driven preemption, which reconstructs
+	// work done from wall time.
+	Stretch func(sim.Time, time.Duration) time.Duration
 }
 
 // Exec is the execution engine of one worker core. It runs one request at a
@@ -119,7 +127,15 @@ func (e *Exec) RegisterTelemetry(reg *telemetry.Registry, component string) {
 
 // Start begins executing req. It panics if the core is already busy —
 // callers must serialize through their own queues.
-func (e *Exec) Start(req *task.Request) {
+func (e *Exec) Start(req *task.Request) { e.start(req, true) }
+
+// StartRTC begins executing req run-to-completion: no slice timer is
+// armed (and no arm cost charged), so the request holds the core until
+// it finishes. The degraded hash-steering path uses it — RSS-style
+// steering has no preemption (§2.1).
+func (e *Exec) StartRTC(req *task.Request) { e.start(req, false) }
+
+func (e *Exec) start(req *task.Request, allowSlice bool) {
 	if e.busy {
 		panic("cores: Start on busy core")
 	}
@@ -141,7 +157,7 @@ func (e *Exec) Start(req *task.Request) {
 		}
 	}
 	req.LastWorker = e.id
-	selfSlice := e.cfg.SelfArm && e.cfg.Slice > 0
+	selfSlice := allowSlice && e.cfg.SelfArm && e.cfg.Slice > 0
 	if selfSlice {
 		overhead += e.cfg.Clock.CyclesToDuration(e.cfg.Timer.ArmCycles)
 	}
@@ -149,11 +165,19 @@ func (e *Exec) Start(req *task.Request) {
 
 	if selfSlice && req.Remaining > e.cfg.Slice {
 		// The slice will expire: schedule the self-preemption.
-		fireAt := overhead + e.cfg.Slice
+		fireAt := e.stretched(overhead + e.cfg.Slice)
 		e.doneTimer = e.eng.AfterTimer(fireAt, func() { e.slice(e.cfg.Slice) })
 		return
 	}
-	e.doneTimer = e.eng.AfterTimer(overhead+req.Remaining, e.complete)
+	e.doneTimer = e.eng.AfterTimer(e.stretched(overhead+req.Remaining), e.complete)
+}
+
+// stretched dilates a busy-time amount through the fault timeline.
+func (e *Exec) stretched(d time.Duration) time.Duration {
+	if e.cfg.Stretch == nil {
+		return d
+	}
+	return e.cfg.Stretch(e.eng.Now(), d)
 }
 
 // complete finishes the current request.
@@ -176,7 +200,7 @@ func (e *Exec) slice(ran time.Duration) {
 	req.Preemptions++
 	e.preemptions++
 	overhead := e.cfg.Clock.CyclesToDuration(e.cfg.Timer.FireCycles) + e.cfg.CtxSave
-	e.eng.After(overhead, func() {
+	e.eng.After(e.stretched(overhead), func() {
 		e.finishRun()
 		e.onPreempt(req)
 	})
@@ -193,6 +217,12 @@ func (e *Exec) Interrupt() bool {
 	}
 	if e.onPreempt == nil {
 		panic("cores: Interrupt without an onPreempt handler")
+	}
+	if e.cfg.Stretch != nil {
+		// ran-so-far below divides wall time by an assumed healthy rate;
+		// under a stall timeline that arithmetic is wrong, and no modelled
+		// system combines posted interrupts with worker stalls.
+		panic("cores: Interrupt is not supported under a fault stretch")
 	}
 	now := e.eng.Now()
 	if now < e.workStart {

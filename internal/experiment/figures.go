@@ -170,6 +170,29 @@ func Figure6LineRateSpec(q Quality) FigureSpec { return presetFigureSpec("figure
 // Figure6LineRate runs Figure6LineRateSpec on the default parallel runner.
 func Figure6LineRate(q Quality) Figure { return mustFigure(Figure6LineRateSpec(q)) }
 
+// FigureFaultsNICCrashSpec declares the NIC-crash adversity figure: the
+// Figure 2 offload configuration, healthy vs a run whose NIC ARM cores
+// crash for 4 ms (10–14 ms), with a 1 ms request timeout, 3 retries, and
+// degradation to RSS-style hash steering while the cores are down.
+func FigureFaultsNICCrashSpec(q Quality) FigureSpec {
+	return presetFigureSpec("figure-faults-niccrash", q)
+}
+
+// FigureFaultsNICCrash runs FigureFaultsNICCrashSpec on the default
+// parallel runner.
+func FigureFaultsNICCrash(q Quality) Figure { return mustFigure(FigureFaultsNICCrashSpec(q)) }
+
+// FigureFaultsLossyFabricSpec declares the lossy-fabric adversity figure:
+// clean NIC↔host fabric vs seeded loss bursts (5% per-frame) and 20 µs
+// latency spikes, recovered by the timeout/retry machinery.
+func FigureFaultsLossyFabricSpec(q Quality) FigureSpec {
+	return presetFigureSpec("figure-faults-lossyfabric", q)
+}
+
+// FigureFaultsLossyFabric runs FigureFaultsLossyFabricSpec on the default
+// parallel runner.
+func FigureFaultsLossyFabric(q Quality) Figure { return mustFigure(FigureFaultsLossyFabricSpec(q)) }
+
 // BaselineComparisonSpec declares the X4 landscape: every system of §2.1
 // on the bimodal workload, normalized per worker (all systems get equal
 // host cores; systems that burn a core on dispatch get fewer workers).

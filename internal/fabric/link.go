@@ -40,6 +40,14 @@ type Link struct {
 	dropped       uint64
 	stalls        uint64
 
+	// fault, when set, is consulted once per message at send time: a true
+	// drop loses the message on the wire (counted in faultDropped, not
+	// dropped — queue overflow and wire loss are different failures), and
+	// extra adds propagation latency (a fabric latency spike). Nil — the
+	// only state healthy systems ever see — leaves Send untouched.
+	fault        func(sim.Time) (drop bool, extra time.Duration)
+	faultDropped uint64
+
 	// latency, when attached, records each message's send→deliver time —
 	// the NIC↔host message-latency distribution of §3.3, inflated by
 	// serialization waits near saturation.
@@ -64,6 +72,17 @@ func (l *Link) Send(bytes int, deliver func()) bool {
 		return false
 	}
 	now := l.eng.Now()
+	latency := l.cfg.Latency
+	if l.fault != nil {
+		drop, extra := l.fault(now)
+		if drop {
+			// Lost on the wire: the message occupies no queue slot and no
+			// serialization time, and the receiver never hears of it.
+			l.faultDropped++
+			return false
+		}
+		latency += extra
+	}
 	depart := now
 	if l.lastDeparture > depart {
 		// The transmitter is still serializing an earlier message: this
@@ -76,7 +95,7 @@ func (l *Link) Send(bytes int, deliver func()) bool {
 	l.queued++
 	l.eng.At(depart, func() {
 		l.queued--
-		l.eng.At(depart.Add(l.cfg.Latency), func() {
+		l.eng.At(depart.Add(latency), func() {
 			l.delivered++
 			if l.latency != nil {
 				l.latency.Observe(l.eng.Now().Sub(now))
@@ -109,6 +128,14 @@ func (l *Link) Dropped() uint64 { return l.dropped }
 // serialization before departing.
 func (l *Link) Stalls() uint64 { return l.stalls }
 
+// SetFault installs a per-message fault hook (see the fault field).
+// Install before the simulation starts.
+func (l *Link) SetFault(f func(sim.Time) (drop bool, extra time.Duration)) { l.fault = f }
+
+// FaultDropped returns the number of messages lost to injected wire
+// faults (distinct from bounded-queue drops).
+func (l *Link) FaultDropped() uint64 { return l.faultDropped }
+
 // RegisterTelemetry exposes the link's counters on reg under the given
 // component label and starts recording per-message latency into the
 // registry's component/"latency" histogram.
@@ -118,4 +145,5 @@ func (l *Link) RegisterTelemetry(reg *telemetry.Registry, component string) {
 	reg.GaugeFunc(component, "delivered", func() float64 { return float64(l.delivered) })
 	reg.GaugeFunc(component, "dropped", func() float64 { return float64(l.dropped) })
 	reg.GaugeFunc(component, "stalls", func() float64 { return float64(l.stalls) })
+	reg.GaugeFunc(component, "fault_dropped", func() float64 { return float64(l.faultDropped) })
 }

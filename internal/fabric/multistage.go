@@ -31,6 +31,10 @@ type MultiStage[T any] struct {
 	inRun  int // items served consecutively from class rr
 	busy   bool
 
+	// stretch mirrors Stage.stretch: fault-timeline cost dilation, nil on
+	// the healthy path.
+	stretch func(sim.Time, time.Duration) time.Duration
+
 	processed uint64
 	dropped   uint64
 	busyTrack stats.BusyTracker
@@ -92,11 +96,18 @@ func (s *MultiStage[T]) Submit(class int, item T) bool {
 	return true
 }
 
+// SetStretch installs a fault-timeline cost dilation (see the stretch
+// field). Install before the simulation starts.
+func (s *MultiStage[T]) SetStretch(f func(sim.Time, time.Duration) time.Duration) { s.stretch = f }
+
 // serve processes one item then pulls the next in round-robin class order.
 func (s *MultiStage[T]) serve(item T) {
 	var d time.Duration
 	if s.cost != nil {
 		d = s.cost(item)
+	}
+	if s.stretch != nil {
+		d = s.stretch(s.eng.Now(), d)
 	}
 	s.eng.After(d, func() {
 		s.done(item)

@@ -30,6 +30,12 @@ type Stage[T any] struct {
 	q     deque[T]
 	busy  bool
 
+	// stretch, when set, converts an item's processing cost into the wall
+	// duration it takes under the active fault timeline (crash windows
+	// freeze the core, slowdown windows dilate it). Nil — the only state
+	// healthy systems ever see — leaves costs untouched.
+	stretch func(sim.Time, time.Duration) time.Duration
+
 	processed uint64
 	dropped   uint64
 	busyTrack stats.BusyTracker
@@ -64,12 +70,20 @@ func (s *Stage[T]) Submit(item T) bool {
 	return true
 }
 
+// SetStretch installs a fault-timeline cost dilation (see the stretch
+// field). Install before the simulation starts; fabric carries the raw
+// func type so it does not depend on the faults package.
+func (s *Stage[T]) SetStretch(f func(sim.Time, time.Duration) time.Duration) { s.stretch = f }
+
 func (s *Stage[T]) start(item T) {
 	s.busy = true
 	s.busyTrack.SetBusy(s.eng.Now(), true)
 	var d time.Duration
 	if s.cost != nil {
 		d = s.cost(item)
+	}
+	if s.stretch != nil {
+		d = s.stretch(s.eng.Now(), d)
 	}
 	s.eng.After(d, func() {
 		s.done(item)

@@ -21,6 +21,7 @@ var simSegments = map[string]bool{
 	"nicmodel":   true,
 	"cores":      true,
 	"fabric":     true,
+	"faults":     true,
 	"task":       true,
 	"dist":       true,
 	"loadgen":    true,

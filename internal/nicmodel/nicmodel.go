@@ -40,6 +40,12 @@ type Config struct {
 	InternalLatency time.Duration
 	// RingCap bounds each function's RX descriptor ring.
 	RingCap int
+	// LinkFault, when set, is installed on every function's internal
+	// delivery link: consulted once per steered frame, it can drop the
+	// frame (NIC↔host fabric loss) or add propagation latency (a latency
+	// spike). Nil — the only state healthy systems ever see — leaves the
+	// links untouched.
+	LinkFault func(sim.Time) (drop bool, extra time.Duration)
 }
 
 // NIC is the modelled device.
@@ -103,6 +109,9 @@ func (n *NIC) AddFunction(name string, mac wire.MAC, ringCap int) *Function {
 		deliver: fabric.NewLink(n.eng, "nic→"+name, fabric.LinkConfig{
 			Latency: n.cfg.InternalLatency,
 		}),
+	}
+	if n.cfg.LinkFault != nil {
+		f.deliver.SetFault(n.cfg.LinkFault)
 	}
 	n.fns = append(n.fns, f)
 	n.macTable[mac] = f
@@ -170,6 +179,10 @@ func (f *Function) RingDrops() uint64 { return f.ringDrops }
 
 // Received returns frames successfully enqueued to the RX ring.
 func (f *Function) Received() uint64 { return f.received }
+
+// FaultDropped returns frames this function's delivery link lost to
+// injected fabric faults.
+func (f *Function) FaultDropped() uint64 { return f.deliver.FaultDropped() }
 
 // PeakPending returns the highest RX ring occupancy ever reached — how
 // close the function came to dropping frames.

@@ -51,8 +51,13 @@ type Builder struct {
 	Knobs []string
 	// Observable marks systems that accept Options.Tracer / Options.Metrics.
 	Observable bool
-	// Build assembles the factory from validated knobs.
-	Build func(o Options, k Knobs) (Factory, error)
+	// Faultable marks systems that accept a Spec.Faults schedule — they
+	// can stretch, drop, retry, and degrade. Systems without the machinery
+	// refuse faulted specs instead of silently simulating healthy hardware.
+	Faultable bool
+	// Build assembles the factory from the validated spec (knobs have
+	// passed checkKnobs; faulted specs have passed the fault gate).
+	Build func(o Options, sp Spec) (Factory, error)
 }
 
 // checkKnobs rejects knobs the kind does not accept.
@@ -142,7 +147,24 @@ func BuildWith(sp Spec, o Options) (Factory, error) {
 	if (o.Tracer != nil || o.Metrics != nil || sp.Trace || sp.Telemetry) && !b.Observable {
 		return nil, fmt.Errorf("scenario: system %q does not support tracing/telemetry", sp.System)
 	}
-	return b.Build(o, k)
+	if sp.Faults != nil {
+		if sp.Faults.Empty() {
+			return nil, fmt.Errorf("scenario: %s: faults block present but empty — drop it for a healthy system", sp.System)
+		}
+		if !b.Faultable {
+			return nil, fmt.Errorf("scenario: system %q cannot degrade and rejects fault schedules", sp.System)
+		}
+		if err := sp.Faults.Validate(); err != nil {
+			return nil, fmt.Errorf("scenario: %s: %w", sp.System, err)
+		}
+		if sp.Seed == 0 {
+			return nil, fmt.Errorf("scenario: %s: faulted specs must pin a nonzero seed", sp.System)
+		}
+		if len(sp.Seeds) > 0 {
+			return nil, fmt.Errorf("scenario: %s: faulted specs take a single pinned seed, not a seeds list", sp.System)
+		}
+	}
+	return b.Build(o, sp)
 }
 
 // ParsePolicy maps a policy knob string to the core policy; the empty
@@ -168,7 +190,8 @@ func rtcBuilder(name, doc string, cfg func(k Knobs) rtc.Config) Builder {
 		Name:  name,
 		Doc:   doc,
 		Knobs: []string{"workers", "queue_cap"},
-		Build: func(o Options, k Knobs) (Factory, error) {
+		Build: func(o Options, sp Spec) (Factory, error) {
+			k := sp.KnobsOrZero()
 			c := cfg(k)
 			c.P = o.params()
 			c.Workers = k.Workers
@@ -187,7 +210,9 @@ func init() {
 		Knobs: []string{"workers", "outstanding", "slice", "policy", "load_feedback",
 			"dispatch_burst", "ddio_to_l1", "admission_limit", "affinity"},
 		Observable: true,
-		Build: func(o Options, k Knobs) (Factory, error) {
+		Faultable:  true,
+		Build: func(o Options, sp Spec) (Factory, error) {
+			k := sp.KnobsOrZero()
 			pol, err := ParsePolicy(k.Policy)
 			if err != nil {
 				return nil, err
@@ -209,6 +234,14 @@ func init() {
 				Tracer:         o.Tracer,
 				Metrics:        o.Metrics,
 			}
+			if sp.Faults != nil {
+				// Each system instance compiles its own schedule: the loss
+				// stream and counters are per-run state, and sweep points run
+				// concurrently. The fault stream is seeded by the spec's
+				// pinned seed (BuildWith enforces it is nonzero).
+				cfg.FaultSpec = sp.Faults
+				cfg.FaultSeed = sp.Seed
+			}
 			return func(eng *sim.Engine, rec *stats.Recorder, done func(*task.Request)) System {
 				return core.NewOffload(eng, cfg, rec, done)
 			}, nil
@@ -219,7 +252,8 @@ func init() {
 		Name:  "shinjuku",
 		Doc:   "vanilla Shinjuku: host-core networker + dispatcher baseline (§2.1)",
 		Knobs: []string{"workers", "outstanding", "slice", "policy", "sockets"},
-		Build: func(o Options, k Knobs) (Factory, error) {
+		Build: func(o Options, sp Spec) (Factory, error) {
+			k := sp.KnobsOrZero()
 			pol, err := ParsePolicy(k.Policy)
 			if err != nil {
 				return nil, err
@@ -252,7 +286,8 @@ func init() {
 		Name:  "rpcvalet",
 		Doc:   "RPCValet: NI-integrated single queue, no preemption (§2.1)",
 		Knobs: []string{"workers"},
-		Build: func(o Options, k Knobs) (Factory, error) {
+		Build: func(o Options, sp Spec) (Factory, error) {
+			k := sp.KnobsOrZero()
 			cfg := rpcvalet.Config{P: o.params(), Workers: k.Workers}
 			return func(eng *sim.Engine, rec *stats.Recorder, done func(*task.Request)) System {
 				return rpcvalet.New(eng, cfg, rec, done)
@@ -264,7 +299,8 @@ func init() {
 		Name:  "erss",
 		Doc:   "Elastic RSS: load feedback resizes the core set, fixed policy (§5.1)",
 		Knobs: []string{"workers", "min_workers", "interval", "up_threshold", "down_threshold"},
-		Build: func(o Options, k Knobs) (Factory, error) {
+		Build: func(o Options, sp Spec) (Factory, error) {
+			k := sp.KnobsOrZero()
 			cfg := erss.Config{
 				P:             o.params(),
 				Workers:       k.Workers,
@@ -284,7 +320,8 @@ func init() {
 		Doc:        "§5 ideal SmartNIC ablations: CXL memory, line-rate scheduler, direct interrupts",
 		Knobs:      []string{"workers", "outstanding", "slice", "policy", "cxl", "linerate", "directirq"},
 		Observable: true,
-		Build: func(o Options, k Knobs) (Factory, error) {
+		Build: func(o Options, sp Spec) (Factory, error) {
+			k := sp.KnobsOrZero()
 			pol, err := ParsePolicy(k.Policy)
 			if err != nil {
 				return nil, err

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"mindgap/internal/dist"
+	"mindgap/internal/faults"
 )
 
 // SchemaVersion is baked into every fingerprint. Bump it whenever the
@@ -235,6 +236,15 @@ type Spec struct {
 	// are only honored by systems that support them.
 	Telemetry bool `json:"telemetry,omitempty"`
 	Trace     bool `json:"trace,omitempty"`
+	// Faults optionally attaches a deterministic fault schedule (NIC
+	// ARM-core crash/slowdown windows, fabric loss/latency bursts, host
+	// worker stalls) plus the timeout/retry/degradation policy. Only
+	// systems whose builders declare Faultable accept it, and a faulted
+	// spec must pin its Seed: the fault timeline is part of the scenario's
+	// identity, never a run-time default. Absent (nil), the field is
+	// omitted from the canonical encoding, so pre-fault specs keep their
+	// fingerprints.
+	Faults *faults.Spec `json:"faults,omitempty"`
 }
 
 // KnobsOrZero returns the knob set, zero-valued when unset.
@@ -328,6 +338,23 @@ func (s Spec) Validate() error {
 	if s.Load != nil {
 		if err := s.Load.validate(); err != nil {
 			return err
+		}
+	}
+	if s.Faults != nil {
+		if s.Faults.Empty() {
+			return fmt.Errorf("scenario: %s: faults block present but empty — drop it for a healthy system", s.System)
+		}
+		if !b.Faultable {
+			return fmt.Errorf("scenario: system %q cannot degrade and rejects fault schedules", s.System)
+		}
+		if err := s.Faults.Validate(); err != nil {
+			return fmt.Errorf("scenario: %s: %w", s.System, err)
+		}
+		if s.Seed == 0 {
+			return fmt.Errorf("scenario: %s: faulted specs must pin a nonzero seed — the fault timeline is part of the scenario identity", s.System)
+		}
+		if len(s.Seeds) > 0 {
+			return fmt.Errorf("scenario: %s: faulted specs take a single pinned seed, not a seeds list", s.System)
 		}
 	}
 	return nil
