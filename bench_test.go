@@ -263,6 +263,49 @@ func BenchmarkBaselines(b *testing.B) {
 	}
 }
 
+// BenchmarkPointThroughput measures harness throughput on the canonical
+// Figure 2 point: full sweep points per wall second, wall nanoseconds per
+// simulated request, and allocations per point. These three metrics are
+// the tracked performance baseline — cmd/mindgap-perf compares them
+// against the checked-in BENCH.json and flags >20% regressions in CI.
+func BenchmarkPointThroughput(b *testing.B) {
+	p := params.Default()
+	cfg := experiment.PointConfig{
+		Factory:    experiment.OffloadFactory(p, 4, 4, 10*time.Microsecond),
+		Service:    experiment.BimodalWorkload,
+		OfferedRPS: 400_000,
+		Warmup:     benchQ.Warmup,
+		Measure:    benchQ.Measure,
+		Seed:       benchQ.Seed,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var completed int64
+	for i := 0; i < b.N; i++ {
+		completed = experiment.RunPoint(cfg).Completed
+	}
+	reqs := float64(completed) * float64(b.N)
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "points/sec")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/reqs, "ns/request")
+}
+
+// BenchmarkAttributionOverhead measures the same point with a latency
+// attribution collector attached (internal/attr): the delta against
+// BenchmarkPointThroughput is the cost of full phase decomposition plus
+// per-dispatch ground-truth audits.
+func BenchmarkAttributionOverhead(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	var rows []experiment.AttributionRow
+	for i := 0; i < b.N; i++ {
+		rows = experiment.Attribution(benchQ)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "points/sec")
+	if len(rows) > 0 {
+		b.ReportMetric(rows[0].Audit.MisRate*100, "mis_dispatch_%")
+	}
+}
+
 // BenchmarkSimulatorEventRate measures raw simulator throughput: simulated
 // request completions per wall second on the Figure 2 configuration.
 func BenchmarkSimulatorEventRate(b *testing.B) {

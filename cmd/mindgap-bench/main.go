@@ -41,7 +41,7 @@ import (
 func main() {
 	var (
 		fig      = flag.String("fig", "", "figure to run: 2, 3, 3burst, 4, 5, 6, 6cxl, 6linerate, baselines, faults-niccrash, faults-lossyfabric (empty = all)")
-		table    = flag.String("table", "", "table to run: timer, ipc, wait, latency, dispersion, policy, affinity, tenants, faults (empty = all)")
+		table    = flag.String("table", "", "table to run: timer, ipc, wait, latency, dispersion, policy, affinity, attribution, tenants, faults (empty = all)")
 		quality  = flag.String("quality", "full", "sample counts: quick or full")
 		quick    = flag.Bool("quick", false, "shorthand for -quality quick")
 		csv      = flag.Bool("csv", false, "CSV output for figures")
@@ -72,7 +72,8 @@ func main() {
 			{"timer", "(analytic, no preset)"}, {"ipc", "scenarios/table-ipc.json"},
 			{"wait", "scenarios/table-wait.json"}, {"latency", "(analytic, no preset)"},
 			{"policy", "scenarios/table-policy.json"}, {"dispersion", "scenarios/table-dispersion.json"},
-			{"affinity", "scenarios/table-affinity.json"}, {"tenants", "scenarios/table-tenants.json"},
+			{"affinity", "scenarios/table-affinity.json"}, {"attribution", "scenarios/table-attribution.json"},
+			{"tenants", "scenarios/table-tenants.json"},
 			{"faults", "scenarios/figure-faults-*.json"},
 		} {
 			fmt.Printf("  %-10s %s\n", e[0], e[1])
@@ -235,6 +236,29 @@ func main() {
 					r.MigrationsOff, r.MigrationsOn, r.Preemptions,
 					r.MeanOff, r.MeanOn, r.P99Off, r.P99On)
 			}
+		}
+		if which == "" || which == "attribution" {
+			fmt.Println("== X13: latency attribution (per-phase share of the tail + decision audit, 450 krps)")
+			rows, err := experiment.AttributionWith(ctx, rn, q)
+			for _, r := range rows {
+				fmt.Printf("%s — p50=%v p99=%v achieved=%.0f rps\n",
+					r.Label, r.Result.P50, r.Result.P99, r.Result.AchievedRPS)
+				fmt.Printf("  %-12s %12s %12s %12s %10s %10s\n",
+					"phase", "mean", "p50", "p99", "mean-share", "tail-share")
+				for _, ph := range r.Phases {
+					if ph.Mean == 0 && ph.P99 == 0 {
+						continue // phase the system never enters (e.g. fabric on rss)
+					}
+					fmt.Printf("  %-12s %12v %12v %12v %9.1f%% %9.1f%%\n",
+						ph.Phase, ph.Mean, ph.P50, ph.P99, ph.MeanShare*100, ph.TailShare*100)
+				}
+				a := r.Audit
+				fmt.Printf("  decisions=%d informed=%d mis-dispatch=%.1f%% staleness(mean/p99)=%v/%v est-err=%v excess(mean/p99)=%v/%v\n\n",
+					a.Decisions, a.Informed, a.MisRate*100,
+					a.MeanStaleness, a.P99Staleness, a.MeanEstimateError,
+					a.MeanExcess, a.P99Excess)
+			}
+			interrupted(err)
 		}
 		if which == "" || which == "faults" {
 			fmt.Println("== X12: fault recovery timeline (goodput and tail per phase of a faulted run)")

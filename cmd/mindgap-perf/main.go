@@ -1,0 +1,222 @@
+// Command mindgap-perf guards simulator performance: it reruns the
+// repository's tracked benchmarks (`go test -bench` on bench_test.go) and
+// compares the metrics that matter for iteration speed — sweep points per
+// second, wall nanoseconds per simulated request, and allocations per
+// point — against the checked-in BENCH.json baseline.
+//
+// By default any tracked metric regressing by more than -tolerance
+// (20%) fails the run with a per-metric report; improvements are noted
+// but never fail. After an intentional performance change, regenerate
+// the baseline:
+//
+//	go run ./cmd/mindgap-perf -write
+//
+// The absolute numbers in BENCH.json are hardware-dependent; the
+// comparison is a ratio test, so it is meaningful on any machine that is
+// consistent between baseline and rerun (CI runners of the same class,
+// or a developer box before/after a change).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+)
+
+// trackedBenchmarks are the bench_test.go targets whose metrics form the
+// baseline. PointThroughput is the plain harness; AttributionOverhead is
+// the same point with the internal/attr collector attached, so its drift
+// bounds the observability layer's cost.
+var trackedBenchmarks = []string{
+	"BenchmarkPointThroughput",
+	"BenchmarkAttributionOverhead",
+}
+
+// trackedMetrics maps each compared unit to its regression direction:
+// true means higher-is-better (throughput), false means lower-is-better
+// (latency, allocations). Units reported by the benchmarks but absent
+// here (mis_dispatch_%, B/op, ns/op) are recorded in BENCH.json for
+// reference but never gate.
+var trackedMetrics = map[string]bool{
+	"points/sec": true,
+	"ns/request": false,
+	"allocs/op":  false,
+}
+
+// Baseline is the BENCH.json schema: metric units keyed by benchmark name.
+type Baseline struct {
+	// Note documents how to regenerate the file.
+	Note string `json:"note"`
+	// GOOS/GOARCH/CPU record the environment the baseline was taken on;
+	// ratios are only meaningful against comparable hardware.
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	CPU    string `json:"cpu,omitempty"`
+	// Benchmarks holds, per benchmark, every reported metric unit.
+	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		write     = flag.Bool("write", false, "regenerate the baseline file instead of comparing")
+		baseline  = flag.String("baseline", "BENCH.json", "baseline file to compare against (or write)")
+		tolerance = flag.Float64("tolerance", 0.20, "allowed fractional regression before failing")
+		benchtime = flag.String("benchtime", "1s", "passed through to go test -benchtime")
+	)
+	flag.Parse()
+
+	cur, env, err := runBenchmarks(*benchtime)
+	if err != nil {
+		log.Fatalf("mindgap-perf: %v", err)
+	}
+
+	if *write {
+		b := Baseline{
+			Note:       "regenerate with: go run ./cmd/mindgap-perf -write",
+			GOOS:       env["goos"],
+			GOARCH:     env["goarch"],
+			CPU:        env["cpu"],
+			Benchmarks: cur,
+		}
+		out, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			log.Fatalf("mindgap-perf: %v", err)
+		}
+		if err := os.WriteFile(*baseline, append(out, '\n'), 0o644); err != nil {
+			log.Fatalf("mindgap-perf: %v", err)
+		}
+		fmt.Printf("wrote %s (%d benchmarks)\n", *baseline, len(cur))
+		return
+	}
+
+	raw, err := os.ReadFile(*baseline)
+	if err != nil {
+		log.Fatalf("mindgap-perf: read baseline: %v (run with -write to create it)", err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		log.Fatalf("mindgap-perf: parse %s: %v", *baseline, err)
+	}
+
+	failed := compare(base, cur, *tolerance)
+	if failed {
+		fmt.Printf("\nFAIL: regression beyond %.0f%% tolerance; if intentional, run `go run ./cmd/mindgap-perf -write`\n", *tolerance*100)
+		os.Exit(1)
+	}
+	fmt.Printf("\nOK: all tracked metrics within %.0f%% of %s\n", *tolerance*100, *baseline)
+}
+
+// compare prints the per-metric report and reports whether any tracked
+// metric regressed beyond tol.
+func compare(base Baseline, cur map[string]map[string]float64, tol float64) bool {
+	failed := false
+	fmt.Printf("%-30s %-12s %14s %14s %9s\n", "benchmark", "metric", "baseline", "current", "delta")
+	for _, name := range trackedBenchmarks {
+		bm, ok := base.Benchmarks[name]
+		if !ok {
+			fmt.Printf("%-30s (not in baseline; rerun with -write)\n", name)
+			continue
+		}
+		cm, ok := cur[name]
+		if !ok {
+			fmt.Printf("%-30s MISSING from current run\n", name)
+			failed = true
+			continue
+		}
+		for _, unit := range orderedUnits(bm) {
+			higherBetter, tracked := trackedMetrics[unit]
+			if !tracked {
+				continue
+			}
+			bv, cv := bm[unit], cm[unit]
+			if bv == 0 {
+				continue
+			}
+			delta := cv/bv - 1
+			status := ""
+			regressed := (higherBetter && delta < -tol) || (!higherBetter && delta > tol)
+			if regressed {
+				status = "  REGRESSION"
+				failed = true
+			}
+			fmt.Printf("%-30s %-12s %14.1f %14.1f %+8.1f%%%s\n", name, unit, bv, cv, delta*100, status)
+		}
+	}
+	return failed
+}
+
+// orderedUnits returns m's keys in the fixed tracked order so the report
+// (and failures) are stable run to run.
+func orderedUnits(m map[string]float64) []string {
+	order := []string{"points/sec", "ns/request", "allocs/op"}
+	var out []string
+	for _, u := range order {
+		if _, ok := m[u]; ok {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// runBenchmarks executes the tracked benchmarks once and parses every
+// reported metric, plus the goos/goarch/cpu header lines.
+func runBenchmarks(benchtime string) (map[string]map[string]float64, map[string]string, error) {
+	pattern := "^(" + strings.Join(trackedBenchmarks, "|") + ")$"
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", pattern,
+		"-benchmem", "-benchtime", benchtime, ".")
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("go test -bench: %w\n%s", err, out)
+	}
+	results := make(map[string]map[string]float64)
+	env := make(map[string]string)
+	for _, line := range strings.Split(string(out), "\n") {
+		line = strings.TrimSpace(line)
+		for _, k := range []string{"goos", "goarch", "cpu"} {
+			if v, ok := strings.CutPrefix(line, k+": "); ok {
+				env[k] = strings.TrimSpace(v)
+			}
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		name, metrics, err := parseBenchLine(line)
+		if err != nil {
+			return nil, nil, err
+		}
+		results[name] = metrics
+	}
+	if len(results) == 0 {
+		return nil, nil, fmt.Errorf("no benchmark lines in go test output:\n%s", out)
+	}
+	return results, env, nil
+}
+
+// parseBenchLine decodes one `go test -bench` result line:
+//
+//	BenchmarkX-8   30   33449085 ns/op   5575 ns/request   ...
+//
+// into the benchmark's base name and its value-per-unit map.
+func parseBenchLine(line string) (string, map[string]float64, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return "", nil, fmt.Errorf("short benchmark line: %q", line)
+	}
+	name, _, _ := strings.Cut(fields[0], "-") // strip -GOMAXPROCS suffix
+	metrics := make(map[string]float64)
+	// fields[1] is the iteration count; pairs of (value, unit) follow.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", nil, fmt.Errorf("bad value %q in %q: %v", fields[i], line, err)
+		}
+		metrics[fields[i+1]] = v
+	}
+	return name, metrics, nil
+}

@@ -32,6 +32,7 @@ import (
 	"strings"
 	"time"
 
+	"mindgap/internal/attr"
 	"mindgap/internal/dist"
 	"mindgap/internal/loadgen"
 	"mindgap/internal/scenario"
@@ -52,6 +53,7 @@ func main() {
 		rps         = flag.Float64("rps", 200_000, "override: offered load")
 		show        = flag.String("show", "any", "which lifecycles: any, preempted")
 		format      = flag.String("format", "text", "output format: text, chrome (Perfetto/chrome://tracing), json")
+		attrFlag    = flag.Bool("attr", false, "attach the latency-attribution collector: text gains a phase waterfall + decision audit summary; chrome gains per-phase slices and audit counter tracks")
 	)
 	flag.Parse()
 	switch *format {
@@ -95,7 +97,13 @@ func main() {
 
 	eng := sim.New()
 	buf := trace.New(0)
-	factory, err := scenario.BuildWith(sp, scenario.Options{Tracer: buf})
+	opts := scenario.Options{Tracer: buf}
+	var col *attr.Collector
+	if *attrFlag {
+		col = attr.New(attr.Config{KeepTimelines: true, AuditSamples: 4096})
+		opts.Attr = col
+	}
+	factory, err := scenario.BuildWith(sp, opts)
 	if err != nil {
 		log.Fatalf("mindgap-trace: %v", err)
 	}
@@ -115,7 +123,7 @@ func main() {
 
 	switch *format {
 	case "chrome":
-		if err := trace.WriteChrome(os.Stdout, buf); err != nil {
+		if err := trace.WriteChromeWith(os.Stdout, buf, col.ChromeEvents()); err != nil {
 			log.Fatalf("mindgap-trace: %v", err)
 		}
 		return
@@ -156,6 +164,40 @@ func main() {
 	}
 	fmt.Printf("traced %d events across %d requests (%d truncated)\n",
 		buf.Len(), len(buf.Requests()), buf.Truncated())
+	if col != nil {
+		printAttribution(col)
+	}
+}
+
+// printAttribution renders the collector's waterfall and audit summary
+// after the lifecycle listing.
+func printAttribution(col *attr.Collector) {
+	fmt.Printf("\nlatency attribution (%d completed requests):\n", col.Completed())
+	fmt.Printf("  %-12s %12s %12s %12s %10s %10s\n",
+		"phase", "mean", "p50", "p99", "mean-share", "tail-share")
+	for _, ps := range col.PhaseStats() {
+		if ps.Mean == 0 && ps.P99 == 0 {
+			continue
+		}
+		fmt.Printf("  %-12s %12v %12v %12v %9.1f%% %9.1f%%\n",
+			ps.Phase, ps.Mean, ps.P50, ps.P99, ps.MeanShare*100, ps.TailShare*100)
+	}
+	a := col.AuditSummary()
+	fmt.Printf("decision audit: decisions=%d informed=%d mis-dispatch=%.1f%% staleness(mean/p99)=%v/%v excess(mean/p99)=%v/%v\n",
+		a.Decisions, a.Informed, a.MisRate*100,
+		a.MeanStaleness, a.P99Staleness, a.MeanExcess, a.P99Excess)
+	if tail := col.Tail(); len(tail) > 0 {
+		fmt.Printf("slowest %d requests:\n", len(tail))
+		for _, t := range tail {
+			fmt.Printf("  req %-6d total=%-10v", t.ReqID, t.Total)
+			for p := attr.Phase(0); p < attr.PhaseCount; p++ {
+				if d := t.Phases[p]; d > 0 {
+					fmt.Printf(" %s=%v", p, d)
+				}
+			}
+			fmt.Println()
+		}
+	}
 }
 
 func indent(s string) string {

@@ -189,6 +189,19 @@ func (l *Logic) LoadAge(now sim.Time, w int) (age time.Duration, ok bool) {
 	return now.Sub(l.loadAt[w]), true
 }
 
+// EstimateFor returns the backlog estimate the scheduler would act on for
+// worker w at instant now, plus its staleness. ok is false when the
+// scheduler holds no numeric belief about w — an uninformed policy, or an
+// informed one before w's first load report — in which case a decision
+// audit should classify the dispatch as uninformed.
+func (l *Logic) EstimateFor(now sim.Time, w int) (est int64, age time.Duration, ok bool) {
+	if l.policy != InformedLeastLoaded || !l.hasLoad[w] {
+		return 0, 0, false
+	}
+	age, _ = l.LoadAge(now, w)
+	return l.load[w], age, true
+}
+
 // OldestLoadAge returns the worst staleness across workers that have
 // reported — the scheduler's view of its own information gap. It returns
 // 0 when no worker has reported.

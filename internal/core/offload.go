@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"mindgap/internal/attr"
 	"mindgap/internal/cores"
 	"mindgap/internal/fabric"
 	"mindgap/internal/faults"
@@ -67,6 +68,12 @@ type OffloadConfig struct {
 	// queueing, dispatch, execution, preemption, response) for debugging
 	// and causality checks.
 	Tracer *trace.Buffer
+	// Attr, when set, receives per-request phase decompositions and a
+	// ground-truth audit of every dispatch decision. The collector only
+	// observes — it never schedules events — so an attached collector
+	// leaves the simulated event sequence byte-identical; nil leaves
+	// every hook off.
+	Attr *attr.Collector
 	// Metrics, when set, wires every component's probes into the registry:
 	// scheduler queue depth and decision counters ("sched"), per-worker
 	// utilization and preemptions ("worker<i>"), ARM stage occupancy
@@ -154,6 +161,7 @@ type Offload struct {
 	lgc  SchedulerLogic
 	rec  *stats.Recorder
 	done func(*task.Request)
+	attr *attr.Collector
 	shed uint64
 
 	// Telemetry drop counters (nil when cfg.Metrics is unset): mShed
@@ -270,6 +278,7 @@ func NewOffload(eng *sim.Engine, cfg OffloadConfig, rec *stats.Recorder, done fu
 		lgc:  lgc,
 		rec:  rec,
 		done: done,
+		attr: cfg.Attr,
 	}
 	if cfg.FaultSpec != nil && !cfg.FaultSpec.Empty() {
 		if cfg.DirectInterrupts {
@@ -380,7 +389,7 @@ func NewOffload(eng *sim.Engine, cfg OffloadConfig, rec *stats.Recorder, done fu
 		w.vf = s.nic.AddFunction(fmt.Sprintf("w%d", i),
 			nicmodel.MACForIndex(i+1), cfg.Outstanding+1)
 		w.vf.OnRx(w.maybeStart)
-		w.vf.OnDrop(func(nicmodel.Frame) {
+		w.vf.OnDrop(func(f nicmodel.Frame) {
 			if s.rec != nil {
 				s.rec.RecordDrop()
 			}
@@ -388,7 +397,35 @@ func NewOffload(eng *sim.Engine, cfg OffloadConfig, rec *stats.Recorder, done fu
 				s.mVFDrops.Inc()
 				s.mDrops.Inc()
 			}
+			if d, ok := f.Payload.(degradedReq); ok {
+				// Only degraded frames can legally overflow the ring (the
+				// credit scheme bounds normal dispatches), and nothing
+				// retries them: a terminal loss, visible only here.
+				s.traceDrop(d.req.ID, w.id, trace.DropRingOverflow)
+				s.attr.Drop(s.eng.Now(), d.req.ID, trace.DropRingOverflow)
+			}
 		})
+		if cfg.Tracer != nil || cfg.Attr != nil {
+			w.vf.OnWireDrop(func(f nicmodel.Frame) {
+				if d, ok := f.Payload.(degradedReq); ok {
+					// A degraded frame lost to an injected fabric fault has
+					// no timeout guarding it — the request silently vanishes
+					// unless recorded here, with the fault-drop reason.
+					s.traceDrop(d.req.ID, w.id, trace.DropWireFault)
+					s.attr.Drop(s.eng.Now(), d.req.ID, trace.DropWireFault)
+				}
+			})
+		}
+		if cfg.Attr != nil {
+			w.vf.OnDeliver(func(f nicmodel.Frame) {
+				switch p := f.Payload.(type) {
+				case *task.Request:
+					s.attr.HostArrive(s.eng.Now(), p.ID)
+				case degradedReq:
+					s.attr.HostArrive(s.eng.Now(), p.req.ID)
+				}
+			})
+		}
 		w.exec = cores.NewExec(eng, i, ec, w.onComplete, w.onPreempt)
 		s.workers = append(s.workers, w)
 	}
@@ -447,8 +484,10 @@ func (s *Offload) Name() string { return "shinjuku-offload" }
 // Inject admits a client request at the current instant (its Arrival time).
 func (s *Offload) Inject(req *task.Request) {
 	s.trace(trace.Arrive, req.ID, -1)
+	s.attr.Arrive(s.eng.Now(), req.ID, req.Service)
 	s.ingress.Send(s.cfg.P.RequestFrameBytes, func() {
 		s.trace(trace.Ingress, req.ID, -1)
+		s.attr.Ingress(s.eng.Now(), req.ID)
 		if s.flt != nil && s.flt.Degrade() && s.flt.NICDown(s.eng.Now()) {
 			// Graceful degradation: the MAC-steering hardware outlives the
 			// ARM cores, so the NIC falls back to RSS-style hash steering
@@ -471,6 +510,7 @@ func (s *Offload) steerDegraded(req *task.Request) {
 		s.mDegraded.Inc()
 	}
 	s.trace(trace.Dispatch, req.ID, w.id)
+	s.attr.Dispatch(s.eng.Now(), req.ID)
 	s.nic.Send(nicmodel.Frame{
 		Dst:     w.vf.MAC(),
 		Src:     s.armFn.MAC(),
@@ -517,6 +557,30 @@ func (s *Offload) trace(kind trace.Kind, reqID uint64, worker int) {
 	}
 }
 
+// traceDrop records a Drop event carrying its reason.
+func (s *Offload) traceDrop(reqID uint64, worker int, reason trace.DropReason) {
+	if s.cfg.Tracer != nil {
+		s.cfg.Tracer.RecordDrop(s.eng.Now(), reqID, worker, reason)
+	}
+}
+
+// auditDispatch presents one dispatch decision to the attribution layer:
+// the ground-truth resident backlog of every worker at this instant, plus
+// the estimate (and its staleness) the scheduler acted on, when it held
+// one. Only runs when a collector is attached — the truth scan touches
+// every worker.
+func (s *Offload) auditDispatch(now sim.Time, a Assignment) {
+	truth := s.attr.TruthScratch(len(s.workers))
+	for i, w := range s.workers {
+		truth[i] = w.trueLoad()
+	}
+	d := attr.Decision{At: now, ReqID: a.Req.ID, Chosen: a.Worker, Truth: truth}
+	if l, ok := s.lgc.(*Logic); ok {
+		d.Estimate, d.EstimateAge, d.Informed = l.EstimateFor(now, a.Worker)
+	}
+	s.attr.Audit(d)
+}
+
 // handleQueueEvent runs on the queue-manager ARM core.
 func (s *Offload) handleQueueEvent(ev qEvent) {
 	var as []Assignment
@@ -528,7 +592,8 @@ func (s *Offload) handleQueueEvent(ev qEvent) {
 			// consumes any host resource (§5.2). The client sees no
 			// response — open-loop clients count it as a loss.
 			s.shed++
-			s.trace(trace.Drop, ev.req.ID, -1)
+			s.traceDrop(ev.req.ID, -1, trace.DropShed)
+			s.attr.Drop(now, ev.req.ID, trace.DropShed)
 			if s.rec != nil {
 				s.rec.RecordDrop()
 			}
@@ -539,6 +604,7 @@ func (s *Offload) handleQueueEvent(ev qEvent) {
 			return
 		}
 		s.trace(trace.Enqueue, ev.req.ID, -1)
+		s.attr.Enqueue(now, ev.req.ID)
 		as = s.lgc.Enqueue(now, ev.req)
 	case evFinish:
 		if s.flights != nil {
@@ -571,6 +637,7 @@ func (s *Offload) handleQueueEvent(ev qEvent) {
 			fl.worker = -1
 		}
 		s.trace(trace.Enqueue, ev.req.ID, -1)
+		s.attr.Enqueue(now, ev.req.ID)
 		as = s.lgc.Preempted(now, ev.worker, ev.req)
 	case evLoad:
 		s.lgc.ReportLoadAt(now, ev.worker, ev.load)
@@ -580,6 +647,10 @@ func (s *Offload) handleQueueEvent(ev qEvent) {
 	for _, a := range as {
 		a := a
 		s.trace(trace.Dispatch, a.Req.ID, a.Worker)
+		if s.attr != nil {
+			s.attr.Dispatch(now, a.Req.ID)
+			s.auditDispatch(now, a)
+		}
 		if s.flights != nil {
 			s.trackDispatch(a)
 		}
@@ -630,7 +701,8 @@ func (s *Offload) handleTimeout(now sim.Time, ev qEvent) []Assignment {
 		delete(s.flights, ev.req.ID)
 		s.responded[ev.req.ID] = true
 		s.timeoutDrops++
-		s.trace(trace.Drop, ev.req.ID, -1)
+		s.traceDrop(ev.req.ID, -1, trace.DropTimeout)
+		s.attr.Drop(now, ev.req.ID, trace.DropTimeout)
 		if s.rec != nil {
 			s.rec.RecordDrop()
 		}
@@ -658,6 +730,7 @@ func (s *Offload) handleTimeout(now sim.Time, ev qEvent) []Assignment {
 	fl.timer = nil
 	as := s.lgc.Complete(w)
 	s.trace(trace.Enqueue, clone.ID, -1)
+	s.attr.Enqueue(now, clone.ID)
 	return append(as, s.lgc.Enqueue(now, clone)...)
 }
 
@@ -685,6 +758,7 @@ func (w *offWorker) maybeStart() {
 			deg = true
 		}
 		w.sys.trace(trace.Start, req.ID, w.id)
+		w.sys.attr.Start(w.sys.eng.Now(), req.ID)
 		if deg {
 			// Hash-steered while the NIC was down: run to completion, like
 			// the RSS baseline this mode degrades to.
@@ -720,12 +794,14 @@ func (w *offWorker) onComplete(req *task.Request) {
 	p := w.sys.cfg.P
 	sys := w.sys
 	sys.trace(trace.Complete, req.ID, w.id)
+	sys.attr.Complete(sys.eng.Now(), req.ID)
 	deg := w.curDegraded
 	w.curDegraded = false
 	w.post = true
 	w.after(p.WorkerResponseCost, func() {
 		sys.egress.Send(p.ResponseFrameBytes, func() {
 			sys.trace(trace.Respond, req.ID, -1)
+			sys.attr.Respond(sys.eng.Now(), req.ID)
 			sys.respond(req)
 		})
 		if deg {
@@ -753,6 +829,7 @@ func (w *offWorker) onPreempt(req *task.Request) {
 	p := w.sys.cfg.P
 	sys := w.sys
 	sys.trace(trace.Preempt, req.ID, w.id)
+	sys.attr.Preempt(sys.eng.Now(), req.ID)
 	if sys.rec != nil {
 		sys.rec.RecordPreemption()
 	}
@@ -778,9 +855,11 @@ func (w *offWorker) notifyDispatcher(ev qEvent) {
 	})
 }
 
-// reportLoad sends the worker's instantaneous load (remaining work in ns,
-// executing plus stashed) to the NIC — the fine-grained feedback of §3.1.
-func (w *offWorker) reportLoad() {
+// trueLoad returns the worker's resident backlog in ns at this instant:
+// remaining work executing plus remaining work stashed in the VF ring.
+// This is both what reportLoad tells the NIC and the ground truth the
+// decision audit compares estimates against.
+func (w *offWorker) trueLoad() int64 {
 	var load int64
 	if cur := w.exec.Current(); cur != nil {
 		load += int64(cur.Remaining)
@@ -793,6 +872,13 @@ func (w *offWorker) reportLoad() {
 			load += int64(p.req.Remaining)
 		}
 	})
+	return load
+}
+
+// reportLoad sends the worker's instantaneous load (remaining work in ns,
+// executing plus stashed) to the NIC — the fine-grained feedback of §3.1.
+func (w *offWorker) reportLoad() {
+	load := w.trueLoad()
 	id := w.id
 	w.sys.nic.Send(nicmodel.Frame{
 		Dst:     w.sys.armFn.MAC(),

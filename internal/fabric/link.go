@@ -62,14 +62,37 @@ func NewLink(eng *sim.Engine, name string, cfg LinkConfig) *Link {
 // Name returns the diagnostic name.
 func (l *Link) Name() string { return l.name }
 
+// SendOutcome classifies the synchronous fate of a Send: accepted for
+// delivery, rejected by the bounded queue, or lost to an injected wire
+// fault. The distinction lets callers attribute the loss (queue overflow
+// is backpressure; a wire fault is the failure the fault layer injected).
+type SendOutcome uint8
+
+const (
+	// SendAccepted: the message will be delivered.
+	SendAccepted SendOutcome = iota
+	// SendQueueDrop: the bounded queue was full (counted in Dropped).
+	SendQueueDrop
+	// SendFaultDrop: an injected fault lost the message on the wire
+	// (counted in FaultDropped).
+	SendFaultDrop
+)
+
 // Send enqueues a message of the given wire size; deliver runs at the
 // receiver once serialization and propagation complete. It reports false
-// (and counts a drop) when the bounded queue is full. FIFO order is
-// guaranteed: deliveries happen in Send order.
+// (and counts a drop) when the bounded queue is full or an injected wire
+// fault loses the message. FIFO order is guaranteed: deliveries happen in
+// Send order.
 func (l *Link) Send(bytes int, deliver func()) bool {
+	return l.SendEx(bytes, deliver) == SendAccepted
+}
+
+// SendEx is Send with a distinguishable outcome, so callers can tell a
+// queue-overflow drop from an injected wire fault.
+func (l *Link) SendEx(bytes int, deliver func()) SendOutcome {
 	if l.cfg.QueueLimit > 0 && l.queued >= l.cfg.QueueLimit {
 		l.dropped++
-		return false
+		return SendQueueDrop
 	}
 	now := l.eng.Now()
 	latency := l.cfg.Latency
@@ -79,7 +102,7 @@ func (l *Link) Send(bytes int, deliver func()) bool {
 			// Lost on the wire: the message occupies no queue slot and no
 			// serialization time, and the receiver never hears of it.
 			l.faultDropped++
-			return false
+			return SendFaultDrop
 		}
 		latency += extra
 	}
@@ -103,7 +126,7 @@ func (l *Link) Send(bytes int, deliver func()) bool {
 			deliver()
 		})
 	})
-	return true
+	return SendAccepted
 }
 
 // serialization returns how long a message of the given size occupies the

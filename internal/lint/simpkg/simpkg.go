@@ -17,6 +17,7 @@ import "strings"
 // parsing a config and emitting a latency number.
 var simSegments = map[string]bool{
 	"sim":        true,
+	"attr":       true,
 	"queue":      true,
 	"nicmodel":   true,
 	"cores":      true,

@@ -72,8 +72,16 @@ type Function struct {
 	// onRx fires after a frame lands in the RX ring (consumers poll, but
 	// the simulation needs a wake-up edge for idle consumers).
 	onRx func()
+	// onDeliver fires just before onRx with the frame that landed —
+	// observability layers timestamp per-frame arrival here. Nil (the
+	// default) costs nothing.
+	onDeliver func(Frame)
 	// onDrop fires when a frame is lost to a full RX ring.
 	onDrop func(Frame)
+	// onWireDrop fires when an injected fabric fault loses a frame on
+	// this function's delivery link — the only place the lost frame's
+	// identity is still known (the link itself counts bytes, not frames).
+	onWireDrop func(Frame)
 
 	ringDrops uint64
 	received  uint64
@@ -128,7 +136,7 @@ func (n *NIC) Send(f Frame) bool {
 		return false
 	}
 	n.steered++
-	target.deliver.Send(f.Bytes, func() {
+	outcome := target.deliver.SendEx(f.Bytes, func() {
 		if !target.rx.Push(f) {
 			target.ringDrops++
 			if target.onDrop != nil {
@@ -137,11 +145,17 @@ func (n *NIC) Send(f Frame) bool {
 			return
 		}
 		target.received++
+		if target.onDeliver != nil {
+			target.onDeliver(f)
+		}
 		if target.onRx != nil {
 			target.onRx()
 		}
 	})
-	return true
+	if outcome == fabric.SendFaultDrop && target.onWireDrop != nil {
+		target.onWireDrop(f)
+	}
+	return outcome == fabric.SendAccepted
 }
 
 // Steered returns the number of frames accepted for steering.
@@ -162,8 +176,16 @@ func (f *Function) Name() string { return f.name }
 // OnRx registers the wake-up callback invoked after each delivery.
 func (f *Function) OnRx(fn func()) { f.onRx = fn }
 
+// OnDeliver registers a per-frame delivery callback, invoked after a frame
+// lands in the RX ring and before the OnRx wake-up edge.
+func (f *Function) OnDeliver(fn func(Frame)) { f.onDeliver = fn }
+
 // OnDrop registers the callback invoked when the RX ring rejects a frame.
 func (f *Function) OnDrop(fn func(Frame)) { f.onDrop = fn }
+
+// OnWireDrop registers the callback invoked when an injected fabric fault
+// loses a frame destined for this function.
+func (f *Function) OnWireDrop(fn func(Frame)) { f.onWireDrop = fn }
 
 // Poll removes the oldest frame from the RX ring.
 func (f *Function) Poll() (Frame, bool) { return f.rx.Pop() }

@@ -77,6 +77,15 @@ func (q *FIFO[T]) Peek() (v T, ok bool) {
 	return q.items[q.head], true
 }
 
+// Do calls fn for each queued item, head first, without removing any —
+// ground-truth backlog scans (the attribution layer's decision audit)
+// read per-core queues this way.
+func (q *FIFO[T]) Do(fn func(T)) {
+	for i := q.head; i < len(q.items); i++ {
+		fn(q.items[i])
+	}
+}
+
 // PopTail removes and returns the tail — used by work-stealing baselines
 // (ZygOS steals from the far end of a sibling's queue).
 func (q *FIFO[T]) PopTail() (v T, ok bool) {

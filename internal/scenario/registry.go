@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"mindgap/internal/attr"
 	"mindgap/internal/core"
 	"mindgap/internal/params"
 	"mindgap/internal/sim"
@@ -30,6 +31,10 @@ type Options struct {
 	// Metrics, when non-nil, wires component probes into the registry.
 	// Only systems that support telemetry accept it.
 	Metrics *telemetry.Registry
+	// Attr, when non-nil, attaches the latency-attribution collector:
+	// per-request phase decomposition plus a ground-truth decision audit.
+	// Only systems whose builders declare Attributable accept it.
+	Attr *attr.Collector
 }
 
 func (o Options) params() params.Params {
@@ -55,6 +60,11 @@ type Builder struct {
 	// can stretch, drop, retry, and degrade. Systems without the machinery
 	// refuse faulted specs instead of silently simulating healthy hardware.
 	Faultable bool
+	// Attributable marks systems wired with latency-attribution hooks:
+	// they accept Options.Attr / Spec.Attribution and feed the collector
+	// phase marks and dispatch audits. Others refuse, instead of silently
+	// returning empty waterfalls.
+	Attributable bool
 	// Build assembles the factory from the validated spec (knobs have
 	// passed checkKnobs; faulted specs have passed the fault gate).
 	Build func(o Options, sp Spec) (Factory, error)
@@ -147,6 +157,9 @@ func BuildWith(sp Spec, o Options) (Factory, error) {
 	if (o.Tracer != nil || o.Metrics != nil || sp.Trace || sp.Telemetry) && !b.Observable {
 		return nil, fmt.Errorf("scenario: system %q does not support tracing/telemetry", sp.System)
 	}
+	if (o.Attr != nil || sp.Attribution) && !b.Attributable {
+		return nil, fmt.Errorf("scenario: system %q does not support latency attribution", sp.System)
+	}
 	if sp.Faults != nil {
 		if sp.Faults.Empty() {
 			return nil, fmt.Errorf("scenario: %s: faults block present but empty — drop it for a healthy system", sp.System)
@@ -187,15 +200,17 @@ func ParsePolicy(s string) (core.Policy, error) {
 // Flow Director differ only in steering and stealing).
 func rtcBuilder(name, doc string, cfg func(k Knobs) rtc.Config) Builder {
 	return Builder{
-		Name:  name,
-		Doc:   doc,
-		Knobs: []string{"workers", "queue_cap"},
+		Name:         name,
+		Doc:          doc,
+		Knobs:        []string{"workers", "queue_cap"},
+		Attributable: true,
 		Build: func(o Options, sp Spec) (Factory, error) {
 			k := sp.KnobsOrZero()
 			c := cfg(k)
 			c.P = o.params()
 			c.Workers = k.Workers
 			c.QueueCap = k.QueueCap
+			c.Attr = o.Attr
 			return func(eng *sim.Engine, rec *stats.Recorder, done func(*task.Request)) System {
 				return rtc.New(eng, c, rec, done)
 			}, nil
@@ -209,8 +224,9 @@ func init() {
 		Doc:  "Shinjuku-Offload: the paper's informed NIC-resident scheduler (§3)",
 		Knobs: []string{"workers", "outstanding", "slice", "policy", "load_feedback",
 			"dispatch_burst", "ddio_to_l1", "admission_limit", "affinity"},
-		Observable: true,
-		Faultable:  true,
+		Observable:   true,
+		Faultable:    true,
+		Attributable: true,
 		Build: func(o Options, sp Spec) (Factory, error) {
 			k := sp.KnobsOrZero()
 			pol, err := ParsePolicy(k.Policy)
@@ -232,6 +248,7 @@ func init() {
 				AdmissionLimit: k.AdmissionLimit,
 				Affinity:       k.Affinity,
 				Tracer:         o.Tracer,
+				Attr:           o.Attr,
 				Metrics:        o.Metrics,
 			}
 			if sp.Faults != nil {
@@ -249,9 +266,10 @@ func init() {
 	})
 
 	Register(Builder{
-		Name:  "shinjuku",
-		Doc:   "vanilla Shinjuku: host-core networker + dispatcher baseline (§2.1)",
-		Knobs: []string{"workers", "outstanding", "slice", "policy", "sockets"},
+		Name:         "shinjuku",
+		Doc:          "vanilla Shinjuku: host-core networker + dispatcher baseline (§2.1)",
+		Knobs:        []string{"workers", "outstanding", "slice", "policy", "sockets"},
+		Attributable: true,
 		Build: func(o Options, sp Spec) (Factory, error) {
 			k := sp.KnobsOrZero()
 			pol, err := ParsePolicy(k.Policy)
@@ -265,6 +283,7 @@ func init() {
 				Outstanding: k.Outstanding,
 				Policy:      pol,
 				Sockets:     k.Sockets,
+				Attr:        o.Attr,
 			}
 			return func(eng *sim.Engine, rec *stats.Recorder, done func(*task.Request)) System {
 				return shinjuku.New(eng, cfg, rec, done)

@@ -236,6 +236,14 @@ type Spec struct {
 	// are only honored by systems that support them.
 	Telemetry bool `json:"telemetry,omitempty"`
 	Trace     bool `json:"trace,omitempty"`
+	// Attribution asks the run to attach a latency-attribution collector:
+	// per-request phase decomposition (ingress / nic-queue / fabric /
+	// host-queue / service / preemption overhead) plus a ground-truth
+	// audit of every dispatch decision. Only systems whose builders
+	// declare Attributable accept it. Absent (false), the field is
+	// omitted from the canonical encoding, so pre-attribution specs keep
+	// their fingerprints.
+	Attribution bool `json:"attribution,omitempty"`
 	// Faults optionally attaches a deterministic fault schedule (NIC
 	// ARM-core crash/slowdown windows, fabric loss/latency bursts, host
 	// worker stalls) plus the timeout/retry/degradation policy. Only
@@ -331,6 +339,9 @@ func (s Spec) Validate() error {
 		if _, err := dist.Parse(s.Workload); err != nil {
 			return fmt.Errorf("scenario: spec %q: %w", s.System, err)
 		}
+	}
+	if s.Attribution && !b.Attributable {
+		return fmt.Errorf("scenario: system %q does not support latency attribution", s.System)
 	}
 	if s.Keys != nil && (s.Keys.N <= 0 || s.Keys.Skew < 0) {
 		return fmt.Errorf("scenario: keys need n > 0 and skew >= 0 (got n=%d skew=%g)", s.Keys.N, s.Keys.Skew)

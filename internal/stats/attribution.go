@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"fmt"
+	"time"
+)
+
+// Waterfall aggregates per-request latency decompositions: one histogram
+// for the end-to-end latency plus one per causal phase, recorded together
+// so per-phase shares of the total are well-defined. The phase vector of
+// every observation must partition its total exactly (the attribution
+// layer guarantees this by construction), which keeps share arithmetic
+// honest: phase means sum to the total mean.
+//
+// The zero value is unusable; use NewWaterfall. Not safe for concurrent
+// use — each simulation run owns its own Waterfall.
+type Waterfall struct {
+	total  Histogram
+	phases []Histogram
+}
+
+// NewWaterfall creates an aggregator for the given number of phases.
+func NewWaterfall(phases int) *Waterfall {
+	if phases <= 0 {
+		panic("stats: waterfall needs at least one phase")
+	}
+	return &Waterfall{phases: make([]Histogram, phases)}
+}
+
+// Phases returns the number of phases.
+func (w *Waterfall) Phases() int { return len(w.phases) }
+
+// Record adds one request: its end-to-end latency and the per-phase
+// decomposition. len(parts) must equal Phases().
+func (w *Waterfall) Record(total time.Duration, parts []time.Duration) {
+	if len(parts) != len(w.phases) {
+		panic(fmt.Sprintf("stats: waterfall expects %d phases, got %d", len(w.phases), len(parts)))
+	}
+	w.total.Record(total)
+	for i, d := range parts {
+		w.phases[i].Record(d)
+	}
+}
+
+// Count returns the number of recorded requests.
+func (w *Waterfall) Count() int64 { return w.total.Count() }
+
+// Total returns the end-to-end latency histogram.
+func (w *Waterfall) Total() *Histogram { return &w.total }
+
+// Phase returns phase i's duration histogram.
+func (w *Waterfall) Phase(i int) *Histogram { return &w.phases[i] }
+
+// MeanShare returns phase i's share of the total latency mass: the sum of
+// phase-i time across all requests divided by the sum of end-to-end
+// latency. It returns 0 when nothing was recorded.
+func (w *Waterfall) MeanShare(i int) float64 {
+	if w.total.sum <= 0 {
+		return 0
+	}
+	return w.phases[i].sum / w.total.sum
+}
+
+// Merge adds all of o's observations into w. Phase counts must match.
+func (w *Waterfall) Merge(o *Waterfall) {
+	if o == nil {
+		return
+	}
+	if len(o.phases) != len(w.phases) {
+		panic("stats: merging waterfalls with different phase counts")
+	}
+	w.total.Merge(&o.total)
+	for i := range w.phases {
+		w.phases[i].Merge(&o.phases[i])
+	}
+}
+
+// Reset forgets all observations.
+func (w *Waterfall) Reset() {
+	w.total.Reset()
+	for i := range w.phases {
+		w.phases[i].Reset()
+	}
+}

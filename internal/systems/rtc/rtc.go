@@ -17,6 +17,7 @@ package rtc
 import (
 	"fmt"
 
+	"mindgap/internal/attr"
 	"mindgap/internal/cores"
 	"mindgap/internal/fabric"
 	"mindgap/internal/params"
@@ -24,6 +25,7 @@ import (
 	"mindgap/internal/sim"
 	"mindgap/internal/stats"
 	"mindgap/internal/task"
+	"mindgap/internal/trace"
 )
 
 // Steering selects how the NIC maps an arriving request to a core.
@@ -52,6 +54,10 @@ type Config struct {
 	QueueCap int
 	// NameOverride replaces the derived system name.
 	NameOverride string
+	// Attr, when set, receives per-request phase decompositions and a
+	// ground-truth audit of every steering decision; nil leaves every
+	// hook off and the event sequence untouched.
+	Attr *attr.Collector
 }
 
 // Pool is the simulated run-to-completion system.
@@ -60,6 +66,7 @@ type Pool struct {
 	cfg  Config
 	rec  *stats.Recorder
 	done func(*task.Request)
+	attr *attr.Collector
 
 	ingress *fabric.Link
 	egress  *fabric.Link
@@ -86,7 +93,7 @@ func New(eng *sim.Engine, cfg Config, rec *stats.Recorder, done func(*task.Reque
 		panic("rtc: need a completion callback")
 	}
 	p := cfg.P
-	s := &Pool{eng: eng, cfg: cfg, rec: rec, done: done}
+	s := &Pool{eng: eng, cfg: cfg, rec: rec, done: done, attr: cfg.Attr}
 	s.ingress = fabric.NewLink(eng, "client→nic", fabric.LinkConfig{
 		Latency: p.ClientWireOneWay, BandwidthBps: p.WireBandwidth,
 	})
@@ -124,7 +131,33 @@ func (s *Pool) Name() string {
 
 // Inject admits a client request at the current instant.
 func (s *Pool) Inject(req *task.Request) {
+	s.attr.Arrive(s.eng.Now(), req.ID, req.Service)
 	s.ingress.Send(s.cfg.P.RequestFrameBytes, func() { s.steer(req) })
+}
+
+// trueLoad returns the worker's resident backlog in ns — remaining work
+// executing plus remaining work queued — the decision audit's ground
+// truth.
+func (w *worker) trueLoad() int64 {
+	var load int64
+	if cur := w.exec.Current(); cur != nil {
+		load += int64(cur.Remaining)
+	}
+	w.q.Do(func(r *task.Request) { load += int64(r.Remaining) })
+	return load
+}
+
+// auditSteer presents one steering decision to the attribution layer.
+// Hash steering is uninformed by construction: the NIC holds no belief
+// about core backlogs, so the audit measures how often blind placement
+// lands on a busy core while an idle one waits — the load imbalance of
+// §2.2 stated as a mis-dispatch rate.
+func (s *Pool) auditSteer(now sim.Time, req *task.Request, chosen int) {
+	truth := s.attr.TruthScratch(len(s.workers))
+	for i, w := range s.workers {
+		truth[i] = w.trueLoad()
+	}
+	s.attr.Audit(attr.Decision{At: now, ReqID: req.ID, Chosen: chosen, Truth: truth})
 }
 
 // steer implements the NIC steering function.
@@ -139,12 +172,24 @@ func (s *Pool) steer(req *task.Request) {
 		// 5-tuple.
 		w = int(splitmix64(req.ID^uint64(req.ClientID)<<32) % uint64(len(s.workers)))
 	}
+	now := s.eng.Now()
 	target := s.workers[w]
 	if s.cfg.QueueCap > 0 && target.q.Len() >= s.cfg.QueueCap {
 		if s.rec != nil {
 			s.rec.RecordDrop()
 		}
+		s.attr.Drop(now, req.ID, trace.DropQueueCap)
 		return
+	}
+	// Steering collapses ingress-processing, dispatch and the NIC→core
+	// DMA into one instant: the request's wait from here to Start is pure
+	// host-queue time, which is where run-to-completion tails live.
+	if s.attr != nil {
+		s.attr.Ingress(now, req.ID)
+		s.attr.Enqueue(now, req.ID)
+		s.attr.Dispatch(now, req.ID)
+		s.auditSteer(now, req, w)
+		s.attr.HostArrive(now, req.ID)
 	}
 	target.q.Push(req)
 	target.maybeStart()
@@ -196,15 +241,20 @@ func (w *worker) maybeStart() {
 }
 
 func (s *Pool) begin(w *worker, req *task.Request) {
+	s.attr.Start(s.eng.Now(), req.ID)
 	w.exec.Start(req)
 }
 
 func (w *worker) onComplete(req *task.Request) {
 	p := w.sys.cfg.P
 	sys := w.sys
+	sys.attr.Complete(sys.eng.Now(), req.ID)
 	w.post = true
 	sys.eng.After(p.WorkerResponseCost, func() {
-		sys.egress.Send(p.ResponseFrameBytes, func() { sys.done(req) })
+		sys.egress.Send(p.ResponseFrameBytes, func() {
+			sys.attr.Respond(sys.eng.Now(), req.ID)
+			sys.done(req)
+		})
 		w.post = false
 		w.maybeStart()
 		if sys.cfg.WorkStealing && !w.exec.Busy() && !w.starting && w.q.Len() == 0 {

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"time"
 
+	"mindgap/internal/attr"
 	"mindgap/internal/core"
 	"mindgap/internal/cores"
 	"mindgap/internal/fabric"
@@ -48,6 +49,10 @@ type Config struct {
 	// picks workers with no knowledge of packet placement. 0 or 1 means a
 	// single socket.
 	Sockets int
+	// Attr, when set, receives per-request phase decompositions and a
+	// ground-truth audit of every dispatch decision; nil leaves every hook
+	// off and the event sequence untouched.
+	Attr *attr.Collector
 }
 
 // dEventKind tags dispatcher inputs.
@@ -79,6 +84,7 @@ type Shinjuku struct {
 	lgc  *core.Logic
 	rec  *stats.Recorder
 	done func(*task.Request)
+	attr *attr.Collector
 
 	ingress    *fabric.Link
 	egress     *fabric.Link
@@ -125,6 +131,7 @@ func New(eng *sim.Engine, cfg Config, rec *stats.Recorder, done func(*task.Reque
 		lgc:  core.NewLogic(cfg.Workers, cfg.Outstanding, cfg.Policy),
 		rec:  rec,
 		done: done,
+		attr: cfg.Attr,
 	}
 	s.ingress = fabric.NewLink(eng, "client→nic", fabric.LinkConfig{
 		Latency: p.ClientWireOneWay, BandwidthBps: p.WireBandwidth,
@@ -178,7 +185,39 @@ func (s *Shinjuku) Name() string { return "shinjuku" }
 
 // Inject admits a client request at the current instant.
 func (s *Shinjuku) Inject(req *task.Request) {
-	s.ingress.Send(s.cfg.P.RequestFrameBytes, func() { s.networker.Submit(req) })
+	s.attr.Arrive(s.eng.Now(), req.ID, req.Service)
+	s.ingress.Send(s.cfg.P.RequestFrameBytes, func() {
+		s.attr.Ingress(s.eng.Now(), req.ID)
+		s.networker.Submit(req)
+	})
+}
+
+// trueLoad returns the worker's resident backlog in ns — remaining work
+// executing plus remaining work stashed — the decision audit's ground
+// truth.
+func (w *worker) trueLoad() int64 {
+	var load int64
+	if cur := w.exec.Current(); cur != nil {
+		load += int64(cur.Remaining)
+	}
+	for _, r := range w.stash {
+		load += int64(r.Remaining)
+	}
+	return load
+}
+
+// auditDispatch presents one dispatch decision to the attribution layer.
+// Vanilla Shinjuku's dispatcher reads worker state over cache lines, so
+// its view is far fresher than a NIC's — the audit quantifies exactly how
+// much fresher.
+func (s *Shinjuku) auditDispatch(now sim.Time, a core.Assignment) {
+	truth := s.attr.TruthScratch(len(s.workers))
+	for i, w := range s.workers {
+		truth[i] = w.trueLoad()
+	}
+	d := attr.Decision{At: now, ReqID: a.Req.ID, Chosen: a.Worker, Truth: truth}
+	d.Estimate, d.EstimateAge, d.Informed = s.lgc.EstimateFor(now, a.Worker)
+	s.attr.Audit(d)
 }
 
 func (s *Shinjuku) handleDispatcherEvent(ev dEvent) {
@@ -186,14 +225,20 @@ func (s *Shinjuku) handleDispatcherEvent(ev dEvent) {
 	now := s.eng.Now()
 	switch ev.kind {
 	case evNew:
+		s.attr.Enqueue(now, ev.req.ID)
 		as = s.lgc.Enqueue(now, ev.req)
 	case evFinish:
 		as = s.lgc.Complete(ev.worker)
 	case evPreempted:
+		s.attr.Enqueue(now, ev.req.ID)
 		as = s.lgc.Preempted(now, ev.worker, ev.req)
 	}
 	for _, a := range as {
 		a := a
+		if s.attr != nil {
+			s.attr.Dispatch(now, a.Req.ID)
+			s.auditDispatch(now, a)
+		}
 		w := s.workers[a.Worker]
 		w.fromDisp.Send(0, func() { w.receive(a.Req) })
 	}
@@ -225,6 +270,7 @@ func (w *worker) socket() int {
 
 // receive accepts an assignment on the worker core.
 func (w *worker) receive(req *task.Request) {
+	w.sys.attr.HostArrive(w.sys.eng.Now(), req.ID)
 	w.stash = append(w.stash, req)
 	w.maybeStart()
 }
@@ -247,6 +293,7 @@ func (w *worker) maybeStart() {
 		}
 		req := w.stash[0]
 		w.stash = w.stash[1:]
+		w.sys.attr.Start(w.sys.eng.Now(), req.ID)
 		w.exec.Start(req)
 		if w.sys.cfg.Slice > 0 && req.Remaining > w.sys.cfg.Slice {
 			w.sys.armSlice(w, req)
@@ -257,9 +304,13 @@ func (w *worker) maybeStart() {
 func (w *worker) onComplete(req *task.Request) {
 	p := w.sys.cfg.P
 	sys := w.sys
+	sys.attr.Complete(sys.eng.Now(), req.ID)
 	w.post = true
 	sys.eng.After(p.WorkerResponseCost, func() {
-		sys.egress.Send(p.ResponseFrameBytes, func() { sys.done(req) })
+		sys.egress.Send(p.ResponseFrameBytes, func() {
+			sys.attr.Respond(sys.eng.Now(), req.ID)
+			sys.done(req)
+		})
 		// Completion flag is a cache-line write: effectively free for the
 		// worker compared to packet construction.
 		w.toDisp.Send(0, func() {
@@ -272,6 +323,7 @@ func (w *worker) onComplete(req *task.Request) {
 
 func (w *worker) onPreempt(req *task.Request) {
 	sys := w.sys
+	sys.attr.Preempt(sys.eng.Now(), req.ID)
 	if sys.rec != nil {
 		sys.rec.RecordPreemption()
 	}

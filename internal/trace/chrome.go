@@ -97,7 +97,11 @@ func ChromeTraceEvents(b *Buffer) []ChromeEvent {
 					events = append(events, async("b", e.At, reqName))
 					started = true
 				}
-				events = append(events, async("n", e.At, e.Kind.String()))
+				inst := async("n", e.At, e.Kind.String())
+				if e.Kind == Drop && e.Reason != DropUnspecified {
+					inst.Args = map[string]any{"reason": e.Reason.String()}
+				}
+				events = append(events, inst)
 			case Start:
 				e := e
 				openStart = &e
@@ -132,19 +136,29 @@ func metaEvent(name string, pid, tid int, value string) ChromeEvent {
 // WriteChrome serializes the buffer as Chrome trace-event JSON, ready for
 // ui.perfetto.dev or chrome://tracing.
 func WriteChrome(w io.Writer, b *Buffer) error {
+	return WriteChromeWith(w, b, nil)
+}
+
+// WriteChromeWith serializes the buffer plus pre-built extra events —
+// the attribution layer appends per-phase slice tracks and decision-audit
+// counter tracks this way without the trace package knowing about them.
+func WriteChromeWith(w io.Writer, b *Buffer, extra []ChromeEvent) error {
 	enc := json.NewEncoder(w)
 	return enc.Encode(ChromeTrace{
-		TraceEvents:     ChromeTraceEvents(b),
+		TraceEvents:     append(ChromeTraceEvents(b), extra...),
 		DisplayTimeUnit: "ns",
 	})
 }
 
-// jsonEvent is the raw-export schema of one lifecycle event.
+// jsonEvent is the raw-export schema of one lifecycle event. Reason is
+// omitted when unset, so traces without drop reasons serialize exactly as
+// they did before reasons existed.
 type jsonEvent struct {
 	AtNS   int64  `json:"at_ns"`
 	Kind   string `json:"kind"`
 	ReqID  uint64 `json:"req"`
 	Worker int    `json:"worker"`
+	Reason string `json:"reason,omitempty"`
 }
 
 // WriteJSON serializes the raw event stream as a JSON array in record
@@ -154,6 +168,7 @@ func WriteJSON(w io.Writer, b *Buffer) error {
 	for _, e := range b.Events() {
 		out = append(out, jsonEvent{
 			AtNS: int64(e.At), Kind: e.Kind.String(), ReqID: e.ReqID, Worker: e.Worker,
+			Reason: e.Reason.String(),
 		})
 	}
 	enc := json.NewEncoder(w)

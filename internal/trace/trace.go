@@ -55,20 +55,71 @@ func (k Kind) String() string {
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
 
+// DropReason classifies why a request was dropped. The zero value means
+// "unspecified" and keeps events recorded through Record byte-identical
+// to traces taken before reasons existed.
+type DropReason uint8
+
+const (
+	// DropUnspecified is the zero value: no reason was recorded.
+	DropUnspecified DropReason = iota
+	// DropShed: NIC-side admission control rejected the arrival (policy).
+	DropShed
+	// DropQueueCap: a bounded per-core queue was full (policy).
+	DropQueueCap
+	// DropTimeout: the dispatch timeout machinery exhausted its retry
+	// budget — the request was lost to an injected fault and abandoned.
+	DropTimeout
+	// DropWireFault: the frame carrying the request was lost to an
+	// injected fabric fault (fabric.Link's faultDropped path) with no
+	// retry machinery guarding it — a permanent fault loss.
+	DropWireFault
+	// DropRingOverflow: the frame arrived at a full RX descriptor ring
+	// while no credit scheme protected it (degraded steering).
+	DropRingOverflow
+	dropReasonCount
+)
+
+// DropReasonCount is the number of distinct drop reasons (array sizing).
+const DropReasonCount = int(dropReasonCount)
+
+var dropReasonNames = [...]string{
+	"", "shed", "queue-cap", "timeout", "wire-fault", "ring-overflow",
+}
+
+// String returns the reason name ("" for DropUnspecified).
+func (r DropReason) String() string {
+	if int(r) < len(dropReasonNames) {
+		return dropReasonNames[r]
+	}
+	return fmt.Sprintf("reason(%d)", uint8(r))
+}
+
+// PolicyDrop reports whether the reason is a deliberate scheduling
+// decision (shed, queue cap) rather than an injected-fault loss.
+func (r DropReason) PolicyDrop() bool { return r == DropShed || r == DropQueueCap }
+
 // Event is one recorded lifecycle step.
 type Event struct {
 	At     sim.Time
 	Kind   Kind
 	ReqID  uint64
 	Worker int // meaningful for Dispatch/Start/Preempt/Complete; else -1
+	// Reason is set on Drop events recorded through RecordDrop; zero
+	// everywhere else.
+	Reason DropReason
 }
 
 // String renders the event compactly.
 func (e Event) String() string {
-	if e.Worker >= 0 {
-		return fmt.Sprintf("%v %s req=%d w=%d", e.At, e.Kind, e.ReqID, e.Worker)
+	var suffix string
+	if e.Kind == Drop && e.Reason != DropUnspecified {
+		suffix = " reason=" + e.Reason.String()
 	}
-	return fmt.Sprintf("%v %s req=%d", e.At, e.Kind, e.ReqID)
+	if e.Worker >= 0 {
+		return fmt.Sprintf("%v %s req=%d w=%d%s", e.At, e.Kind, e.ReqID, e.Worker, suffix)
+	}
+	return fmt.Sprintf("%v %s req=%d%s", e.At, e.Kind, e.ReqID, suffix)
 }
 
 // Buffer accumulates events up to a capacity; once full, further events
@@ -96,6 +147,17 @@ func (b *Buffer) Record(at sim.Time, kind Kind, reqID uint64, worker int) {
 		return
 	}
 	b.events = append(b.events, Event{At: at, Kind: kind, ReqID: reqID, Worker: worker})
+}
+
+// RecordDrop appends a Drop event carrying the reason the request was
+// lost, so attribution can distinguish policy drops (shed, queue cap)
+// from injected-fault losses.
+func (b *Buffer) RecordDrop(at sim.Time, reqID uint64, worker int, reason DropReason) {
+	if len(b.events) >= b.max {
+		b.dropped++
+		return
+	}
+	b.events = append(b.events, Event{At: at, Kind: Drop, ReqID: reqID, Worker: worker, Reason: reason})
 }
 
 // Len returns the number of stored events.

@@ -55,25 +55,25 @@ func TestValidateCatchesViolations(t *testing.T) {
 		events []Event
 	}{
 		{"complete without start", []Event{
-			{0, Arrive, 1, -1}, {5, Complete, 1, 0},
+			{At: 0, Kind: Arrive, ReqID: 1, Worker: -1}, {At: 5, Kind: Complete, ReqID: 1, Worker: 0},
 		}},
 		{"respond before complete", []Event{
-			{0, Arrive, 1, -1}, {1, Dispatch, 1, 0}, {2, Start, 1, 0}, {3, Respond, 1, -1},
+			{At: 0, Kind: Arrive, ReqID: 1, Worker: -1}, {At: 1, Kind: Dispatch, ReqID: 1, Worker: 0}, {At: 2, Kind: Start, ReqID: 1, Worker: 0}, {At: 3, Kind: Respond, ReqID: 1, Worker: -1},
 		}},
 		{"double completion", []Event{
-			{0, Dispatch, 1, 0}, {1, Start, 1, 0}, {2, Complete, 1, 0}, {3, Complete, 1, 0},
+			{At: 0, Kind: Dispatch, ReqID: 1, Worker: 0}, {At: 1, Kind: Start, ReqID: 1, Worker: 0}, {At: 2, Kind: Complete, ReqID: 1, Worker: 0}, {At: 3, Kind: Complete, ReqID: 1, Worker: 0},
 		}},
 		{"start without dispatch", []Event{
-			{0, Arrive, 1, -1}, {1, Start, 1, 0},
+			{At: 0, Kind: Arrive, ReqID: 1, Worker: -1}, {At: 1, Kind: Start, ReqID: 1, Worker: 0},
 		}},
 		{"preempt before start", []Event{
-			{0, Dispatch, 1, 0}, {1, Preempt, 1, 0},
+			{At: 0, Kind: Dispatch, ReqID: 1, Worker: 0}, {At: 1, Kind: Preempt, ReqID: 1, Worker: 0},
 		}},
 		{"drop after complete", []Event{
-			{0, Dispatch, 1, 0}, {1, Start, 1, 0}, {2, Complete, 1, 0}, {3, Drop, 1, -1},
+			{At: 0, Kind: Dispatch, ReqID: 1, Worker: 0}, {At: 1, Kind: Start, ReqID: 1, Worker: 0}, {At: 2, Kind: Complete, ReqID: 1, Worker: 0}, {At: 3, Kind: Drop, ReqID: 1, Worker: -1},
 		}},
 		{"arrive mid-trace", []Event{
-			{0, Dispatch, 1, 0}, {1, Arrive, 1, -1},
+			{At: 0, Kind: Dispatch, ReqID: 1, Worker: 0}, {At: 1, Kind: Arrive, ReqID: 1, Worker: -1},
 		}},
 	}
 	for _, tc := range cases {
@@ -97,10 +97,10 @@ func TestValidateUnknownRequest(t *testing.T) {
 func TestPreemptionCycleIsLegal(t *testing.T) {
 	b := New(100)
 	steps := []Event{
-		{0, Arrive, 1, -1}, {1, Enqueue, 1, -1},
-		{2, Dispatch, 1, 0}, {3, Start, 1, 0}, {13, Preempt, 1, 0},
-		{14, Enqueue, 1, -1}, {15, Dispatch, 1, 1}, {16, Start, 1, 1},
-		{20, Complete, 1, 1}, {22, Respond, 1, -1},
+		{At: 0, Kind: Arrive, ReqID: 1, Worker: -1}, {At: 1, Kind: Enqueue, ReqID: 1, Worker: -1},
+		{At: 2, Kind: Dispatch, ReqID: 1, Worker: 0}, {At: 3, Kind: Start, ReqID: 1, Worker: 0}, {At: 13, Kind: Preempt, ReqID: 1, Worker: 0},
+		{At: 14, Kind: Enqueue, ReqID: 1, Worker: -1}, {At: 15, Kind: Dispatch, ReqID: 1, Worker: 1}, {At: 16, Kind: Start, ReqID: 1, Worker: 1},
+		{At: 20, Kind: Complete, ReqID: 1, Worker: 1}, {At: 22, Kind: Respond, ReqID: 1, Worker: -1},
 	}
 	for _, e := range steps {
 		b.Record(e.At, e.Kind, e.ReqID, e.Worker)
