@@ -306,6 +306,80 @@ func BenchmarkAttributionOverhead(b *testing.B) {
 	}
 }
 
+// engineBenchDelays spreads re-arm deadlines across the timing wheel's
+// levels — immediate, near (level 0), mid-level, and far enough to land
+// in upper levels and, at the top, the overflow heap.
+var engineBenchDelays = [...]time.Duration{
+	0,
+	200 * time.Nanosecond,
+	3 * time.Microsecond,
+	50 * time.Microsecond,
+	800 * time.Microsecond,
+	12 * time.Millisecond,
+}
+
+// engineBenchChain is one self-rescheduling event chain; left is shared
+// across chains so the run fires exactly b.N events.
+type engineBenchChain struct {
+	eng  *sim.Engine
+	left *int
+	i    int
+}
+
+func engineBenchFire(recv, _ any, _ uint64) {
+	c := recv.(*engineBenchChain)
+	if *c.left <= 0 {
+		return
+	}
+	*c.left--
+	d := engineBenchDelays[c.i%len(engineBenchDelays)]
+	c.i++
+	c.eng.AfterE(d, engineBenchFire, c, nil, 0)
+}
+
+// BenchmarkEngineSchedule measures the raw event engine: the cost of one
+// schedule+fire cycle through the hierarchical timing wheel, with 64
+// concurrent chains whose deadlines rotate across wheel levels. allocs/op
+// is allocations per event — near zero once the wheel and free list are
+// warm. Tracked by cmd/mindgap-perf against BENCH.json.
+func BenchmarkEngineSchedule(b *testing.B) {
+	eng := sim.New()
+	left := b.N
+	chains := 64
+	if chains > b.N {
+		chains = b.N
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for c := 0; c < chains; c++ {
+		ch := &engineBenchChain{eng: eng, left: &left, i: c}
+		left--
+		eng.AfterE(engineBenchDelays[c%len(engineBenchDelays)], engineBenchFire, ch, nil, 0)
+	}
+	eng.Run()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkRequestPool measures the request pool's steady-state recycle
+// path with a rolling window of live requests (mimicking in-flight
+// turnover): every Get after warm-up is a free-list pop, so allocs/op
+// must be ~0. Tracked by cmd/mindgap-perf against BENCH.json.
+func BenchmarkRequestPool(b *testing.B) {
+	var pool task.Pool
+	const window = 256
+	ring := make([]*task.Request, window)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slot := i % window
+		if r := ring[slot]; r != nil {
+			pool.Put(r)
+		}
+		ring[slot] = pool.Get(uint64(i), sim.Time(i), time.Microsecond)
+	}
+	b.ReportMetric(float64(pool.HighWater()), "live_highwater")
+}
+
 // BenchmarkSimulatorEventRate measures raw simulator throughput: simulated
 // request completions per wall second on the Figure 2 configuration.
 func BenchmarkSimulatorEventRate(b *testing.B) {

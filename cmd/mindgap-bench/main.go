@@ -30,6 +30,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"mindgap/internal/experiment"
@@ -52,8 +53,41 @@ func main() {
 		cacheDir = flag.String("cache", "", "directory for the on-disk result cache (empty = no caching)")
 		progress = flag.Bool("progress", false, "live point-completion progress on stderr")
 		list     = flag.Bool("list", false, "list figure/table ids and their scenario presets, then exit")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mindgap-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "mindgap-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	// main exits via os.Exit, so profiles are flushed explicitly, not by
+	// defers.
+	writeProfiles := func() {
+		if *cpuProf != "" {
+			pprof.StopCPUProfile()
+		}
+		if *memProf != "" {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mindgap-bench: %v\n", err)
+				return
+			}
+			runtime.GC() // flush recently-freed objects out of the heap profile
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "mindgap-bench: %v\n", err)
+			}
+			f.Close()
+		}
+	}
 
 	if *list {
 		fmt.Println("figures (-fig ID, scenario preset in scenarios/):")
@@ -318,5 +352,6 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mindgap-bench: cache %s: %d hits, %d misses\n",
 			rn.Cache.Dir(), hits, misses)
 	}
+	writeProfiles()
 	os.Exit(exitCode)
 }

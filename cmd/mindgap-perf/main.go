@@ -31,10 +31,14 @@ import (
 // trackedBenchmarks are the bench_test.go targets whose metrics form the
 // baseline. PointThroughput is the plain harness; AttributionOverhead is
 // the same point with the internal/attr collector attached, so its drift
-// bounds the observability layer's cost.
+// bounds the observability layer's cost; EngineSchedule and RequestPool
+// isolate the event engine's schedule+fire cycle and the request pool's
+// recycle path, the two hot-path primitives everything else rides on.
 var trackedBenchmarks = []string{
 	"BenchmarkPointThroughput",
 	"BenchmarkAttributionOverhead",
+	"BenchmarkEngineSchedule",
+	"BenchmarkRequestPool",
 }
 
 // trackedMetrics maps each compared unit to its regression direction:
@@ -45,6 +49,7 @@ var trackedBenchmarks = []string{
 var trackedMetrics = map[string]bool{
 	"points/sec": true,
 	"ns/request": false,
+	"events/sec": true,
 	"allocs/op":  false,
 }
 
@@ -67,10 +72,12 @@ func main() {
 		baseline  = flag.String("baseline", "BENCH.json", "baseline file to compare against (or write)")
 		tolerance = flag.Float64("tolerance", 0.20, "allowed fractional regression before failing")
 		benchtime = flag.String("benchtime", "1s", "passed through to go test -benchtime")
+		cpuProf   = flag.String("cpuprofile", "", "passed through to go test -cpuprofile (profiles the tracked benchmarks)")
+		memProf   = flag.String("memprofile", "", "passed through to go test -memprofile")
 	)
 	flag.Parse()
 
-	cur, env, err := runBenchmarks(*benchtime)
+	cur, env, err := runBenchmarks(*benchtime, *cpuProf, *memProf)
 	if err != nil {
 		log.Fatalf("mindgap-perf: %v", err)
 	}
@@ -153,7 +160,7 @@ func compare(base Baseline, cur map[string]map[string]float64, tol float64) bool
 // orderedUnits returns m's keys in the fixed tracked order so the report
 // (and failures) are stable run to run.
 func orderedUnits(m map[string]float64) []string {
-	order := []string{"points/sec", "ns/request", "allocs/op"}
+	order := []string{"points/sec", "ns/request", "events/sec", "allocs/op"}
 	var out []string
 	for _, u := range order {
 		if _, ok := m[u]; ok {
@@ -164,11 +171,21 @@ func orderedUnits(m map[string]float64) []string {
 }
 
 // runBenchmarks executes the tracked benchmarks once and parses every
-// reported metric, plus the goos/goarch/cpu header lines.
-func runBenchmarks(benchtime string) (map[string]map[string]float64, map[string]string, error) {
+// reported metric, plus the goos/goarch/cpu header lines. Non-empty
+// cpuProf/memProf paths are forwarded to go test, which writes the pprof
+// files (and the mindgap.test binary they reference) to the working
+// directory.
+func runBenchmarks(benchtime, cpuProf, memProf string) (map[string]map[string]float64, map[string]string, error) {
 	pattern := "^(" + strings.Join(trackedBenchmarks, "|") + ")$"
-	cmd := exec.Command("go", "test", "-run", "^$", "-bench", pattern,
-		"-benchmem", "-benchtime", benchtime, ".")
+	args := []string{"test", "-run", "^$", "-bench", pattern,
+		"-benchmem", "-benchtime", benchtime}
+	if cpuProf != "" {
+		args = append(args, "-cpuprofile", cpuProf)
+	}
+	if memProf != "" {
+		args = append(args, "-memprofile", memProf)
+	}
+	cmd := exec.Command("go", append(args, ".")...)
 	cmd.Stderr = os.Stderr
 	out, err := cmd.Output()
 	if err != nil {

@@ -138,17 +138,29 @@ func (l *Logic) Assigned() uint64 { return l.assigned }
 // Enqueue admits a new request at the tail of the central queue and returns
 // any assignment it enables (at most one).
 func (l *Logic) Enqueue(now sim.Time, req *task.Request) []Assignment {
+	return l.EnqueueTo(nil, now, req)
+}
+
+// EnqueueTo is Enqueue appending to a caller-provided slice, so a hot
+// caller can reuse one scratch buffer across events instead of allocating
+// a fresh assignment slice per input.
+func (l *Logic) EnqueueTo(out []Assignment, now sim.Time, req *task.Request) []Assignment {
 	req.Enqueued = now
 	l.q.Push(req)
-	return l.drain(nil)
+	return l.drain(out)
 }
 
 // Complete processes a FINISH notification from worker w: the credit is
 // released, possibly dispatching the queue head (at most one assignment).
 func (l *Logic) Complete(w int) []Assignment {
+	return l.CompleteTo(nil, w)
+}
+
+// CompleteTo is Complete appending to a caller-provided slice.
+func (l *Logic) CompleteTo(out []Assignment, w int) []Assignment {
 	l.release(w)
 	l.completed++
-	return l.drain(nil)
+	return l.drain(out)
 }
 
 // Preempted processes a PREEMPTED notification: worker w's credit is
@@ -156,11 +168,16 @@ func (l *Logic) Complete(w int) []Assignment {
 // the request reaches the front of the queue again, it can be assigned to
 // any worker").
 func (l *Logic) Preempted(now sim.Time, w int, req *task.Request) []Assignment {
+	return l.PreemptedTo(nil, now, w, req)
+}
+
+// PreemptedTo is Preempted appending to a caller-provided slice.
+func (l *Logic) PreemptedTo(out []Assignment, now sim.Time, w int, req *task.Request) []Assignment {
 	l.release(w)
 	l.requeued++
 	req.Enqueued = now
 	l.q.Push(req)
-	return l.drain(nil)
+	return l.drain(out)
 }
 
 // ReportLoad records host load feedback for worker w — the instantaneous

@@ -113,9 +113,17 @@ const (
 
 // qEvent is one input to the queue-manager stage.
 type qEvent struct {
-	kind    qEventKind
-	worker  int
-	req     *task.Request
+	kind   qEventKind
+	worker int
+	req    *task.Request
+	// id is req.ID snapshotted when the event was built, while the sender
+	// still owned a live request. Requests are pooled: by the time a FINISH
+	// notification crosses the NIC the response may already have reached the
+	// client and recycled req into a different logical request, so consumers
+	// must key the flights/responded maps by this snapshot, never by req.ID
+	// read at processing time. (req itself stays useful as an attempt
+	// identity: pointer comparisons are stable across recycling.)
+	id      uint64
 	load    int64 // evLoad only: reported instantaneous load (ns)
 	attempt int   // evTimeout only: the dispatch attempt the timer guarded
 }
@@ -131,11 +139,20 @@ type degradedReq struct {
 // machinery: which worker and attempt the armed timer guards. worker is
 // -1 while the request sits in the central queue (preempted or awaiting
 // a retry dispatch).
+//
+// The arrival/service/clientID/key fields snapshot the request's immutable
+// identity at dispatch time: a timeout-retry clone must copy them from the
+// flight, not from the (possibly already pooled and recycled) request the
+// timer captured.
 type flight struct {
-	req     *task.Request
-	worker  int
-	attempt int
-	timer   *sim.Timer
+	req      *task.Request
+	worker   int
+	attempt  int
+	timer    *sim.Timer
+	arrival  sim.Time
+	service  time.Duration
+	clientID uint32
+	key      uint64
 }
 
 // Queue-manager input classes: the networker's new-request ring and the RX
@@ -210,6 +227,17 @@ type Offload struct {
 	armFn *nicmodel.Function
 
 	workers []*offWorker
+
+	// asScratch is the reusable assignment buffer handed to the scheduler
+	// logic's *To methods: one queue event's assignments are consumed
+	// synchronously before the next event runs, so a single buffer serves
+	// the whole run.
+	asScratch []Assignment
+	// qevFree recycles the heap boxes that carry qEvent values inside
+	// Frame/event payloads (a struct stored in an `any` would otherwise
+	// allocate per notification). Boxes are created on demand, so the free
+	// list self-bounds at the peak number of in-flight notifications.
+	qevFree []*qEvent
 }
 
 // offWorker is one host worker core: its SR-IOV virtual function (whose RX
@@ -235,13 +263,30 @@ type offWorker struct {
 	curDegraded bool
 }
 
-// after schedules fn once d of worker busy time elapses, dilating d
-// through the stall timeline when one applies.
-func (w *offWorker) after(d time.Duration, fn func()) {
+// afterE schedules fn(w, obj, arg) once d of worker busy time elapses,
+// dilating d through the stall timeline when one applies.
+func (w *offWorker) afterE(d time.Duration, fn sim.EventFunc, obj any, arg uint64) {
 	if w.stretch != nil {
 		d = w.stretch(w.sys.eng.Now(), d)
 	}
-	w.sys.eng.After(d, fn)
+	w.sys.eng.AfterE(d, fn, w, obj, arg)
+}
+
+// qevGet borrows a qEvent box from the free list.
+func (s *Offload) qevGet() *qEvent {
+	if n := len(s.qevFree); n > 0 {
+		qe := s.qevFree[n-1]
+		s.qevFree[n-1] = nil
+		s.qevFree = s.qevFree[:n-1]
+		return qe
+	}
+	return new(qEvent)
+}
+
+// qevPut returns a box once its value has been copied out.
+func (s *Offload) qevPut(qe *qEvent) {
+	*qe = qEvent{}
+	s.qevFree = append(s.qevFree, qe)
 }
 
 // NewOffload builds the system on eng. done is invoked at the instant the
@@ -304,7 +349,7 @@ func NewOffload(eng *sim.Engine, cfg OffloadConfig, rec *stats.Recorder, done fu
 	s.networker = fabric.NewStage[*task.Request](eng, "arm-networker", 0,
 		fabric.FixedCost[*task.Request](p.ArmNetworkerCost),
 		func(r *task.Request) {
-			s.shmNetQ.Send(0, func() { s.queueMgr.Submit(qcNew, qEvent{kind: evNew, req: r}) })
+			s.shmNetQ.SendT(0, shmNewArrive, s, r, 0)
 		})
 
 	// The queue-manager core round-robins between its two input rings so a
@@ -336,7 +381,16 @@ func NewOffload(eng *sim.Engine, cfg OffloadConfig, rec *stats.Recorder, done fu
 		// The RX ARM core drains the ring as frames land; its own input
 		// queue provides the backpressure accounting.
 		if f, ok := s.armFn.Poll(); ok {
-			s.rxCore.Submit(f.Payload.(qEvent))
+			qe := f.Payload.(*qEvent)
+			ev := *qe
+			s.qevPut(qe)
+			s.rxCore.Submit(ev)
+		}
+	})
+	s.armFn.OnDrop(func(f nicmodel.Frame) {
+		// A notification lost to ARM ring overflow: reclaim its box.
+		if qe, ok := f.Payload.(*qEvent); ok {
+			s.qevPut(qe)
 		}
 	})
 
@@ -355,7 +409,9 @@ func NewOffload(eng *sim.Engine, cfg OffloadConfig, rec *stats.Recorder, done fu
 	s.rxCore = fabric.NewStage[qEvent](eng, "arm-rx", 0,
 		fabric.FixedCost[qEvent](p.ArmRxCost),
 		func(ev qEvent) {
-			s.shmRxQ.Send(0, func() { s.queueMgr.Submit(qcNotif, ev) })
+			qe := s.qevGet()
+			*qe = ev
+			s.shmRxQ.SendT(0, shmNotif, s, qe, 0)
 		})
 
 	execCfg := cores.ExecConfig{
@@ -485,19 +541,49 @@ func (s *Offload) Name() string { return "shinjuku-offload" }
 func (s *Offload) Inject(req *task.Request) {
 	s.trace(trace.Arrive, req.ID, -1)
 	s.attr.Arrive(s.eng.Now(), req.ID, req.Service)
-	s.ingress.Send(s.cfg.P.RequestFrameBytes, func() {
-		s.trace(trace.Ingress, req.ID, -1)
-		s.attr.Ingress(s.eng.Now(), req.ID)
-		if s.flt != nil && s.flt.Degrade() && s.flt.NICDown(s.eng.Now()) {
-			// Graceful degradation: the MAC-steering hardware outlives the
-			// ARM cores, so the NIC falls back to RSS-style hash steering
-			// straight into a worker VF ring instead of queueing behind a
-			// dead dispatcher. Informed scheduling is lost; goodput is not.
-			s.steerDegraded(req)
-			return
-		}
-		s.networker.Submit(req)
-	})
+	s.ingress.SendT(s.cfg.P.RequestFrameBytes, offIngress, s, req, 0)
+}
+
+// offIngress fires when a client request frame reaches the NIC port.
+func offIngress(recv, obj any, _ uint64) {
+	s := recv.(*Offload)
+	req := obj.(*task.Request)
+	s.trace(trace.Ingress, req.ID, -1)
+	s.attr.Ingress(s.eng.Now(), req.ID)
+	if s.flt != nil && s.flt.Degrade() && s.flt.NICDown(s.eng.Now()) {
+		// Graceful degradation: the MAC-steering hardware outlives the
+		// ARM cores, so the NIC falls back to RSS-style hash steering
+		// straight into a worker VF ring instead of queueing behind a
+		// dead dispatcher. Informed scheduling is lost; goodput is not.
+		s.steerDegraded(req)
+		return
+	}
+	s.networker.Submit(req)
+}
+
+// shmNewArrive fires when a new request crosses the networker→queue-manager
+// shared-memory ring.
+func shmNewArrive(recv, obj any, _ uint64) {
+	s := recv.(*Offload)
+	r := obj.(*task.Request)
+	s.queueMgr.Submit(qcNew, qEvent{kind: evNew, req: r, id: r.ID})
+}
+
+// shmNotif fires when a worker notification crosses the RX-core→queue-manager
+// shared-memory ring; the borrowed box returns to the pool here.
+func shmNotif(recv, obj any, _ uint64) {
+	s := recv.(*Offload)
+	qe := obj.(*qEvent)
+	ev := *qe
+	s.qevPut(qe)
+	s.queueMgr.Submit(qcNotif, ev)
+}
+
+// shmDispatch fires when an assignment crosses the queue-manager→TX-core
+// shared-memory ring.
+func shmDispatch(recv, obj any, worker uint64) {
+	s := recv.(*Offload)
+	s.txCore.Submit(Assignment{Worker: int(worker), Req: obj.(*task.Request)})
 }
 
 // steerDegraded hash-steers a request to a worker VF, bypassing the ARM
@@ -583,7 +669,7 @@ func (s *Offload) auditDispatch(now sim.Time, a Assignment) {
 
 // handleQueueEvent runs on the queue-manager ARM core.
 func (s *Offload) handleQueueEvent(ev qEvent) {
-	var as []Assignment
+	as := s.asScratch[:0]
 	now := s.eng.Now()
 	switch ev.kind {
 	case evNew:
@@ -605,10 +691,10 @@ func (s *Offload) handleQueueEvent(ev qEvent) {
 		}
 		s.trace(trace.Enqueue, ev.req.ID, -1)
 		s.attr.Enqueue(now, ev.req.ID)
-		as = s.lgc.Enqueue(now, ev.req)
+		as = s.lgc.EnqueueTo(as, now, ev.req)
 	case evFinish:
 		if s.flights != nil {
-			fl := s.flights[ev.req.ID]
+			fl := s.flights[ev.id]
 			if fl == nil || fl.req != ev.req {
 				// A completion from an abandoned dispatch attempt: its
 				// credit was already reclaimed synthetically at timeout, so
@@ -619,12 +705,12 @@ func (s *Offload) handleQueueEvent(ev qEvent) {
 			if fl.timer != nil {
 				fl.timer.Stop()
 			}
-			delete(s.flights, ev.req.ID)
+			delete(s.flights, ev.id)
 		}
-		as = s.lgc.Complete(ev.worker)
+		as = s.lgc.CompleteTo(as, ev.worker)
 	case evPreempted:
 		if s.flights != nil {
-			fl := s.flights[ev.req.ID]
+			fl := s.flights[ev.id]
 			if fl == nil || fl.req != ev.req {
 				// A preemption from an abandoned dispatch attempt: drop it
 				// entirely — re-queueing it would duplicate the retry clone.
@@ -636,16 +722,15 @@ func (s *Offload) handleQueueEvent(ev qEvent) {
 			}
 			fl.worker = -1
 		}
-		s.trace(trace.Enqueue, ev.req.ID, -1)
-		s.attr.Enqueue(now, ev.req.ID)
-		as = s.lgc.Preempted(now, ev.worker, ev.req)
+		s.trace(trace.Enqueue, ev.id, -1)
+		s.attr.Enqueue(now, ev.id)
+		as = s.lgc.PreemptedTo(as, now, ev.worker, ev.req)
 	case evLoad:
 		s.lgc.ReportLoadAt(now, ev.worker, ev.load)
 	case evTimeout:
-		as = s.handleTimeout(now, ev)
+		as = s.handleTimeout(as, now, ev)
 	}
 	for _, a := range as {
-		a := a
 		s.trace(trace.Dispatch, a.Req.ID, a.Worker)
 		if s.attr != nil {
 			s.attr.Dispatch(now, a.Req.ID)
@@ -654,8 +739,9 @@ func (s *Offload) handleQueueEvent(ev qEvent) {
 		if s.flights != nil {
 			s.trackDispatch(a)
 		}
-		s.shmQTx.Send(0, func() { s.txCore.Submit(a) })
+		s.shmQTx.SendT(0, shmDispatch, s, a.Req, uint64(a.Worker))
 	}
+	s.asScratch = as[:0]
 }
 
 func (s *Offload) recordStale() {
@@ -678,9 +764,13 @@ func (s *Offload) trackDispatch(a Assignment) {
 	}
 	fl.req = a.Req
 	fl.worker = a.Worker
-	req, wk, att := a.Req, a.Worker, fl.attempt
+	fl.arrival = a.Req.Arrival
+	fl.service = a.Req.Service
+	fl.clientID = a.Req.ClientID
+	fl.key = a.Req.Key
+	req, wk, att, id := a.Req, a.Worker, fl.attempt, a.Req.ID
 	fl.timer = s.eng.AfterTimer(s.flt.AttemptTimeout(att), func() {
-		s.queueMgr.Submit(qcNotif, qEvent{kind: evTimeout, worker: wk, req: req, attempt: att})
+		s.queueMgr.Submit(qcNotif, qEvent{kind: evTimeout, worker: wk, req: req, id: id, attempt: att})
 	})
 }
 
@@ -689,20 +779,20 @@ func (s *Offload) trackDispatch(a Assignment) {
 // fresh clone while budget remains, abandon otherwise. Either live
 // outcome synthetically reclaims the suspected-lost credit — the worker
 // either never got the frame or its notification path is broken.
-func (s *Offload) handleTimeout(now sim.Time, ev qEvent) []Assignment {
-	fl := s.flights[ev.req.ID]
+func (s *Offload) handleTimeout(as []Assignment, now sim.Time, ev qEvent) []Assignment {
+	fl := s.flights[ev.id]
 	if fl == nil || fl.req != ev.req || fl.worker != ev.worker || fl.attempt != ev.attempt || fl.worker < 0 {
-		return nil
+		return as
 	}
 	w := fl.worker
 	if fl.attempt >= s.flt.Retries() {
 		// Retry budget exhausted: abandon the request. A late response
 		// from a still-executing original must not resurrect it.
-		delete(s.flights, ev.req.ID)
-		s.responded[ev.req.ID] = true
+		delete(s.flights, ev.id)
+		s.responded[ev.id] = true
 		s.timeoutDrops++
-		s.traceDrop(ev.req.ID, -1, trace.DropTimeout)
-		s.attr.Drop(now, ev.req.ID, trace.DropTimeout)
+		s.traceDrop(ev.id, -1, trace.DropTimeout)
+		s.attr.Drop(now, ev.id, trace.DropTimeout)
 		if s.rec != nil {
 			s.rec.RecordDrop()
 		}
@@ -710,7 +800,7 @@ func (s *Offload) handleTimeout(now sim.Time, ev qEvent) []Assignment {
 			s.mTimeoutDrops.Inc()
 			s.mDrops.Inc()
 		}
-		return s.lgc.Complete(w)
+		return s.lgc.CompleteTo(as, w)
 	}
 	// Retry: the original dispatch may still be alive (merely slow), and
 	// the worker will keep mutating that request object — so the retry is
@@ -722,16 +812,18 @@ func (s *Offload) handleTimeout(now sim.Time, ev qEvent) []Assignment {
 	if s.mRetries != nil {
 		s.mRetries.Inc()
 	}
-	clone := task.New(ev.req.ID, ev.req.Arrival, ev.req.Service)
-	clone.ClientID = ev.req.ClientID
-	clone.Key = ev.req.Key
+	// Clone from the flight's snapshot, not from ev.req: the captured
+	// pointer may already have been recycled into a different request.
+	clone := task.New(ev.id, fl.arrival, fl.service)
+	clone.ClientID = fl.clientID
+	clone.Key = fl.key
 	fl.req = clone
 	fl.worker = -1
 	fl.timer = nil
-	as := s.lgc.Complete(w)
+	as = s.lgc.CompleteTo(as, w)
 	s.trace(trace.Enqueue, clone.ID, -1)
 	s.attr.Enqueue(now, clone.ID)
-	return append(as, s.lgc.Enqueue(now, clone)...)
+	return s.lgc.EnqueueTo(as, now, clone)
 }
 
 // maybeStart begins the next stashed request if the core is free. The
@@ -742,38 +834,43 @@ func (w *offWorker) maybeStart() {
 		return
 	}
 	w.pickupPending = true
-	w.after(w.sys.cfg.P.PickupCost(w.sys.cfg.DDIOToL1), func() {
-		w.pickupPending = false
-		frame, ok := w.vf.Poll()
-		if !ok {
-			return
-		}
-		var req *task.Request
-		deg := false
-		switch p := frame.Payload.(type) {
-		case *task.Request:
-			req = p
-		case degradedReq:
-			req = p.req
-			deg = true
-		}
-		w.sys.trace(trace.Start, req.ID, w.id)
-		w.sys.attr.Start(w.sys.eng.Now(), req.ID)
-		if deg {
-			// Hash-steered while the NIC was down: run to completion, like
-			// the RSS baseline this mode degrades to.
-			w.curDegraded = true
-			w.exec.StartRTC(req)
-		} else {
-			w.exec.Start(req)
-		}
-		if w.sys.cfg.LoadFeedback {
-			w.reportLoad()
-		}
-		if w.sys.cfg.DirectInterrupts && w.sys.cfg.Slice > 0 && req.Remaining > w.sys.cfg.Slice {
-			w.armRemoteSlice(req)
-		}
-	})
+	w.afterE(w.sys.cfg.P.PickupCost(w.sys.cfg.DDIOToL1), workerPickup, nil, 0)
+}
+
+// workerPickup fires once the pickup cost has elapsed: pull the frame out
+// of the VF ring and start (or resume) the request it carries.
+func workerPickup(recv, _ any, _ uint64) {
+	w := recv.(*offWorker)
+	w.pickupPending = false
+	frame, ok := w.vf.Poll()
+	if !ok {
+		return
+	}
+	var req *task.Request
+	deg := false
+	switch p := frame.Payload.(type) {
+	case *task.Request:
+		req = p
+	case degradedReq:
+		req = p.req
+		deg = true
+	}
+	w.sys.trace(trace.Start, req.ID, w.id)
+	w.sys.attr.Start(w.sys.eng.Now(), req.ID)
+	if deg {
+		// Hash-steered while the NIC was down: run to completion, like
+		// the RSS baseline this mode degrades to.
+		w.curDegraded = true
+		w.exec.StartRTC(req)
+	} else {
+		w.exec.Start(req)
+	}
+	if w.sys.cfg.LoadFeedback {
+		w.reportLoad()
+	}
+	if w.sys.cfg.DirectInterrupts && w.sys.cfg.Slice > 0 && req.Remaining > w.sys.cfg.Slice {
+		w.armRemoteSlice(req)
+	}
 }
 
 // armRemoteSlice models the §5.1(3) ablation: the NIC tracks the slice and
@@ -781,11 +878,19 @@ func (w *offWorker) maybeStart() {
 func (w *offWorker) armRemoteSlice(req *task.Request) {
 	slice := w.sys.cfg.Slice
 	delivery := w.sys.cfg.P.CXLOneWay
-	w.sys.eng.After(slice+delivery, func() {
-		if w.exec.Current() == req {
-			w.exec.Interrupt()
-		}
-	})
+	// The generation guards against pooled-request reuse: by the time the
+	// interrupt lands, req may have completed, been recycled, and started
+	// over on this same worker as a different request.
+	w.sys.eng.AfterE(slice+delivery, remoteSliceFire, w, req, uint64(req.Gen))
+}
+
+// remoteSliceFire posts the NIC-tracked preemption interrupt (§5.1(3)).
+func remoteSliceFire(recv, obj any, gen uint64) {
+	w := recv.(*offWorker)
+	req := obj.(*task.Request)
+	if w.exec.Current() == req && uint64(req.Gen) == gen {
+		w.exec.Interrupt()
+	}
 }
 
 // onComplete handles a finished request: build and send the client response
@@ -798,28 +903,53 @@ func (w *offWorker) onComplete(req *task.Request) {
 	deg := w.curDegraded
 	w.curDegraded = false
 	w.post = true
-	w.after(p.WorkerResponseCost, func() {
-		sys.egress.Send(p.ResponseFrameBytes, func() {
-			sys.trace(trace.Respond, req.ID, -1)
-			sys.attr.Respond(sys.eng.Now(), req.ID)
-			sys.respond(req)
-		})
-		if deg {
-			// Degraded requests consumed no credit and the dispatcher never
-			// saw them: no FINISH notification to build.
-			w.post = false
-			w.maybeStart()
-			return
-		}
-		w.after(p.WorkerNotifyCost, func() {
-			w.notifyDispatcher(qEvent{kind: evFinish, worker: w.id, req: req})
-			w.post = false
-			w.maybeStart()
-		})
-	})
+	var degArg uint64
+	if deg {
+		degArg = 1
+	}
+	w.afterE(p.WorkerResponseCost, workerResponseBuilt, req, degArg)
 	if sys.cfg.LoadFeedback {
 		w.reportLoad()
 	}
+}
+
+// workerResponseBuilt fires once the worker has built the response packet:
+// transmit it, then (unless the request was degraded-steered) build the
+// FINISH notification.
+func workerResponseBuilt(recv, obj any, deg uint64) {
+	w := recv.(*offWorker)
+	sys := w.sys
+	req := obj.(*task.Request)
+	p := sys.cfg.P
+	sys.egress.SendT(p.ResponseFrameBytes, egressRespond, sys, req, 0)
+	if deg != 0 {
+		// Degraded requests consumed no credit and the dispatcher never
+		// saw them: no FINISH notification to build.
+		w.post = false
+		w.maybeStart()
+		return
+	}
+	// The ID rides as the event argument: the response is now in flight, so
+	// by the time the notification is built req may already be recycled.
+	w.afterE(p.WorkerNotifyCost, workerNotifyFinish, req, req.ID)
+}
+
+// egressRespond fires when the response frame reaches the client.
+func egressRespond(recv, obj any, _ uint64) {
+	s := recv.(*Offload)
+	req := obj.(*task.Request)
+	s.trace(trace.Respond, req.ID, -1)
+	s.attr.Respond(s.eng.Now(), req.ID)
+	s.respond(req)
+}
+
+// workerNotifyFinish fires once the FINISH notification is built. id is the
+// finished request's ID, snapshotted before the response could recycle it.
+func workerNotifyFinish(recv, obj any, id uint64) {
+	w := recv.(*offWorker)
+	w.notifyDispatcher(qEvent{kind: evFinish, worker: w.id, req: obj.(*task.Request), id: id})
+	w.post = false
+	w.maybeStart()
 }
 
 // onPreempt handles a slice expiry: notify the dispatcher (the request body
@@ -834,25 +964,35 @@ func (w *offWorker) onPreempt(req *task.Request) {
 		sys.rec.RecordPreemption()
 	}
 	w.post = true
-	w.after(p.WorkerNotifyCost, func() {
-		w.notifyDispatcher(qEvent{kind: evPreempted, worker: w.id, req: req})
-		w.post = false
-		w.maybeStart()
-	})
+	w.afterE(p.WorkerNotifyCost, workerNotifyPreempt, req, req.ID)
 	if sys.cfg.LoadFeedback {
 		w.reportLoad()
 	}
 }
 
+// workerNotifyPreempt fires once the PREEMPTED notification is built.
+func workerNotifyPreempt(recv, obj any, id uint64) {
+	w := recv.(*offWorker)
+	w.notifyDispatcher(qEvent{kind: evPreempted, worker: w.id, req: obj.(*task.Request), id: id})
+	w.post = false
+	w.maybeStart()
+}
+
 // notifyDispatcher sends a worker→dispatcher control frame through the NIC
 // to the ARM complex's interface.
 func (w *offWorker) notifyDispatcher(ev qEvent) {
-	w.sys.nic.Send(nicmodel.Frame{
-		Dst:     w.sys.armFn.MAC(),
+	s := w.sys
+	qe := s.qevGet()
+	*qe = ev
+	if !s.nic.Send(nicmodel.Frame{
+		Dst:     s.armFn.MAC(),
 		Src:     w.vf.MAC(),
-		Bytes:   w.sys.cfg.P.ControlFrameBytes,
-		Payload: ev,
-	})
+		Bytes:   s.cfg.P.ControlFrameBytes,
+		Payload: qe,
+	}) {
+		// The frame was lost on the wire: the box will never be delivered.
+		s.qevPut(qe)
+	}
 }
 
 // trueLoad returns the worker's resident backlog in ns at this instant:
@@ -878,14 +1018,7 @@ func (w *offWorker) trueLoad() int64 {
 // reportLoad sends the worker's instantaneous load (remaining work in ns,
 // executing plus stashed) to the NIC — the fine-grained feedback of §3.1.
 func (w *offWorker) reportLoad() {
-	load := w.trueLoad()
-	id := w.id
-	w.sys.nic.Send(nicmodel.Frame{
-		Dst:     w.sys.armFn.MAC(),
-		Src:     w.vf.MAC(),
-		Bytes:   w.sys.cfg.P.ControlFrameBytes,
-		Payload: qEvent{kind: evLoad, worker: id, load: load},
-	})
+	w.notifyDispatcher(qEvent{kind: evLoad, worker: w.id, load: w.trueLoad()})
 }
 
 // WorkerIdleFraction returns the mean idle fraction across worker cores.

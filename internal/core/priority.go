@@ -16,6 +16,12 @@ type SchedulerLogic interface {
 	Enqueue(now sim.Time, req *task.Request) []Assignment
 	Complete(w int) []Assignment
 	Preempted(now sim.Time, w int, req *task.Request) []Assignment
+	// The *To variants append to a caller-provided slice so hot callers can
+	// reuse one scratch buffer across events. The returned slice is only
+	// valid until the next call that reuses the same buffer.
+	EnqueueTo(out []Assignment, now sim.Time, req *task.Request) []Assignment
+	CompleteTo(out []Assignment, w int) []Assignment
+	PreemptedTo(out []Assignment, now sim.Time, w int, req *task.Request) []Assignment
 	ReportLoad(w int, load int64)
 	ReportLoadAt(now sim.Time, w int, load int64)
 	QueueLen() int
@@ -93,26 +99,42 @@ func (l *PriorityLogic) clamp(req *task.Request) int {
 // Enqueue admits a request into its class queue and dispatches if credit
 // is available.
 func (l *PriorityLogic) Enqueue(now sim.Time, req *task.Request) []Assignment {
+	return l.EnqueueTo(nil, now, req)
+}
+
+// EnqueueTo is Enqueue appending to a caller-provided slice (it shadows
+// the embedded Logic's variant, which would drain the wrong queue).
+func (l *PriorityLogic) EnqueueTo(out []Assignment, now sim.Time, req *task.Request) []Assignment {
 	req.Enqueued = now
 	l.classes[l.clamp(req)].Push(req)
-	return l.drainPriority(nil)
+	return l.drainPriority(out)
 }
 
 // Complete processes a FINISH notification.
 func (l *PriorityLogic) Complete(w int) []Assignment {
+	return l.CompleteTo(nil, w)
+}
+
+// CompleteTo is Complete appending to a caller-provided slice.
+func (l *PriorityLogic) CompleteTo(out []Assignment, w int) []Assignment {
 	l.release(w)
 	l.completed++
-	return l.drainPriority(nil)
+	return l.drainPriority(out)
 }
 
 // Preempted processes a PREEMPTED notification; the request re-enters the
 // tail of its own class queue.
 func (l *PriorityLogic) Preempted(now sim.Time, w int, req *task.Request) []Assignment {
+	return l.PreemptedTo(nil, now, w, req)
+}
+
+// PreemptedTo is Preempted appending to a caller-provided slice.
+func (l *PriorityLogic) PreemptedTo(out []Assignment, now sim.Time, w int, req *task.Request) []Assignment {
 	l.release(w)
 	l.requeued++
 	req.Enqueued = now
 	l.classes[l.clamp(req)].Push(req)
-	return l.drainPriority(nil)
+	return l.drainPriority(out)
 }
 
 // drainPriority dispatches from the highest non-empty class while credit

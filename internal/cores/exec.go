@@ -59,7 +59,7 @@ type Exec struct {
 	busy      bool
 	cur       *task.Request
 	workStart sim.Time
-	doneTimer *sim.Timer
+	doneTimer sim.Timer // armed in place; a core has at most one pending expiry
 
 	onComplete func(*task.Request)
 	onPreempt  func(*task.Request)
@@ -166,10 +166,29 @@ func (e *Exec) start(req *task.Request, allowSlice bool) {
 	if selfSlice && req.Remaining > e.cfg.Slice {
 		// The slice will expire: schedule the self-preemption.
 		fireAt := e.stretched(overhead + e.cfg.Slice)
-		e.doneTimer = e.eng.AfterTimer(fireAt, func() { e.slice(e.cfg.Slice) })
+		e.eng.ArmAfterE(&e.doneTimer, fireAt, execSliceExpired, e, nil, 0)
 		return
 	}
-	e.doneTimer = e.eng.AfterTimer(e.stretched(overhead+req.Remaining), e.complete)
+	e.eng.ArmAfterE(&e.doneTimer, e.stretched(overhead+req.Remaining), execCompleted, e, nil, 0)
+}
+
+// execSliceExpired fires when the self-armed preemption timer expires.
+func execSliceExpired(recv, _ any, _ uint64) {
+	e := recv.(*Exec)
+	e.slice(e.cfg.Slice)
+}
+
+// execCompleted fires when the current request's remaining work elapses.
+func execCompleted(recv, _ any, _ uint64) {
+	recv.(*Exec).complete()
+}
+
+// execPreempted fires after the interrupt-receipt and context-save
+// overhead of a preemption; obj is the preempted request.
+func execPreempted(recv, obj any, _ uint64) {
+	e := recv.(*Exec)
+	e.finishRun()
+	e.onPreempt(obj.(*task.Request))
 }
 
 // stretched dilates a busy-time amount through the fault timeline.
@@ -200,10 +219,7 @@ func (e *Exec) slice(ran time.Duration) {
 	req.Preemptions++
 	e.preemptions++
 	overhead := e.cfg.Clock.CyclesToDuration(e.cfg.Timer.FireCycles) + e.cfg.CtxSave
-	e.eng.After(e.stretched(overhead), func() {
-		e.finishRun()
-		e.onPreempt(req)
-	})
+	e.eng.AfterE(e.stretched(overhead), execPreempted, e, req, 0)
 }
 
 // Interrupt posts an external preemption interrupt to the core (vanilla
@@ -242,6 +258,6 @@ func (e *Exec) Interrupt() bool {
 func (e *Exec) finishRun() {
 	e.busy = false
 	e.cur = nil
-	e.doneTimer = nil
+	e.doneTimer = sim.Timer{}
 	e.Track.SetBusy(e.eng.Now(), false)
 }

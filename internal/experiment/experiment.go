@@ -83,16 +83,22 @@ func RunPoint(cfg PointConfig) Result {
 		eng.Halt()
 	}
 
+	// pool recycles request objects across the run: each request is released
+	// the instant its response reaches the client (the done callback), the
+	// one point where no component can still hold a live reference to it.
+	pool := &task.Pool{}
 	done := func(r *task.Request) {
 		completions++
 		if completions == cfg.Warmup {
 			rec.Arm(eng.Now())
 			sys.ArmWorkerTrackers(eng.Now())
+			pool.Put(r)
 			return
 		}
 		if completions > cfg.Warmup {
 			rec.RecordLatency(r.Latency(eng.Now()))
 		}
+		pool.Put(r)
 		if completions >= target {
 			stop()
 		}
@@ -112,6 +118,7 @@ func RunPoint(cfg PointConfig) Result {
 		Service: cfg.Service,
 		Keys:    cfg.Keys,
 		Seed:    cfg.Seed,
+		Pool:    pool,
 	}, sys.Inject)
 	gen.Start()
 

@@ -52,6 +52,23 @@ type Link struct {
 	// the NIC↔host message-latency distribution of §3.3, inflated by
 	// serialization waits near saturation.
 	latency *telemetry.Histogram
+
+	// pend is the in-flight message table: each accepted send claims a slot
+	// holding its delivery callback and timing, and the slot index rides
+	// through both engine events as the scalar argument. The table plus the
+	// typed event API make an accepted send allocate nothing in steady
+	// state (slots recycle through freeSlots).
+	pend      []pendingMsg
+	freeSlots []uint32
+}
+
+// pendingMsg is one accepted, not-yet-delivered message.
+type pendingMsg struct {
+	fn        sim.EventFunc
+	recv, obj any
+	arg       uint64
+	sent      sim.Time
+	deliverAt sim.Time
 }
 
 // NewLink creates a link on the engine. name appears in diagnostics only.
@@ -88,8 +105,27 @@ func (l *Link) Send(bytes int, deliver func()) bool {
 }
 
 // SendEx is Send with a distinguishable outcome, so callers can tell a
-// queue-overflow drop from an injected wire fault.
+// queue-overflow drop from an injected wire fault. The closure form
+// allocates; hot paths should use SendT/SendTEx.
 func (l *Link) SendEx(bytes int, deliver func()) SendOutcome {
+	return l.SendTEx(bytes, callClosure, deliver, nil, 0)
+}
+
+// callClosure adapts the legacy closure delivery onto the typed path.
+func callClosure(recv, _ any, _ uint64) { recv.(func())() }
+
+// SendT is the typed, zero-alloc Send: fn(recv, obj, arg) runs at the
+// receiver once serialization and propagation complete.
+func (l *Link) SendT(bytes int, fn sim.EventFunc, recv, obj any, arg uint64) bool {
+	return l.SendTEx(bytes, fn, recv, obj, arg) == SendAccepted
+}
+
+// SendTEx is SendT with a distinguishable outcome. It schedules the same
+// two events per message as the original closure path — departure after
+// serialization, then delivery after propagation — so the engine's event
+// sequence (and therefore every golden) is unchanged; only the callback
+// representation differs.
+func (l *Link) SendTEx(bytes int, fn sim.EventFunc, recv, obj any, arg uint64) SendOutcome {
 	if l.cfg.QueueLimit > 0 && l.queued >= l.cfg.QueueLimit {
 		l.dropped++
 		return SendQueueDrop
@@ -116,17 +152,40 @@ func (l *Link) SendEx(bytes int, deliver func()) SendOutcome {
 	depart = depart.Add(l.serialization(bytes))
 	l.lastDeparture = depart
 	l.queued++
-	l.eng.At(depart, func() {
-		l.queued--
-		l.eng.At(depart.Add(latency), func() {
-			l.delivered++
-			if l.latency != nil {
-				l.latency.Observe(l.eng.Now().Sub(now))
-			}
-			deliver()
-		})
-	})
+
+	var slot uint32
+	if n := len(l.freeSlots); n > 0 {
+		slot = l.freeSlots[n-1]
+		l.freeSlots = l.freeSlots[:n-1]
+	} else {
+		slot = uint32(len(l.pend))
+		l.pend = append(l.pend, pendingMsg{})
+	}
+	l.pend[slot] = pendingMsg{fn: fn, recv: recv, obj: obj, arg: arg, sent: now, deliverAt: depart.Add(latency)}
+	l.eng.AtE(depart, linkDepart, l, nil, uint64(slot))
 	return SendAccepted
+}
+
+// linkDepart fires when a message finishes serialization: the transmit
+// queue slot frees and the propagation leg begins.
+func linkDepart(recv, _ any, slot uint64) {
+	l := recv.(*Link)
+	l.queued--
+	l.eng.AtE(l.pend[slot].deliverAt, linkDeliver, l, nil, slot)
+}
+
+// linkDeliver fires at the receiver and hands off to the message's
+// callback after releasing the in-flight slot.
+func linkDeliver(recv, _ any, slot uint64) {
+	l := recv.(*Link)
+	p := l.pend[slot]
+	l.pend[slot] = pendingMsg{}
+	l.freeSlots = append(l.freeSlots, uint32(slot))
+	l.delivered++
+	if l.latency != nil {
+		l.latency.Observe(l.eng.Now().Sub(p.sent))
+	}
+	p.fn(p.recv, p.obj, p.arg)
 }
 
 // serialization returns how long a message of the given size occupies the

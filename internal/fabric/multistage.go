@@ -30,6 +30,11 @@ type MultiStage[T any] struct {
 	burst  int // items served from one class before switching (min 1)
 	inRun  int // items served consecutively from class rr
 	busy   bool
+	// cur is the item in service (see Stage.cur: one item per serial
+	// server, so the completion event carries no payload).
+	cur T
+	// served is multiStageServed[T] bound once (see Stage.served).
+	served sim.EventFunc
 
 	// stretch mirrors Stage.stretch: fault-timeline cost dilation, nil on
 	// the healthy path.
@@ -53,7 +58,7 @@ func NewMultiStage[T any](eng *sim.Engine, name string, classes int, limits []in
 	if limits != nil && len(limits) != classes {
 		panic("fabric: limits length must match class count")
 	}
-	return &MultiStage[T]{
+	s := &MultiStage[T]{
 		eng:    eng,
 		name:   name,
 		qs:     make([]deque[T], classes),
@@ -62,6 +67,8 @@ func NewMultiStage[T any](eng *sim.Engine, name string, classes int, limits []in
 		cost:   cost,
 		done:   done,
 	}
+	s.served = multiStageServed[T]
+	return s
 }
 
 // SetBurst makes the server drain up to n items from one class before
@@ -109,16 +116,25 @@ func (s *MultiStage[T]) serve(item T) {
 	if s.stretch != nil {
 		d = s.stretch(s.eng.Now(), d)
 	}
-	s.eng.After(d, func() {
-		s.done(item)
-		s.processed++
-		if next, ok := s.next(); ok {
-			s.serve(next)
-			return
-		}
-		s.busy = false
-		s.busyTrack.SetBusy(s.eng.Now(), false)
-	})
+	s.cur = item
+	s.eng.AfterE(d, s.served, s, nil, 0)
+}
+
+// multiStageServed fires when the in-service item's processing time
+// elapses.
+func multiStageServed[T any](recv, _ any, _ uint64) {
+	s := recv.(*MultiStage[T])
+	item := s.cur
+	s.done(item)
+	s.processed++
+	if next, ok := s.next(); ok {
+		s.serve(next)
+		return
+	}
+	s.busy = false
+	var zero T
+	s.cur = zero
+	s.busyTrack.SetBusy(s.eng.Now(), false)
 }
 
 // next picks the following item: continue the current class while its

@@ -29,6 +29,14 @@ type Stage[T any] struct {
 	limit int
 	q     deque[T]
 	busy  bool
+	// cur is the item in service. A serial stage holds exactly one, so the
+	// completion event needs no payload: it reads cur from the receiver,
+	// which keeps scheduling allocation-free.
+	cur T
+	// served is stageServed[T] bound once at construction: materializing a
+	// generic function value inside a generic method would allocate a
+	// dictionary closure per event.
+	served sim.EventFunc
 
 	// stretch, when set, converts an item's processing cost into the wall
 	// duration it takes under the active fault timeline (crash windows
@@ -47,7 +55,9 @@ func NewStage[T any](eng *sim.Engine, name string, limit int, cost func(T) time.
 	if done == nil {
 		panic("fabric: stage requires a done callback")
 	}
-	return &Stage[T]{eng: eng, name: name, limit: limit, cost: cost, done: done}
+	s := &Stage[T]{eng: eng, name: name, limit: limit, cost: cost, done: done}
+	s.served = stageServed[T]
+	return s
 }
 
 // FixedCost adapts a constant processing time to the Stage cost signature.
@@ -85,17 +95,25 @@ func (s *Stage[T]) start(item T) {
 	if s.stretch != nil {
 		d = s.stretch(s.eng.Now(), d)
 	}
-	s.eng.After(d, func() {
-		s.done(item)
-		if next, ok := s.q.popFront(); ok {
-			s.processed++
-			s.start(next)
-			return
-		}
+	s.cur = item
+	s.eng.AfterE(d, s.served, s, nil, 0)
+}
+
+// stageServed fires when the in-service item's processing time elapses.
+func stageServed[T any](recv, _ any, _ uint64) {
+	s := recv.(*Stage[T])
+	item := s.cur
+	s.done(item)
+	if next, ok := s.q.popFront(); ok {
 		s.processed++
-		s.busy = false
-		s.busyTrack.SetBusy(s.eng.Now(), false)
-	})
+		s.start(next)
+		return
+	}
+	s.processed++
+	s.busy = false
+	var zero T
+	s.cur = zero
+	s.busyTrack.SetBusy(s.eng.Now(), false)
 }
 
 // QueueLen returns the number of items waiting (excluding the one in

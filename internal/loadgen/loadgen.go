@@ -30,6 +30,10 @@ type Config struct {
 	MaxArrivals uint64
 	// ClientID is stamped on every request.
 	ClientID uint32
+	// Pool, when set, recycles Request objects: arrivals draw from it and
+	// the harness returns each request at response time. Nil allocates a
+	// fresh request per arrival.
+	Pool *task.Pool
 }
 
 // Generator produces requests on a simulation engine and hands them to a
@@ -67,25 +71,34 @@ func New(eng *sim.Engine, cfg Config, sink func(*task.Request)) *Generator {
 // Start schedules the first arrival. Generation continues open-loop until
 // MaxArrivals (if set) or until the engine halts.
 func (g *Generator) Start() {
-	g.eng.After(g.interarrival(), g.arrive)
+	g.eng.AfterE(g.interarrival(), genArrive, g, nil, 0)
 }
 
 // Arrivals returns the number of requests generated so far.
 func (g *Generator) Arrivals() uint64 { return g.arrivals }
 
-func (g *Generator) arrive() {
+// genArrive fires at each arrival instant: build (or recycle) the request,
+// hand it to the sink, and schedule the next arrival. Typed event + pooled
+// request make the steady-state arrival path allocation-free.
+func genArrive(recv, _ any, _ uint64) {
+	g := recv.(*Generator)
 	if g.cfg.MaxArrivals > 0 && g.arrivals >= g.cfg.MaxArrivals {
 		return
 	}
 	g.nextID++
 	g.arrivals++
-	req := task.New(g.nextID, g.eng.Now(), g.cfg.Service.Sample(g.rng))
+	var req *task.Request
+	if g.cfg.Pool != nil {
+		req = g.cfg.Pool.Get(g.nextID, g.eng.Now(), g.cfg.Service.Sample(g.rng))
+	} else {
+		req = task.New(g.nextID, g.eng.Now(), g.cfg.Service.Sample(g.rng))
+	}
 	req.ClientID = g.cfg.ClientID
 	if g.cfg.Keys != nil {
 		req.Key = g.cfg.Keys.Sample(g.rng)
 	}
 	g.sink(req)
-	g.eng.After(g.interarrival(), g.arrive)
+	g.eng.AfterE(g.interarrival(), genArrive, g, nil, 0)
 }
 
 // interarrival draws the next Poisson gap.

@@ -58,6 +58,13 @@ type NIC struct {
 
 	steered     uint64
 	unknownDrop uint64
+
+	// pend is the in-flight frame table (same technique as fabric.Link's
+	// message table): each steered frame parks here between send and
+	// delivery, and its slot index rides through the delivery event as the
+	// scalar argument, so steering allocates nothing in steady state.
+	pend      []Frame
+	freeSlots []uint32
 }
 
 // Function is one NIC interface: the ARM complex's port or a worker's VF.
@@ -136,26 +143,50 @@ func (n *NIC) Send(f Frame) bool {
 		return false
 	}
 	n.steered++
-	outcome := target.deliver.SendEx(f.Bytes, func() {
-		if !target.rx.Push(f) {
-			target.ringDrops++
-			if target.onDrop != nil {
-				target.onDrop(f)
-			}
-			return
-		}
-		target.received++
-		if target.onDeliver != nil {
-			target.onDeliver(f)
-		}
-		if target.onRx != nil {
-			target.onRx()
-		}
-	})
+	var slot uint32
+	if m := len(n.freeSlots); m > 0 {
+		slot = n.freeSlots[m-1]
+		n.freeSlots = n.freeSlots[:m-1]
+	} else {
+		slot = uint32(len(n.pend))
+		n.pend = append(n.pend, Frame{})
+	}
+	n.pend[slot] = f
+	outcome := target.deliver.SendTEx(f.Bytes, nicDeliver, target, nil, uint64(slot))
+	if outcome != fabric.SendAccepted {
+		// The delivery event will never fire; reclaim the slot now.
+		n.pend[slot] = Frame{}
+		n.freeSlots = append(n.freeSlots, slot)
+	}
 	if outcome == fabric.SendFaultDrop && target.onWireDrop != nil {
 		target.onWireDrop(f)
 	}
 	return outcome == fabric.SendAccepted
+}
+
+// nicDeliver fires when a steered frame crosses the NIC-internal fabric
+// into its target function: release the in-flight slot, then land the
+// frame in the RX ring (or drop it if the ring is full, like hardware).
+func nicDeliver(recv, _ any, slot uint64) {
+	target := recv.(*Function)
+	n := target.nic
+	f := n.pend[slot]
+	n.pend[slot] = Frame{}
+	n.freeSlots = append(n.freeSlots, uint32(slot))
+	if !target.rx.Push(f) {
+		target.ringDrops++
+		if target.onDrop != nil {
+			target.onDrop(f)
+		}
+		return
+	}
+	target.received++
+	if target.onDeliver != nil {
+		target.onDeliver(f)
+	}
+	if target.onRx != nil {
+		target.onRx()
+	}
 }
 
 // Steered returns the number of frames accepted for steering.

@@ -3,10 +3,18 @@
 //
 // The engine is the substrate every hardware model in this repository runs
 // on: NIC ports, SmartNIC ARM cores, host worker cores, and communication
-// links are all components that schedule closures on a shared Engine.
+// links are all components that schedule events on a shared Engine.
 // Determinism is guaranteed by a stable tie-break: events scheduled for the
 // same instant fire in the order they were scheduled, so a simulation with a
 // fixed seed always produces identical results.
+//
+// Two scheduling APIs coexist. The legacy closure form (At, After,
+// AfterTimer) takes a func() and is convenient for cold paths. The typed
+// form (AtE, AfterE, AfterTimerE) takes a plain function plus a receiver,
+// an object pointer and a scalar argument; because the function is not a
+// closure and pointers stored in interfaces do not allocate, a typed
+// schedule performs zero heap allocations in steady state. The hot paths
+// of every system model use the typed form.
 package sim
 
 import (
@@ -35,77 +43,107 @@ func (t Time) Duration() time.Duration { return time.Duration(t) }
 // String formats the instant as a duration since the epoch, e.g. "1.5ms".
 func (t Time) String() string { return time.Duration(t).String() }
 
-// event is a pending closure. seq provides FIFO ordering among events that
-// share a timestamp. index is the event's position in the heap, maintained so
-// cancellation (Timer.Stop) can remove it without a linear scan. gen guards
-// recycled events against stale Timer handles: each reuse increments it.
+// EventFunc is the typed event callback. recv is the scheduling component
+// (typically a struct pointer), obj an optional object flowing through the
+// event (a request, a frame payload), and arg an optional scalar. All three
+// are stored inline in the event, so a typed schedule allocates nothing.
+type EventFunc func(recv, obj any, arg uint64)
+
+// event is a pending callback. seq provides FIFO ordering among events that
+// share a timestamp. loc/level/slot/idx record where the event currently
+// lives (wheel slot, overflow heap, or ready buffer) so cancellation
+// (Timer.Stop) can remove it without a linear scan. gen guards recycled
+// events against stale Timer handles: each reuse increments it.
 type event struct {
 	at    Time
 	seq   uint64
-	fn    func()
-	index int    // position in heap; -1 once popped or cancelled
-	gen   uint32 // incremented on recycle
+	fn    EventFunc
+	recv  any
+	obj   any
+	arg   uint64
+	gen   uint32
+	loc   uint8
+	level uint8
+	slot  uint16
+	idx   int32
 }
 
 // Engine is a discrete-event simulator. The zero value is not usable; call
 // New. Engine is not safe for concurrent use: a simulation is a single
 // logical thread of control, which is what makes it reproducible.
+//
+// Internally the engine is a hierarchical timing wheel (see wheel.go) with
+// a binary-heap overflow level for events beyond the wheel horizon; the
+// combination preserves the exact (time, seq) total order of the original
+// pure-heap scheduler while making schedule/fire O(1) in steady state.
 type Engine struct {
-	now     Time
-	seq     uint64
+	now Time
+	seq uint64
+
+	// base is the wheel origin: the instant whose radix-64 digits index the
+	// wheel levels. Invariant: base <= now whenever user code can run, and
+	// every pending event has at >= base.
+	base  Time
+	occ   [wheelLevels]uint64 // per-level slot-occupancy bitmaps
+	slots [wheelLevels][wheelSlots][]*event
+
+	// heap holds overflow events beyond the wheel horizon from base,
+	// ordered by (at, seq). With refHeap set it holds every event and the
+	// engine degenerates to the original binary-heap scheduler, kept as
+	// the reference implementation for differential tests.
 	heap    []*event
-	free    []*event // recycled events (simulations schedule millions)
-	halted  bool
-	stepped uint64 // number of events executed
+	refHeap bool
+
+	// ready buffers the earliest pending instant's events in seq order;
+	// readyPos is the drain cursor. Cancelled-while-ready events are
+	// tombstoned in place and skipped.
+	ready     []*event
+	readyPos  int
+	readyTime Time
+
+	free      []*event // recycled events (simulations schedule millions)
+	pending   int      // scheduled, not yet fired or cancelled
+	highWater int      // max pending ever observed; sizes the free list
+	halted    bool
+	stepped   uint64 // number of events executed
 }
 
 // New returns an engine positioned at time zero with an empty event queue.
 func New() *Engine {
-	return &Engine{heap: make([]*event, 0, 1024)}
+	return &Engine{heap: make([]*event, 0, 64)}
 }
 
 // Now returns the current simulation time.
 func (e *Engine) Now() Time { return e.now }
 
 // Pending reports the number of scheduled (not yet fired) events.
-func (e *Engine) Pending() int { return len(e.heap) }
+func (e *Engine) Pending() int { return e.pending }
 
 // Executed reports how many events have fired since the engine was created.
 func (e *Engine) Executed() uint64 { return e.stepped }
 
+// HighWater reports the maximum number of simultaneously pending events
+// observed so far; it bounds the event free list (see recycle).
+func (e *Engine) HighWater() int { return e.highWater }
+
 // At schedules fn to run at the absolute instant t. Scheduling in the past
 // panics: a component that needs to "run now" should schedule at e.Now().
+// This closure form allocates; hot paths should use AtE.
 func (e *Engine) At(t Time, fn func()) {
+	e.AtE(t, runClosure, fn, nil, 0)
+}
+
+// runClosure adapts the legacy closure API onto the typed event path.
+func runClosure(recv, _ any, _ uint64) { recv.(func())() }
+
+// AtE schedules the typed event fn(recv, obj, arg) at the absolute instant
+// t. Scheduling in the past panics. AtE performs no heap allocation in
+// steady state (once the event free list is warm).
+func (e *Engine) AtE(t Time, fn EventFunc, recv, obj any, arg uint64) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v which is before now %v", t, e.now))
 	}
-	e.push(e.alloc(t, fn))
-}
-
-// alloc takes an event from the free list or the heap allocator.
-func (e *Engine) alloc(t Time, fn func()) *event {
-	var ev *event
-	if n := len(e.free); n > 0 {
-		ev = e.free[n-1]
-		e.free[n-1] = nil
-		e.free = e.free[:n-1]
-	} else {
-		ev = &event{}
-	}
-	ev.at = t
-	ev.seq = e.nextSeq()
-	ev.fn = fn
-	return ev
-}
-
-// recycle returns a finished or cancelled event to the free list,
-// invalidating any Timer handle that still points at it.
-func (e *Engine) recycle(ev *event) {
-	ev.gen++
-	ev.fn = nil
-	if len(e.free) < 4096 {
-		e.free = append(e.free, ev)
-	}
+	e.schedule(e.alloc(t, fn, recv, obj, arg))
 }
 
 // After schedules fn to run d after the current instant. Negative d panics.
@@ -116,6 +154,62 @@ func (e *Engine) After(d time.Duration, fn func()) {
 	e.At(e.now.Add(d), fn)
 }
 
+// AfterE schedules the typed event fn(recv, obj, arg) to run d after the
+// current instant. Negative d panics.
+func (e *Engine) AfterE(d time.Duration, fn EventFunc, recv, obj any, arg uint64) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.AtE(e.now.Add(d), fn, recv, obj, arg)
+}
+
+// alloc takes an event from the free list or the heap allocator.
+func (e *Engine) alloc(t Time, fn EventFunc, recv, obj any, arg uint64) *event {
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.at = t
+	e.seq++
+	ev.seq = e.seq
+	ev.fn = fn
+	ev.recv = recv
+	ev.obj = obj
+	ev.arg = arg
+	return ev
+}
+
+// recycle returns a finished or cancelled event to the free list,
+// invalidating any Timer handle that still points at it. The free list is
+// capped at the measured high-water mark of concurrently pending events: a
+// steady-state simulation can never consume recycled events faster than it
+// fires them, so the pool that sufficed at peak backlog suffices forever
+// after, and the cap adapts to the workload instead of a magic constant.
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.recv = nil
+	ev.obj = nil
+	ev.loc = locNone
+	if len(e.free) < e.highWater {
+		e.free = append(e.free, ev)
+	}
+}
+
+// schedule enters a freshly allocated event into the wheel (or overflow
+// heap) and maintains the pending high-water mark.
+func (e *Engine) schedule(ev *event) {
+	e.pending++
+	if e.pending > e.highWater {
+		e.highWater = e.pending
+	}
+	e.file(ev)
+}
+
 // Timer is a handle to a scheduled event that can be cancelled before it
 // fires. The zero value is an inert, already-stopped timer.
 type Timer struct {
@@ -124,20 +218,62 @@ type Timer struct {
 	gen uint32
 }
 
-// AfterTimer schedules fn to run d from now and returns a cancellable handle.
+// AfterTimer schedules fn to run d from now and returns a cancellable
+// handle. This closure form allocates; hot paths should use AfterTimerE.
 func (e *Engine) AfterTimer(d time.Duration, fn func()) *Timer {
+	return e.AfterTimerE(d, runClosure, fn, nil, 0)
+}
+
+// AfterTimerE schedules the typed event fn(recv, obj, arg) to run d from
+// now and returns a cancellable handle.
+func (e *Engine) AfterTimerE(d time.Duration, fn EventFunc, recv, obj any, arg uint64) *Timer {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
-	ev := e.alloc(e.now.Add(d), fn)
-	e.push(ev)
+	at := e.now.Add(d)
+	if at < e.now {
+		// Deadline overflowed Time. The wheel's total order rests on every
+		// pending event being >= the wheel origin, so a wrapped deadline
+		// must not enter the schedule.
+		panic(fmt.Sprintf("sim: delay %v from %v overflows simulated time", d, e.now))
+	}
+	ev := e.alloc(at, fn, recv, obj, arg)
+	e.schedule(ev)
 	return &Timer{e: e, ev: ev, gen: ev.gen}
 }
 
+// ArmAfterE is AfterTimerE writing into a caller-owned Timer value instead
+// of allocating a handle — for components that re-arm one timer per work
+// item (e.g. a core's slice/completion timer). tm must not be pending;
+// stale handles from fired or stopped events are fine.
+func (e *Engine) ArmAfterE(tm *Timer, d time.Duration, fn EventFunc, recv, obj any, arg uint64) {
+	if tm.live() {
+		panic("sim: ArmAfterE on a pending timer")
+	}
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	at := e.now.Add(d)
+	if at < e.now {
+		panic(fmt.Sprintf("sim: delay %v from %v overflows simulated time", d, e.now))
+	}
+	ev := e.alloc(at, fn, recv, obj, arg)
+	e.schedule(ev)
+	tm.e, tm.ev, tm.gen = e, ev, ev.gen
+}
+
 // live reports whether the handle still refers to its original, pending
-// event (recycled events bump their generation).
+// event (recycled events bump their generation; cancelled-while-ready
+// events are tombstoned with locReadyDead).
 func (t *Timer) live() bool {
-	return t != nil && t.ev != nil && t.ev.gen == t.gen && t.ev.index >= 0
+	if t == nil || t.ev == nil || t.ev.gen != t.gen {
+		return false
+	}
+	switch t.ev.loc {
+	case locWheel, locHeap, locReady:
+		return true
+	}
+	return false
 }
 
 // Stop cancels the timer. It reports whether the timer was still pending:
@@ -166,15 +302,19 @@ func (t *Timer) Deadline() Time {
 // Step executes the single earliest pending event. It reports false when the
 // queue is empty or the engine has been halted.
 func (e *Engine) Step() bool {
-	if e.halted || len(e.heap) == 0 {
+	if e.halted {
 		return false
 	}
-	ev := e.pop()
+	ev := e.next()
+	if ev == nil {
+		return false
+	}
 	e.now = ev.at
+	e.pending--
 	e.stepped++
-	fn := ev.fn
+	fn, recv, obj, arg := ev.fn, ev.recv, ev.obj, ev.arg
 	e.recycle(ev)
-	fn()
+	fn(recv, obj, arg)
 	return true
 }
 
@@ -187,7 +327,11 @@ func (e *Engine) Run() {
 // RunUntil executes events with timestamps <= t, then advances the clock to
 // t. Events scheduled exactly at t do fire.
 func (e *Engine) RunUntil(t Time) {
-	for !e.halted && len(e.heap) > 0 && e.heap[0].at <= t {
+	for !e.halted {
+		next, ok := e.peekTime()
+		if !ok || next > t {
+			break
+		}
 		e.Step()
 	}
 	if !e.halted && e.now < t {
@@ -204,91 +348,3 @@ func (e *Engine) Resume() { e.halted = false }
 
 // Halted reports whether the engine is halted.
 func (e *Engine) Halted() bool { return e.halted }
-
-func (e *Engine) nextSeq() uint64 {
-	e.seq++
-	return e.seq
-}
-
-// less orders the heap by (time, sequence) so same-instant events preserve
-// scheduling order.
-func eventLess(a, b *event) bool {
-	if a.at != b.at {
-		return a.at < b.at
-	}
-	return a.seq < b.seq
-}
-
-func (e *Engine) push(ev *event) {
-	ev.index = len(e.heap)
-	e.heap = append(e.heap, ev)
-	e.up(ev.index)
-}
-
-func (e *Engine) pop() *event {
-	ev := e.heap[0]
-	last := len(e.heap) - 1
-	e.heap[0] = e.heap[last]
-	e.heap[0].index = 0
-	e.heap[last] = nil
-	e.heap = e.heap[:last]
-	if last > 0 {
-		e.down(0)
-	}
-	ev.index = -1
-	return ev
-}
-
-func (e *Engine) remove(ev *event) {
-	i := ev.index
-	last := len(e.heap) - 1
-	if i < 0 || i > last || e.heap[i] != ev {
-		return
-	}
-	e.heap[i] = e.heap[last]
-	e.heap[i].index = i
-	e.heap[last] = nil
-	e.heap = e.heap[:last]
-	if i < last {
-		e.down(i)
-		e.up(i)
-	}
-	ev.index = -1
-	e.recycle(ev)
-}
-
-func (e *Engine) up(i int) {
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !eventLess(e.heap[i], e.heap[parent]) {
-			break
-		}
-		e.swap(i, parent)
-		i = parent
-	}
-}
-
-func (e *Engine) down(i int) {
-	n := len(e.heap)
-	for {
-		left := 2*i + 1
-		if left >= n {
-			break
-		}
-		smallest := left
-		if right := left + 1; right < n && eventLess(e.heap[right], e.heap[left]) {
-			smallest = right
-		}
-		if !eventLess(e.heap[smallest], e.heap[i]) {
-			break
-		}
-		e.swap(i, smallest)
-		i = smallest
-	}
-}
-
-func (e *Engine) swap(i, j int) {
-	e.heap[i], e.heap[j] = e.heap[j], e.heap[i]
-	e.heap[i].index = i
-	e.heap[j].index = j
-}

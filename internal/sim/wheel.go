@@ -1,0 +1,348 @@
+// Hierarchical timing wheel.
+//
+// The scheduler is a 7-level radix-64 calendar queue indexed by the digits
+// of the event's absolute nanosecond timestamp, with a binary heap as an
+// overflow level for events beyond the wheel horizon (64^7 ns ≈ 73 min
+// from the wheel origin). Scheduling and firing are O(1) amortized; the
+// heap — formerly the whole scheduler — now touches only far-future events
+// such as watchdogs.
+//
+// Leveling uses the XOR-prefix rule: an event lives at the level of its
+// highest radix-64 digit that differs from the wheel origin `base`
+// (level 0 if at == base). Because events are never scheduled before base,
+// the differing digit of an event is always strictly greater than base's
+// digit at that level, which yields the two invariants the total order
+// rests on:
+//
+//  1. Every occupied slot at a level is strictly after base's current digit
+//     at that level — a bitmap scan from the low end finds the earliest
+//     slot with no wraparound ambiguity.
+//  2. All events at level L fire before any event at level L+1, because a
+//     level-L event shares digits ≥ L+1 with base while a level-(L+1)
+//     event exceeds base in digit L+1.
+//
+// Level-0 slots are single nanosecond instants (all events in one slot
+// share a timestamp), so draining a slot and sorting it by sequence number
+// reproduces the exact (time, seq) FIFO order of the old heap. Higher-level
+// slots are unordered bags; when the lowest occupied level L > 0, the wheel
+// origin advances to the start of that slot's 64^L window and the slot's
+// events cascade into levels < L.
+//
+// The origin only advances inside Step (while firing), never from a peek:
+// user code runs between steps and may schedule at any t >= now, so base
+// must stay <= now whenever user code can run. RunUntil therefore probes
+// the schedule with a read-only peekTime.
+package sim
+
+import "math/bits"
+
+const (
+	wheelBits   = 6
+	wheelSlots  = 1 << wheelBits          // 64 slots per level
+	wheelLevels = 7                       // 64^7 ns ≈ 73 min horizon
+	wheelSpan   = wheelBits * wheelLevels // bits covered by the wheel
+	wheelMask   = uint64(wheelSlots) - 1  // low-digit mask
+)
+
+// Event locations, recorded in event.loc so cancellation knows which
+// structure to remove from.
+const (
+	locNone      uint8 = iota // fired, cancelled, or on the free list
+	locWheel                  // slots[level][slot][idx]
+	locHeap                   // overflow heap at idx
+	locReady                  // drained into the ready buffer, not yet fired
+	locReadyDead              // cancelled while in the ready buffer
+)
+
+// file places ev into the wheel level selected by the XOR-prefix rule, or
+// into the overflow heap when at is beyond the wheel horizon from base.
+// Requires ev.at >= e.base.
+func (e *Engine) file(ev *event) {
+	diff := uint64(ev.at) ^ uint64(e.base)
+	if e.refHeap || diff>>wheelSpan != 0 {
+		e.heapPush(ev)
+		return
+	}
+	lvl := 0
+	if diff != 0 {
+		lvl = (bits.Len64(diff) - 1) / wheelBits
+	}
+	slot := (uint64(ev.at) >> (lvl * wheelBits)) & wheelMask
+	sl := e.slots[lvl][slot]
+	ev.loc, ev.level, ev.slot, ev.idx = locWheel, uint8(lvl), uint16(slot), int32(len(sl))
+	e.slots[lvl][slot] = append(sl, ev)
+	e.occ[lvl] |= 1 << slot
+}
+
+// lowestOccupied returns the lowest level > 0 with any occupied slot, or 0
+// when levels 1..6 are all empty (level 0 is checked by the caller).
+func (e *Engine) lowestOccupied() int {
+	for lvl := 1; lvl < wheelLevels; lvl++ {
+		if e.occ[lvl] != 0 {
+			return lvl
+		}
+	}
+	return 0
+}
+
+// ensureReady guarantees the ready buffer holds the earliest pending
+// instant's events in seq order, cascading higher wheel levels and the
+// overflow heap as needed. It reports false when nothing is pending. Only
+// Step may call it: it advances the wheel origin.
+func (e *Engine) ensureReady() bool {
+	for {
+		// Drain cursor first: skip tombstones left by Timer.Stop on events
+		// that were already drained into the ready buffer.
+		for e.readyPos < len(e.ready) {
+			ev := e.ready[e.readyPos]
+			if ev.loc == locReady {
+				return true
+			}
+			e.ready[e.readyPos] = nil
+			e.readyPos++
+			e.recycle(ev) // pending was decremented at Stop time
+		}
+		e.ready = e.ready[:0]
+		e.readyPos = 0
+
+		if e.occ[0] != 0 {
+			// A level-0 slot is a single instant: drain it whole, sort by
+			// seq, and it becomes the ready buffer. The buffers swap so
+			// both retain their capacity across instants.
+			slot := bits.TrailingZeros64(e.occ[0])
+			e.occ[0] &^= 1 << slot
+			sl := e.slots[0][slot]
+			e.slots[0][slot] = e.ready
+			e.ready = sl
+			e.readyTime = sl[0].at
+			e.base = e.readyTime
+			if len(sl) > 1 {
+				sortBySeq(sl)
+			}
+			for _, ev := range sl {
+				ev.loc = locReady
+			}
+			return true
+		}
+
+		if lvl := e.lowestOccupied(); lvl > 0 {
+			// Cascade: advance the origin to the start of the earliest
+			// occupied slot's window; its events re-file strictly below lvl.
+			slot := bits.TrailingZeros64(e.occ[lvl])
+			e.occ[lvl] &^= 1 << slot
+			shift := uint(lvl * wheelBits)
+			newBase := uint64(e.base) &^ (1<<(shift+wheelBits) - 1)
+			newBase |= uint64(slot) << shift
+			e.base = Time(newBase)
+			sl := e.slots[lvl][slot]
+			for _, ev := range sl {
+				e.file(ev)
+			}
+			clear(sl)
+			e.slots[lvl][slot] = sl[:0]
+			continue
+		}
+
+		if len(e.heap) > 0 {
+			if e.refHeap {
+				// Reference mode: pop one instant straight off the heap.
+				// (at, seq) heap order delivers it already seq-sorted.
+				t := e.heap[0].at
+				for len(e.heap) > 0 && e.heap[0].at == t {
+					ev := e.heapPop()
+					ev.loc = locReady
+					e.ready = append(e.ready, ev)
+				}
+				e.readyTime = t
+				e.base = t
+				return true
+			}
+			// New overflow epoch: jump the origin to the earliest overflow
+			// event and pull everything now within the horizon into the
+			// wheel.
+			e.base = e.heap[0].at
+			for len(e.heap) > 0 && (uint64(e.heap[0].at)^uint64(e.base))>>wheelSpan == 0 {
+				e.file(e.heapPop())
+			}
+			continue
+		}
+
+		return false
+	}
+}
+
+// next returns the earliest pending event, removed from the schedule, or
+// nil when none is pending.
+func (e *Engine) next() *event {
+	if !e.ensureReady() {
+		return nil
+	}
+	ev := e.ready[e.readyPos]
+	e.ready[e.readyPos] = nil
+	e.readyPos++
+	ev.loc = locNone
+	return ev
+}
+
+// peekTime returns the earliest pending instant without mutating the wheel
+// (no cascade, no origin advance): RunUntil probes the schedule between
+// steps, when user code may still schedule events at any t >= now, so the
+// origin must not move past now here.
+func (e *Engine) peekTime() (Time, bool) {
+	for e.readyPos < len(e.ready) {
+		ev := e.ready[e.readyPos]
+		if ev.loc == locReady {
+			return e.readyTime, true
+		}
+		e.ready[e.readyPos] = nil
+		e.readyPos++
+		e.recycle(ev)
+	}
+	if e.occ[0] != 0 {
+		slot := bits.TrailingZeros64(e.occ[0])
+		return e.slots[0][slot][0].at, true
+	}
+	if lvl := e.lowestOccupied(); lvl > 0 {
+		slot := bits.TrailingZeros64(e.occ[lvl])
+		best := MaxTime
+		for _, ev := range e.slots[lvl][slot] {
+			if ev.at < best {
+				best = ev.at
+			}
+		}
+		return best, true
+	}
+	if len(e.heap) > 0 {
+		return e.heap[0].at, true
+	}
+	return 0, false
+}
+
+// remove cancels a pending event wherever it currently lives. Events
+// already drained into the ready buffer are tombstoned in place (the drain
+// cursor recycles them); wheel and heap residents are removed immediately.
+func (e *Engine) remove(ev *event) {
+	switch ev.loc {
+	case locWheel:
+		sl := e.slots[ev.level][ev.slot]
+		last := len(sl) - 1
+		if i := int(ev.idx); i >= 0 && i <= last && sl[i] == ev {
+			sl[i] = sl[last]
+			sl[i].idx = int32(i)
+			sl[last] = nil
+			e.slots[ev.level][ev.slot] = sl[:last]
+			if last == 0 {
+				e.occ[ev.level] &^= 1 << ev.slot
+			}
+		}
+		e.pending--
+		e.recycle(ev)
+	case locHeap:
+		e.heapRemove(ev)
+		e.pending--
+		e.recycle(ev)
+	case locReady:
+		ev.loc = locReadyDead
+		e.pending--
+	}
+}
+
+// sortBySeq orders one drained slot by sequence number (all entries share a
+// timestamp; seqs are unique). Insertion sort: slots hold a handful of
+// same-instant events, and the common burst arrives already ordered.
+func sortBySeq(sl []*event) {
+	for i := 1; i < len(sl); i++ {
+		ev := sl[i]
+		j := i - 1
+		for j >= 0 && sl[j].seq > ev.seq {
+			sl[j+1] = sl[j]
+			j--
+		}
+		sl[j+1] = ev
+	}
+}
+
+// Overflow heap: the original binary-heap scheduler, ordered by (at, seq),
+// with index-tracked removal. Doubles as the reference implementation when
+// refHeap is set.
+
+func heapLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) heapPush(ev *event) {
+	ev.loc = locHeap
+	ev.idx = int32(len(e.heap))
+	e.heap = append(e.heap, ev)
+	e.heapUp(int(ev.idx))
+}
+
+func (e *Engine) heapPop() *event {
+	ev := e.heap[0]
+	last := len(e.heap) - 1
+	e.heap[0] = e.heap[last]
+	e.heap[0].idx = 0
+	e.heap[last] = nil
+	e.heap = e.heap[:last]
+	if last > 0 {
+		e.heapDown(0)
+	}
+	ev.loc = locNone
+	return ev
+}
+
+func (e *Engine) heapRemove(ev *event) {
+	i := int(ev.idx)
+	last := len(e.heap) - 1
+	if i < 0 || i > last || e.heap[i] != ev {
+		return
+	}
+	e.heap[i] = e.heap[last]
+	e.heap[i].idx = int32(i)
+	e.heap[last] = nil
+	e.heap = e.heap[:last]
+	if i < last {
+		e.heapDown(i)
+		e.heapUp(i)
+	}
+	ev.loc = locNone
+}
+
+func (e *Engine) heapUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !heapLess(e.heap[i], e.heap[parent]) {
+			break
+		}
+		e.heapSwap(i, parent)
+		i = parent
+	}
+}
+
+func (e *Engine) heapDown(i int) {
+	n := len(e.heap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		smallest := left
+		if right := left + 1; right < n && heapLess(e.heap[right], e.heap[left]) {
+			smallest = right
+		}
+		if !heapLess(e.heap[smallest], e.heap[i]) {
+			break
+		}
+		e.heapSwap(i, smallest)
+		i = smallest
+	}
+}
+
+func (e *Engine) heapSwap(i, j int) {
+	e.heap[i], e.heap[j] = e.heap[j], e.heap[i]
+	e.heap[i].idx = int32(i)
+	e.heap[j].idx = int32(j)
+}

@@ -1,0 +1,267 @@
+package sim
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+)
+
+// The timing wheel must be observationally identical to the original
+// binary-heap scheduler: same fire order, same timestamps, same Executed()
+// and Pending() counts, same Timer.Stop results. The heap survives as the
+// overflow level, and refHeap routes every event through it, turning the
+// engine back into the old pure-heap scheduler — the reference
+// implementation these tests compare against.
+
+func newRefEngine() *Engine {
+	e := New()
+	e.refHeap = true
+	return e
+}
+
+// firing is one observed callback execution.
+type firing struct {
+	id int
+	at Time
+}
+
+// side is one engine plus its observation log.
+type side struct {
+	eng *Engine
+	log []firing
+}
+
+func (s *side) add(id int) { s.log = append(s.log, firing{id, s.eng.Now()}) }
+
+// logFire is the typed-API observation callback.
+func logFire(recv, _ any, arg uint64) {
+	s := recv.(*side)
+	s.add(int(arg))
+}
+
+// script interprets data as a deterministic op stream applied identically
+// to the wheel engine and the reference heap engine, then verifies the two
+// observations match exactly. It exercises: delays across every wheel
+// level and the overflow horizon, same-instant bursts, scheduling at the
+// current instant from inside a callback (drain-time insertion),
+// cancellation from the wheel, the heap, and the ready buffer,
+// cancel-then-reschedule, partial stepping, and RunUntil boundaries.
+func script(t *testing.T, data []byte) {
+	t.Helper()
+	wheel := &side{eng: New()}
+	ref := &side{eng: newRefEngine()}
+	sides := [2]*side{wheel, ref}
+
+	var timers [2][]*Timer // parallel per-side handles
+	nextID := 0
+	pos := 0
+	next := func() byte {
+		if pos >= len(data) {
+			return 0
+		}
+		b := data[pos]
+		pos++
+		return b
+	}
+
+	for pos < len(data) {
+		switch op := next() % 7; op {
+		case 0, 1: // schedule one event; delay spans all levels + overflow
+			lo := uint64(next()) | uint64(next())<<8
+			shift := uint(next()) % 48
+			d := time.Duration(lo << shift)
+			if d < 0 {
+				d = time.Duration(lo)
+			}
+			// Keep deadlines clear of Time overflow: the engine panics on
+			// wrapped deadlines, and the point here is scheduling order.
+			if rem := MaxTime - wheel.eng.Now(); Time(d) > rem/2 {
+				d = time.Duration(rem / 2)
+			}
+			id := nextID
+			nextID++
+			if op == 0 { // typed API
+				for i, s := range sides {
+					timers[i] = append(timers[i], s.eng.AfterTimerE(d, logFire, s, nil, uint64(id)))
+				}
+			} else { // legacy closure API
+				for i, s := range sides {
+					s := s
+					timers[i] = append(timers[i], s.eng.AfterTimer(d, func() { s.add(id) }))
+				}
+			}
+		case 2: // same-instant burst
+			n := int(next())%6 + 2
+			d := time.Duration(next())
+			for k := 0; k < n; k++ {
+				id := nextID
+				nextID++
+				for _, s := range sides {
+					s.eng.AfterE(d, logFire, s, nil, uint64(id))
+				}
+			}
+		case 3: // event that schedules another at its own instant (drain-time insert)
+			d := time.Duration(uint64(next()) << (uint(next()) % 20))
+			id := nextID
+			nextID += 2
+			for _, s := range sides {
+				s := s
+				s.eng.After(d, func() {
+					s.add(id)
+					s.eng.AtE(s.eng.Now(), logFire, s, nil, uint64(id+1))
+				})
+			}
+		case 4: // cancel a prior timer on both sides; results must agree
+			if len(timers[0]) == 0 {
+				continue
+			}
+			i := int(next()) % len(timers[0])
+			a := timers[0][i].Stop()
+			b := timers[1][i].Stop()
+			if a != b {
+				t.Fatalf("Stop() diverged on timer %d: wheel=%v ref=%v", i, a, b)
+			}
+		case 5: // partial stepping
+			n := int(next()) % 16
+			for k := 0; k < n; k++ {
+				a := wheel.eng.Step()
+				b := ref.eng.Step()
+				if a != b {
+					t.Fatalf("Step() diverged: wheel=%v ref=%v", a, b)
+				}
+			}
+		case 6: // bounded run
+			d := time.Duration(uint64(next())<<uint(next()%24) + 1)
+			until := wheel.eng.Now().Add(d)
+			wheel.eng.RunUntil(until)
+			ref.eng.RunUntil(until)
+		}
+		if wheel.eng.Now() != ref.eng.Now() {
+			t.Fatalf("clocks diverged: wheel=%v ref=%v", wheel.eng.Now(), ref.eng.Now())
+		}
+		if wheel.eng.Pending() != ref.eng.Pending() {
+			t.Fatalf("Pending diverged: wheel=%d ref=%d", wheel.eng.Pending(), ref.eng.Pending())
+		}
+	}
+
+	wheel.eng.Run()
+	ref.eng.Run()
+
+	if wheel.eng.Executed() != ref.eng.Executed() {
+		t.Fatalf("Executed diverged: wheel=%d ref=%d", wheel.eng.Executed(), ref.eng.Executed())
+	}
+	if wheel.eng.Pending() != 0 || ref.eng.Pending() != 0 {
+		t.Fatalf("events left pending after Run: wheel=%d ref=%d", wheel.eng.Pending(), ref.eng.Pending())
+	}
+	if len(wheel.log) != len(ref.log) {
+		t.Fatalf("fire counts diverged: wheel=%d ref=%d", len(wheel.log), len(ref.log))
+	}
+	for i := range wheel.log {
+		if wheel.log[i] != ref.log[i] {
+			t.Fatalf("firing %d diverged: wheel=%+v ref=%+v", i, wheel.log[i], ref.log[i])
+		}
+	}
+}
+
+// TestWheelVsHeapRandomized drives long random scripts through both
+// schedulers. Failures reproduce exactly from the printed seed.
+func TestWheelVsHeapRandomized(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewPCG(seed, 0x9e3779b9))
+		n := 2000
+		if testing.Short() {
+			n = 300
+		}
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(rng.Uint32())
+		}
+		t.Run("", func(t *testing.T) { script(t, data) })
+	}
+}
+
+// FuzzWheelVsHeap lets the fuzzer search for schedules where the wheel and
+// the reference heap disagree. The checked-in corpus covers each op plus
+// known-delicate shapes: overflow-horizon delays, cancel-while-ready, and
+// same-instant bursts straddling a cascade.
+func FuzzWheelVsHeap(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 0})
+	f.Add([]byte{2, 5, 0, 0, 1, 255, 255, 47, 4, 0, 5, 15})
+	f.Add([]byte{0, 255, 255, 47, 0, 1, 0, 0, 4, 0, 4, 1, 5, 9})
+	f.Add([]byte{3, 200, 18, 3, 0, 0, 5, 3, 4, 0, 6, 9, 23})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			t.Skip("cap script length")
+		}
+		script(t, data)
+	})
+}
+
+// TestWheelDeepLevelsAndOverflow pins the cascade and overflow-epoch paths
+// directly: events at every level boundary plus several beyond the 64^7 ns
+// horizon must still fire in global (time, seq) order.
+func TestWheelDeepLevelsAndOverflow(t *testing.T) {
+	e := New()
+	var got []Time
+	var want []Time
+	at := func(tm Time) {
+		want = append(want, tm)
+		e.AtE(tm, func(recv, _ any, _ uint64) {
+			eng := recv.(*Engine)
+			got = append(got, eng.Now())
+		}, e, nil, 0)
+	}
+	// One event per level: 64^k + 1 for k = 0..6, then overflow.
+	var ts []Time
+	v := Time(1)
+	for k := 0; k < 7; k++ {
+		ts = append(ts, v+1)
+		v *= 64
+	}
+	ts = append(ts, Time(1)<<wheelSpan+7, Time(1)<<wheelSpan+7+Time(1)<<wheelSpan)
+	// Schedule in reverse so insertion order disagrees with time order.
+	for i := len(ts) - 1; i >= 0; i-- {
+		at(ts[i])
+	}
+	// Sort want (ascending times).
+	for i := 1; i < len(want); i++ {
+		for j := i; j > 0 && want[j] < want[j-1]; j-- {
+			want[j], want[j-1] = want[j-1], want[j]
+		}
+	}
+	e.Run()
+	if len(got) != len(want) {
+		t.Fatalf("fired %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fire %d at %v, want %v (full: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+// TestFreeListTracksHighWater verifies the recycle cap follows the
+// measured peak backlog instead of a magic constant.
+func TestFreeListTracksHighWater(t *testing.T) {
+	e := New()
+	const n = 10_000 // well beyond the old 4096 cap
+	for i := 0; i < n; i++ {
+		e.At(Time(i), func() {})
+	}
+	if e.HighWater() != n {
+		t.Fatalf("HighWater = %d, want %d", e.HighWater(), n)
+	}
+	e.Run()
+	if got := len(e.free); got != n {
+		t.Fatalf("free list holds %d events after drain, want %d (high-water cap)", got, n)
+	}
+	// Steady state far below the peak: the free list must not grow past
+	// the high-water mark.
+	for i := 0; i < 100; i++ {
+		e.After(time.Nanosecond, func() {})
+		e.Run()
+	}
+	if got := len(e.free); got > n {
+		t.Fatalf("free list grew to %d, beyond high-water %d", got, n)
+	}
+}

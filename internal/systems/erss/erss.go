@@ -110,7 +110,7 @@ func New(eng *sim.Engine, cfg Config, rec *stats.Recorder, done func(*task.Reque
 		s.workers = append(s.workers, w)
 	}
 	// The reprovisioning loop runs on the NIC from host load feedback.
-	eng.After(cfg.Interval, s.reprovision)
+	eng.AfterE(cfg.Interval, erssReprovision, s, nil, 0)
 	return s
 }
 
@@ -119,12 +119,22 @@ func (s *ERSS) Name() string { return "erss" }
 
 // Inject admits a client request at the current instant.
 func (s *ERSS) Inject(req *task.Request) {
-	s.ingress.Send(s.cfg.P.RequestFrameBytes, func() {
-		// RSS hash over the provisioned set only.
-		w := s.workers[int(splitmix64(req.ID)%uint64(s.provisioned))]
-		w.q.Push(req)
-		w.maybeStart()
-	})
+	s.ingress.SendT(s.cfg.P.RequestFrameBytes, erssIngress, s, req, 0)
+}
+
+// erssIngress fires when a request frame reaches the NIC: RSS hash over
+// the provisioned set only.
+func erssIngress(recv, obj any, _ uint64) {
+	s := recv.(*ERSS)
+	req := obj.(*task.Request)
+	w := s.workers[int(splitmix64(req.ID)%uint64(s.provisioned))]
+	w.q.Push(req)
+	w.maybeStart()
+}
+
+// erssReprovision is the periodic reprovisioning tick.
+func erssReprovision(recv, _ any, _ uint64) {
+	recv.(*ERSS).reprovision()
 }
 
 // reprovision implements the elastic part: watermark-based resizing of the
@@ -148,7 +158,7 @@ func (s *ERSS) reprovision() {
 		s.provisioned--
 		s.resizes++
 	}
-	s.eng.After(s.cfg.Interval, s.reprovision)
+	s.eng.AfterE(s.cfg.Interval, erssReprovision, s, nil, 0)
 }
 
 func (w *worker) maybeStart() {
@@ -157,23 +167,35 @@ func (w *worker) maybeStart() {
 	}
 	w.starting = true
 	cost := w.sys.cfg.P.HostNetworkerCost + w.sys.cfg.P.PickupCost(false)
-	w.sys.eng.After(cost, func() {
-		w.starting = false
-		if req, ok := w.q.Pop(); ok {
-			w.exec.Start(req)
-		}
-	})
+	w.sys.eng.AfterE(cost, erssPickup, w, nil, 0)
+}
+
+// erssPickup fires once parse+pickup has elapsed.
+func erssPickup(recv, _ any, _ uint64) {
+	w := recv.(*worker)
+	w.starting = false
+	if req, ok := w.q.Pop(); ok {
+		w.exec.Start(req)
+	}
 }
 
 func (w *worker) onComplete(req *task.Request) {
-	p := w.sys.cfg.P
-	sys := w.sys
 	w.post = true
-	sys.eng.After(p.WorkerResponseCost, func() {
-		sys.egress.Send(p.ResponseFrameBytes, func() { sys.done(req) })
-		w.post = false
-		w.maybeStart()
-	})
+	w.sys.eng.AfterE(w.sys.cfg.P.WorkerResponseCost, erssResponseBuilt, w, req, 0)
+}
+
+// erssResponseBuilt fires once the worker has built the response packet.
+func erssResponseBuilt(recv, obj any, _ uint64) {
+	w := recv.(*worker)
+	sys := w.sys
+	sys.egress.SendT(sys.cfg.P.ResponseFrameBytes, erssRespond, sys, obj, 0)
+	w.post = false
+	w.maybeStart()
+}
+
+// erssRespond fires when the response frame reaches the client.
+func erssRespond(recv, obj any, _ uint64) {
+	recv.(*ERSS).done(obj.(*task.Request))
 }
 
 // Provisioned returns the current RSS set size.

@@ -56,6 +56,10 @@ type Valet struct {
 	egress  *fabric.Link
 	ni      *fabric.MultiStage[niEvent]
 	workers []*worker
+
+	// asScratch is the reusable assignment buffer for the NI's scheduling
+	// calls (consumed synchronously per event).
+	asScratch []core.Assignment
 }
 
 type worker struct {
@@ -119,24 +123,33 @@ func (s *Valet) Name() string { return "rpcvalet" }
 
 // Inject admits a client request at the current instant.
 func (s *Valet) Inject(req *task.Request) {
-	s.ingress.Send(s.cfg.P.RequestFrameBytes, func() {
-		s.ni.Submit(ncNew, niEvent{kind: evNew, req: req})
-	})
+	s.ingress.SendT(s.cfg.P.RequestFrameBytes, niIngress, s, req, 0)
+}
+
+// niIngress fires when a request frame reaches the integrated NI.
+func niIngress(recv, obj any, _ uint64) {
+	s := recv.(*Valet)
+	s.ni.Submit(ncNew, niEvent{kind: evNew, req: obj.(*task.Request)})
 }
 
 func (s *Valet) handleNIEvent(ev niEvent) {
-	var as []core.Assignment
+	as := s.asScratch[:0]
 	switch ev.kind {
 	case evNew:
-		as = s.lgc.Enqueue(s.eng.Now(), ev.req)
+		as = s.lgc.EnqueueTo(as, s.eng.Now(), ev.req)
 	case evFinish:
-		as = s.lgc.Complete(ev.worker)
+		as = s.lgc.CompleteTo(as, ev.worker)
 	}
 	for _, a := range as {
-		a := a
 		w := s.workers[a.Worker]
-		w.fromNI.Send(0, func() { w.receive(a.Req) })
+		w.fromNI.SendT(0, niDeliver, w, a.Req, 0)
 	}
+	s.asScratch = as[:0]
+}
+
+// niDeliver fires when an assignment crosses the NI→core link.
+func niDeliver(recv, obj any, _ uint64) {
+	recv.(*worker).receive(obj.(*task.Request))
 }
 
 func (w *worker) receive(req *task.Request) {
@@ -149,29 +162,46 @@ func (w *worker) maybeStart() {
 		return
 	}
 	w.starting = true
-	w.sys.eng.After(w.sys.cfg.P.PickupCost(false), func() {
-		w.starting = false
-		if len(w.stash) == 0 {
-			return
-		}
-		req := w.stash[0]
-		w.stash = w.stash[1:]
-		w.exec.Start(req)
-	})
+	w.sys.eng.AfterE(w.sys.cfg.P.PickupCost(false), niPickup, w, nil, 0)
+}
+
+// niPickup fires once the pickup cost has elapsed.
+func niPickup(recv, _ any, _ uint64) {
+	w := recv.(*worker)
+	w.starting = false
+	if len(w.stash) == 0 {
+		return
+	}
+	req := w.stash[0]
+	w.stash = w.stash[1:]
+	w.exec.Start(req)
 }
 
 func (w *worker) onComplete(req *task.Request) {
-	p := w.sys.cfg.P
-	sys := w.sys
 	w.post = true
-	sys.eng.After(p.WorkerResponseCost, func() {
-		sys.egress.Send(p.ResponseFrameBytes, func() { sys.done(req) })
-		w.toNI.Send(0, func() {
-			sys.ni.Submit(ncNotif, niEvent{kind: evFinish, worker: w.id})
-		})
-		w.post = false
-		w.maybeStart()
-	})
+	w.sys.eng.AfterE(w.sys.cfg.P.WorkerResponseCost, niResponseBuilt, w, req, 0)
+}
+
+// niResponseBuilt fires once the worker has built the response packet.
+func niResponseBuilt(recv, obj any, _ uint64) {
+	w := recv.(*worker)
+	sys := w.sys
+	req := obj.(*task.Request)
+	sys.egress.SendT(sys.cfg.P.ResponseFrameBytes, niRespond, sys, req, 0)
+	w.toNI.SendT(0, niNotifyFinish, w, nil, 0)
+	w.post = false
+	w.maybeStart()
+}
+
+// niRespond fires when the response frame reaches the client.
+func niRespond(recv, obj any, _ uint64) {
+	recv.(*Valet).done(obj.(*task.Request))
+}
+
+// niNotifyFinish fires when the completion notification reaches the NI.
+func niNotifyFinish(recv, _ any, _ uint64) {
+	w := recv.(*worker)
+	w.sys.ni.Submit(ncNotif, niEvent{kind: evFinish, worker: w.id})
 }
 
 // WorkerIdleFraction returns the mean idle fraction across cores.

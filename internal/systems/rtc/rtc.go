@@ -132,7 +132,12 @@ func (s *Pool) Name() string {
 // Inject admits a client request at the current instant.
 func (s *Pool) Inject(req *task.Request) {
 	s.attr.Arrive(s.eng.Now(), req.ID, req.Service)
-	s.ingress.Send(s.cfg.P.RequestFrameBytes, func() { s.steer(req) })
+	s.ingress.SendT(s.cfg.P.RequestFrameBytes, rtcIngress, s, req, 0)
+}
+
+// rtcIngress fires when a request frame reaches the NIC: steer it.
+func rtcIngress(recv, obj any, _ uint64) {
+	recv.(*Pool).steer(obj.(*task.Request))
 }
 
 // trueLoad returns the worker's resident backlog in ns — remaining work
@@ -209,17 +214,22 @@ func (s *Pool) wakeStealer(victim int) {
 			continue
 		}
 		w.starting = true
-		w.sys.eng.After(s.cfg.P.StealCost, func() {
-			w.starting = false
-			// Steal from the victim's queue tail; it may have drained.
-			if req, ok := s.workers[victim].q.PopTail(); ok {
-				s.begin(w, req)
-				return
-			}
-			w.maybeStart()
-		})
+		w.sys.eng.AfterE(s.cfg.P.StealCost, rtcSteal, w, nil, uint64(victim))
 		return
 	}
+}
+
+// rtcSteal fires once the steal cost has elapsed: take the victim's queue
+// tail (it may have drained in the meantime).
+func rtcSteal(recv, _ any, victim uint64) {
+	w := recv.(*worker)
+	s := w.sys
+	w.starting = false
+	if req, ok := s.workers[victim].q.PopTail(); ok {
+		s.begin(w, req)
+		return
+	}
+	w.maybeStart()
 }
 
 // maybeStart begins the next queued request on this core.
@@ -231,13 +241,16 @@ func (w *worker) maybeStart() {
 	// A run-to-completion core does its own packet parsing (that is the
 	// point: no inter-core handoff).
 	cost := w.sys.cfg.P.HostNetworkerCost + w.sys.cfg.P.PickupCost(false)
-	w.sys.eng.After(cost, func() {
-		w.starting = false
-		if req, ok := w.q.Pop(); ok {
-			w.sys.begin(w, req)
-			return
-		}
-	})
+	w.sys.eng.AfterE(cost, rtcPickup, w, nil, 0)
+}
+
+// rtcPickup fires once parse+pickup has elapsed: start the queue head.
+func rtcPickup(recv, _ any, _ uint64) {
+	w := recv.(*worker)
+	w.starting = false
+	if req, ok := w.q.Pop(); ok {
+		w.sys.begin(w, req)
+	}
 }
 
 func (s *Pool) begin(w *worker, req *task.Request) {
@@ -246,22 +259,32 @@ func (s *Pool) begin(w *worker, req *task.Request) {
 }
 
 func (w *worker) onComplete(req *task.Request) {
-	p := w.sys.cfg.P
 	sys := w.sys
 	sys.attr.Complete(sys.eng.Now(), req.ID)
 	w.post = true
-	sys.eng.After(p.WorkerResponseCost, func() {
-		sys.egress.Send(p.ResponseFrameBytes, func() {
-			sys.attr.Respond(sys.eng.Now(), req.ID)
-			sys.done(req)
-		})
-		w.post = false
-		w.maybeStart()
-		if sys.cfg.WorkStealing && !w.exec.Busy() && !w.starting && w.q.Len() == 0 {
-			// Went idle: scan siblings for stealable work.
-			sys.stealInto(w)
-		}
-	})
+	sys.eng.AfterE(sys.cfg.P.WorkerResponseCost, rtcResponseBuilt, w, req, 0)
+}
+
+// rtcResponseBuilt fires once the worker has built the response packet.
+func rtcResponseBuilt(recv, obj any, _ uint64) {
+	w := recv.(*worker)
+	sys := w.sys
+	req := obj.(*task.Request)
+	sys.egress.SendT(sys.cfg.P.ResponseFrameBytes, rtcRespond, sys, req, 0)
+	w.post = false
+	w.maybeStart()
+	if sys.cfg.WorkStealing && !w.exec.Busy() && !w.starting && w.q.Len() == 0 {
+		// Went idle: scan siblings for stealable work.
+		sys.stealInto(w)
+	}
+}
+
+// rtcRespond fires when the response frame reaches the client.
+func rtcRespond(recv, obj any, _ uint64) {
+	s := recv.(*Pool)
+	req := obj.(*task.Request)
+	s.attr.Respond(s.eng.Now(), req.ID)
+	s.done(req)
 }
 
 // stealInto has idle worker w steal from the longest sibling queue.
@@ -276,14 +299,7 @@ func (s *Pool) stealInto(w *worker) {
 		return
 	}
 	w.starting = true
-	s.eng.After(s.cfg.P.StealCost, func() {
-		w.starting = false
-		if req, ok := s.workers[victim].q.PopTail(); ok {
-			s.begin(w, req)
-			return
-		}
-		w.maybeStart()
-	})
+	s.eng.AfterE(s.cfg.P.StealCost, rtcSteal, w, nil, uint64(victim))
 }
 
 // WorkerIdleFraction returns the mean idle fraction across cores.

@@ -93,6 +93,10 @@ type Shinjuku struct {
 	shmNetDisp *fabric.Link
 
 	workers []*worker
+
+	// asScratch is the reusable assignment buffer for the dispatcher's
+	// scheduling calls (consumed synchronously per event).
+	asScratch []core.Assignment
 }
 
 // worker is one host worker core connected to the dispatcher by cache-line
@@ -144,7 +148,7 @@ func New(eng *sim.Engine, cfg Config, rec *stats.Recorder, done func(*task.Reque
 	s.networker = fabric.NewStage[*task.Request](eng, "host-networker", 0,
 		fabric.FixedCost[*task.Request](p.HostNetworkerCost),
 		func(r *task.Request) {
-			s.shmNetDisp.Send(0, func() { s.dispatcher.Submit(dcNew, dEvent{kind: evNew, req: r}) })
+			s.shmNetDisp.SendT(0, shmArrive, s, r, 0)
 		})
 
 	s.dispatcher = fabric.NewMultiStage[dEvent](eng, "host-dispatcher", 2, nil,
@@ -186,10 +190,22 @@ func (s *Shinjuku) Name() string { return "shinjuku" }
 // Inject admits a client request at the current instant.
 func (s *Shinjuku) Inject(req *task.Request) {
 	s.attr.Arrive(s.eng.Now(), req.ID, req.Service)
-	s.ingress.Send(s.cfg.P.RequestFrameBytes, func() {
-		s.attr.Ingress(s.eng.Now(), req.ID)
-		s.networker.Submit(req)
-	})
+	s.ingress.SendT(s.cfg.P.RequestFrameBytes, shinIngress, s, req, 0)
+}
+
+// shinIngress fires when a request frame reaches the host NIC.
+func shinIngress(recv, obj any, _ uint64) {
+	s := recv.(*Shinjuku)
+	req := obj.(*task.Request)
+	s.attr.Ingress(s.eng.Now(), req.ID)
+	s.networker.Submit(req)
+}
+
+// shmArrive fires when a new request crosses the networker→dispatcher
+// cache-line channel.
+func shmArrive(recv, obj any, _ uint64) {
+	s := recv.(*Shinjuku)
+	s.dispatcher.Submit(dcNew, dEvent{kind: evNew, req: obj.(*task.Request)})
 }
 
 // trueLoad returns the worker's resident backlog in ns — remaining work
@@ -221,27 +237,34 @@ func (s *Shinjuku) auditDispatch(now sim.Time, a core.Assignment) {
 }
 
 func (s *Shinjuku) handleDispatcherEvent(ev dEvent) {
-	var as []core.Assignment
+	as := s.asScratch[:0]
 	now := s.eng.Now()
 	switch ev.kind {
 	case evNew:
 		s.attr.Enqueue(now, ev.req.ID)
-		as = s.lgc.Enqueue(now, ev.req)
+		as = s.lgc.EnqueueTo(as, now, ev.req)
 	case evFinish:
-		as = s.lgc.Complete(ev.worker)
+		as = s.lgc.CompleteTo(as, ev.worker)
 	case evPreempted:
 		s.attr.Enqueue(now, ev.req.ID)
-		as = s.lgc.Preempted(now, ev.worker, ev.req)
+		as = s.lgc.PreemptedTo(as, now, ev.worker, ev.req)
 	}
 	for _, a := range as {
-		a := a
 		if s.attr != nil {
 			s.attr.Dispatch(now, a.Req.ID)
 			s.auditDispatch(now, a)
 		}
 		w := s.workers[a.Worker]
-		w.fromDisp.Send(0, func() { w.receive(a.Req) })
+		w.fromDisp.SendT(0, dispDeliver, w, a.Req, 0)
 	}
+	s.asScratch = as[:0]
+}
+
+// dispDeliver fires when an assignment crosses the dispatcher→worker
+// cache-line channel.
+func dispDeliver(recv, obj any, _ uint64) {
+	w := recv.(*worker)
+	w.receive(obj.(*task.Request))
 }
 
 // armSlice implements dispatcher-driven preemption: the dispatcher tracks
@@ -251,11 +274,18 @@ func (s *Shinjuku) handleDispatcherEvent(ev dEvent) {
 // folds it into its polling loop — while interrupt receipt is charged on
 // the worker by Exec.Interrupt.
 func (s *Shinjuku) armSlice(w *worker, req *task.Request) {
-	s.eng.After(s.cfg.Slice, func() {
-		if w.exec.Current() == req {
-			w.exec.Interrupt()
-		}
-	})
+	// The generation guards against pooled-request reuse: req may complete,
+	// recycle, and restart on this worker before the slice expires.
+	s.eng.AfterE(s.cfg.Slice, shinSliceFire, w, req, uint64(req.Gen))
+}
+
+// shinSliceFire posts the dispatcher-tracked preemption interrupt.
+func shinSliceFire(recv, obj any, gen uint64) {
+	w := recv.(*worker)
+	req := obj.(*task.Request)
+	if w.exec.Current() == req && uint64(req.Gen) == gen {
+		w.exec.Interrupt()
+	}
 }
 
 // socket returns the worker's socket index (workers are split into
@@ -286,39 +316,60 @@ func (w *worker) maybeStart() {
 		// across the interconnect.
 		cost += w.sys.cfg.P.NUMAPenalty
 	}
-	w.sys.eng.After(cost, func() {
-		w.pendingPickup = false
-		if len(w.stash) == 0 {
-			return
-		}
-		req := w.stash[0]
-		w.stash = w.stash[1:]
-		w.sys.attr.Start(w.sys.eng.Now(), req.ID)
-		w.exec.Start(req)
-		if w.sys.cfg.Slice > 0 && req.Remaining > w.sys.cfg.Slice {
-			w.sys.armSlice(w, req)
-		}
-	})
+	w.sys.eng.AfterE(cost, shinPickup, w, nil, 0)
+}
+
+// shinPickup fires once the pickup cost has elapsed: start the oldest
+// stashed request.
+func shinPickup(recv, _ any, _ uint64) {
+	w := recv.(*worker)
+	w.pendingPickup = false
+	if len(w.stash) == 0 {
+		return
+	}
+	req := w.stash[0]
+	w.stash = w.stash[1:]
+	w.sys.attr.Start(w.sys.eng.Now(), req.ID)
+	w.exec.Start(req)
+	if w.sys.cfg.Slice > 0 && req.Remaining > w.sys.cfg.Slice {
+		w.sys.armSlice(w, req)
+	}
 }
 
 func (w *worker) onComplete(req *task.Request) {
-	p := w.sys.cfg.P
 	sys := w.sys
 	sys.attr.Complete(sys.eng.Now(), req.ID)
 	w.post = true
-	sys.eng.After(p.WorkerResponseCost, func() {
-		sys.egress.Send(p.ResponseFrameBytes, func() {
-			sys.attr.Respond(sys.eng.Now(), req.ID)
-			sys.done(req)
-		})
-		// Completion flag is a cache-line write: effectively free for the
-		// worker compared to packet construction.
-		w.toDisp.Send(0, func() {
-			sys.dispatcher.Submit(dcNotif, dEvent{kind: evFinish, worker: w.id})
-		})
-		w.post = false
-		w.maybeStart()
-	})
+	sys.eng.AfterE(sys.cfg.P.WorkerResponseCost, shinResponseBuilt, w, req, 0)
+}
+
+// shinResponseBuilt fires once the worker has built the response packet:
+// transmit it and raise the completion flag.
+func shinResponseBuilt(recv, obj any, _ uint64) {
+	w := recv.(*worker)
+	sys := w.sys
+	req := obj.(*task.Request)
+	sys.egress.SendT(sys.cfg.P.ResponseFrameBytes, shinRespond, sys, req, 0)
+	// Completion flag is a cache-line write: effectively free for the
+	// worker compared to packet construction.
+	w.toDisp.SendT(0, shinNotifyFinish, w, nil, 0)
+	w.post = false
+	w.maybeStart()
+}
+
+// shinRespond fires when the response frame reaches the client.
+func shinRespond(recv, obj any, _ uint64) {
+	s := recv.(*Shinjuku)
+	req := obj.(*task.Request)
+	s.attr.Respond(s.eng.Now(), req.ID)
+	s.done(req)
+}
+
+// shinNotifyFinish fires when the completion flag's cache line reaches the
+// dispatcher.
+func shinNotifyFinish(recv, _ any, _ uint64) {
+	w := recv.(*worker)
+	w.sys.dispatcher.Submit(dcNotif, dEvent{kind: evFinish, worker: w.id})
 }
 
 func (w *worker) onPreempt(req *task.Request) {
@@ -328,11 +379,16 @@ func (w *worker) onPreempt(req *task.Request) {
 		sys.rec.RecordPreemption()
 	}
 	w.post = true
-	w.toDisp.Send(0, func() {
-		sys.dispatcher.Submit(dcNotif, dEvent{kind: evPreempted, worker: w.id, req: req})
-	})
+	w.toDisp.SendT(0, shinNotifyPreempt, w, req, 0)
 	w.post = false
 	w.maybeStart()
+}
+
+// shinNotifyPreempt fires when the preemption flag's cache line reaches
+// the dispatcher.
+func shinNotifyPreempt(recv, obj any, _ uint64) {
+	w := recv.(*worker)
+	w.sys.dispatcher.Submit(dcNotif, dEvent{kind: evPreempted, worker: w.id, req: obj.(*task.Request)})
 }
 
 // WorkerIdleFraction returns the mean idle fraction across worker cores.

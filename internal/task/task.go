@@ -41,6 +41,12 @@ type Request struct {
 	// Enqueued is the last instant the request entered a scheduler queue;
 	// policies and debugging use it.
 	Enqueued sim.Time
+	// Gen counts reuses of this struct through a Pool. A component that
+	// must detect whether "its" request was recycled under it snapshots
+	// (pointer, Gen) and compares later.
+	Gen uint32
+	// pooled guards against double release.
+	pooled bool
 }
 
 // New creates a request with the full service time remaining.
@@ -56,6 +62,70 @@ func New(id uint64, arrival sim.Time, service time.Duration) *Request {
 
 // Done reports whether the request has no work left.
 func (r *Request) Done() bool { return r.Remaining <= 0 }
+
+// Pool recycles Request objects. A simulation sweep allocates one request
+// per simulated arrival — millions per run — and in steady state every one
+// is short-lived; the pool removes that allocation entirely. Recycling is
+// generation-guarded: each reuse bumps Gen, and Put panics on double
+// release. Requests that leave the system without an explicit release
+// (dropped on a full queue deep inside a model) are simply collected by
+// the GC; the pool replenishes itself on demand.
+//
+// The free list is capped at the measured high-water mark of concurrently
+// live requests — the same adaptive policy as the engine's event free
+// list — so the pool's footprint tracks the workload's actual in-flight
+// peak rather than a magic constant.
+type Pool struct {
+	free []*Request
+	live int // currently checked-out requests
+	high int // peak live; caps the free list
+}
+
+// Get returns a request with the full service time remaining, recycled
+// from the pool when possible.
+func (p *Pool) Get(id uint64, arrival sim.Time, service time.Duration) *Request {
+	p.live++
+	if p.live > p.high {
+		p.high = p.live
+	}
+	n := len(p.free)
+	if n == 0 {
+		return New(id, arrival, service)
+	}
+	r := p.free[n-1]
+	p.free[n-1] = nil
+	p.free = p.free[:n-1]
+	*r = Request{
+		ID:         id,
+		Arrival:    arrival,
+		Service:    service,
+		Remaining:  service,
+		LastWorker: NoWorker,
+		Gen:        r.Gen, // survives recycling; bumped at Put
+	}
+	return r
+}
+
+// Put releases a request back to the pool. The caller must hold the only
+// live reference (a request is released exactly once, at the instant its
+// response reaches the client). Put panics on double release.
+func (p *Pool) Put(r *Request) {
+	if r.pooled {
+		panic("task: Put on an already-released request")
+	}
+	r.pooled = true
+	r.Gen++
+	p.live--
+	if len(p.free) < p.high {
+		p.free = append(p.free, r)
+	}
+}
+
+// Live returns the number of checked-out requests.
+func (p *Pool) Live() int { return p.live }
+
+// HighWater returns the peak number of simultaneously live requests.
+func (p *Pool) HighWater() int { return p.high }
 
 // Latency returns the client-observed latency assuming the response reached
 // the client at instant respAt.
