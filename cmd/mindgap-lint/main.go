@@ -1,21 +1,31 @@
-// Command mindgap-lint enforces the determinism and model invariants of
-// the mindgap simulator:
+// Command mindgap-lint enforces the determinism and hot-path invariants
+// of the mindgap simulator:
 //
 //	simclock    no wall clock / global rand in simulation packages
 //	maporder    no order-sensitive emission from map-range loops
 //	floateq     no ==/!= between floats in sim/stats code
 //	lockedsend  no blocking channel ops while a mutex is held
+//	poolsafe    no reads of recycled task.Request identity fields after release
+//	hotalloc    no closures/boxing/fmt in //mindgap:noalloc functions
+//	timerstop   every armed sim.Timer is fired or stopped
 //	lintallow   every //lint:allow suppression names an analyzer and a reason
 //
 // Usage:
 //
 //	mindgap-lint [packages]             # standalone, defaults to ./...
+//	mindgap-lint -escapes               # escape-budget gate vs ESCAPES.json
+//	mindgap-lint -escapes -write        # regenerate ESCAPES.json
 //	go vet -vettool=$(which mindgap-lint) ./...
 //
 // Standalone mode exits 0 if the tree is clean, 1 if there are
 // diagnostics, and 2 on a loading or internal error. When invoked by
 // the go vet driver (-V=full handshake or a *.cfg argument) it speaks
 // the unitchecker protocol instead.
+//
+// The -escapes mode is the dynamic complement to hotalloc: it runs
+// `go build -gcflags=-m`, counts the compiler's heap-escape diagnostics
+// inside every //mindgap:noalloc function, and fails if any function
+// exceeds its entry in the checked-in ESCAPES.json budget (all zeros).
 package main
 
 import (
@@ -28,6 +38,7 @@ import (
 
 	"mindgap/internal/lint"
 	"mindgap/internal/lint/driver"
+	"mindgap/internal/lint/escapes"
 )
 
 func main() {
@@ -40,12 +51,19 @@ func main() {
 	}
 
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mindgap-lint [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: mindgap-lint [-escapes [-write]] [packages]\n\nAnalyzers:\n")
 		for _, a := range lint.Analyzers() {
 			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
+		fmt.Fprintf(os.Stderr, "  %-12s %s\n", "-escapes", "compare compiler heap escapes in //mindgap:noalloc functions against "+escapes.BudgetFile)
 	}
+	escapesMode := flag.Bool("escapes", false, "run the escape-budget gate instead of the analyzers")
+	write := flag.Bool("write", false, "with -escapes: rewrite "+escapes.BudgetFile+" from the observed counts")
 	flag.Parse()
+	if *escapesMode {
+		runEscapes(*write)
+		return
+	}
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -63,4 +81,40 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mindgap-lint: %d diagnostic(s); fix them or add //lint:allow <analyzer> <reason>\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+// runEscapes executes the escape-budget gate and exits.
+func runEscapes(write bool) {
+	moduleDir, err := escapes.ModuleDir()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mindgap-lint: %v\n", err)
+		os.Exit(2)
+	}
+	observed, err := escapes.Collect(moduleDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mindgap-lint: %v\n", err)
+		os.Exit(2)
+	}
+	if write {
+		if err := escapes.Save(moduleDir, observed); err != nil {
+			fmt.Fprintf(os.Stderr, "mindgap-lint: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("mindgap-lint: wrote %s with %d annotated function(s)\n", escapes.BudgetFile, len(observed))
+		return
+	}
+	budget, err := escapes.Load(moduleDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mindgap-lint: loading %s: %v (run mindgap-lint -escapes -write to create it)\n", escapes.BudgetFile, err)
+		os.Exit(2)
+	}
+	violations := escapes.Check(observed, budget)
+	for _, v := range violations {
+		fmt.Println(v)
+	}
+	if len(violations) > 0 {
+		fmt.Fprintf(os.Stderr, "mindgap-lint: escape budget violated: %d mismatch(es)\n", len(violations))
+		os.Exit(1)
+	}
+	fmt.Printf("mindgap-lint: escape budget clean: %d //mindgap:noalloc function(s), all within budget\n", len(observed))
 }

@@ -265,6 +265,8 @@ type offWorker struct {
 
 // afterE schedules fn(w, obj, arg) once d of worker busy time elapses,
 // dilating d through the stall timeline when one applies.
+//
+//mindgap:noalloc
 func (w *offWorker) afterE(d time.Duration, fn sim.EventFunc, obj any, arg uint64) {
 	if w.stretch != nil {
 		d = w.stretch(w.sys.eng.Now(), d)
@@ -284,6 +286,8 @@ func (s *Offload) qevGet() *qEvent {
 }
 
 // qevPut returns a box once its value has been copied out.
+//
+//mindgap:noalloc
 func (s *Offload) qevPut(qe *qEvent) {
 	*qe = qEvent{}
 	s.qevFree = append(s.qevFree, qe)
@@ -545,6 +549,8 @@ func (s *Offload) Inject(req *task.Request) {
 }
 
 // offIngress fires when a client request frame reaches the NIC port.
+//
+//mindgap:noalloc
 func offIngress(recv, obj any, _ uint64) {
 	s := recv.(*Offload)
 	req := obj.(*task.Request)
@@ -563,6 +569,8 @@ func offIngress(recv, obj any, _ uint64) {
 
 // shmNewArrive fires when a new request crosses the networker→queue-manager
 // shared-memory ring.
+//
+//mindgap:noalloc
 func shmNewArrive(recv, obj any, _ uint64) {
 	s := recv.(*Offload)
 	r := obj.(*task.Request)
@@ -571,6 +579,8 @@ func shmNewArrive(recv, obj any, _ uint64) {
 
 // shmNotif fires when a worker notification crosses the RX-core→queue-manager
 // shared-memory ring; the borrowed box returns to the pool here.
+//
+//mindgap:noalloc
 func shmNotif(recv, obj any, _ uint64) {
 	s := recv.(*Offload)
 	qe := obj.(*qEvent)
@@ -581,6 +591,8 @@ func shmNotif(recv, obj any, _ uint64) {
 
 // shmDispatch fires when an assignment crosses the queue-manager→TX-core
 // shared-memory ring.
+//
+//mindgap:noalloc
 func shmDispatch(recv, obj any, worker uint64) {
 	s := recv.(*Offload)
 	s.txCore.Submit(Assignment{Worker: int(worker), Req: obj.(*task.Request)})
@@ -589,6 +601,8 @@ func shmDispatch(recv, obj any, worker uint64) {
 // steerDegraded hash-steers a request to a worker VF, bypassing the ARM
 // pipeline. No credit is consumed and no FINISH notification will be
 // sent; overflowing the VF ring sheds the request (graceful shedding).
+//
+//mindgap:noalloc
 func (s *Offload) steerDegraded(req *task.Request) {
 	w := s.workers[int(steerHash(req)%uint64(len(s.workers)))]
 	s.degradedCount++
@@ -608,6 +622,8 @@ func (s *Offload) steerDegraded(req *task.Request) {
 // steerHash is the RSS-style steering hash: the flow key when present
 // (what real RSS hashes — the 5-tuple), else the request ID, mixed
 // through a 64-bit finalizer so consecutive IDs spread across workers.
+//
+//mindgap:noalloc
 func steerHash(req *task.Request) uint64 {
 	h := req.Key
 	if h == 0 {
@@ -622,6 +638,8 @@ func steerHash(req *task.Request) uint64 {
 // respond delivers the response to the client exactly once per request
 // ID: under timeout/retry a slow original and its retry clone can both
 // finish, and the client must see a single response.
+//
+//mindgap:noalloc
 func (s *Offload) respond(req *task.Request) {
 	if s.responded != nil {
 		if s.responded[req.ID] {
@@ -637,6 +655,8 @@ func (s *Offload) respond(req *task.Request) {
 }
 
 // trace records a lifecycle event when tracing is enabled.
+//
+//mindgap:noalloc
 func (s *Offload) trace(kind trace.Kind, reqID uint64, worker int) {
 	if s.cfg.Tracer != nil {
 		s.cfg.Tracer.Record(s.eng.Now(), kind, reqID, worker)
@@ -644,6 +664,8 @@ func (s *Offload) trace(kind trace.Kind, reqID uint64, worker int) {
 }
 
 // traceDrop records a Drop event carrying its reason.
+//
+//mindgap:noalloc
 func (s *Offload) traceDrop(reqID uint64, worker int, reason trace.DropReason) {
 	if s.cfg.Tracer != nil {
 		s.cfg.Tracer.RecordDrop(s.eng.Now(), reqID, worker, reason)
@@ -655,6 +677,8 @@ func (s *Offload) traceDrop(reqID uint64, worker int, reason trace.DropReason) {
 // the estimate (and its staleness) the scheduler acted on, when it held
 // one. Only runs when a collector is attached — the truth scan touches
 // every worker.
+//
+//mindgap:noalloc
 func (s *Offload) auditDispatch(now sim.Time, a Assignment) {
 	truth := s.attr.TruthScratch(len(s.workers))
 	for i, w := range s.workers {
@@ -668,6 +692,8 @@ func (s *Offload) auditDispatch(now sim.Time, a Assignment) {
 }
 
 // handleQueueEvent runs on the queue-manager ARM core.
+//
+//mindgap:noalloc
 func (s *Offload) handleQueueEvent(ev qEvent) {
 	as := s.asScratch[:0]
 	now := s.eng.Now()
@@ -678,8 +704,8 @@ func (s *Offload) handleQueueEvent(ev qEvent) {
 			// consumes any host resource (§5.2). The client sees no
 			// response — open-loop clients count it as a loss.
 			s.shed++
-			s.traceDrop(ev.req.ID, -1, trace.DropShed)
-			s.attr.Drop(now, ev.req.ID, trace.DropShed)
+			s.traceDrop(ev.id, -1, trace.DropShed)
+			s.attr.Drop(now, ev.id, trace.DropShed)
 			if s.rec != nil {
 				s.rec.RecordDrop()
 			}
@@ -689,8 +715,8 @@ func (s *Offload) handleQueueEvent(ev qEvent) {
 			}
 			return
 		}
-		s.trace(trace.Enqueue, ev.req.ID, -1)
-		s.attr.Enqueue(now, ev.req.ID)
+		s.trace(trace.Enqueue, ev.id, -1)
+		s.attr.Enqueue(now, ev.id)
 		as = s.lgc.EnqueueTo(as, now, ev.req)
 	case evFinish:
 		if s.flights != nil {
@@ -744,6 +770,7 @@ func (s *Offload) handleQueueEvent(ev qEvent) {
 	s.asScratch = as[:0]
 }
 
+//mindgap:noalloc
 func (s *Offload) recordStale() {
 	s.staleNotifs++
 	if s.mStale != nil {
@@ -769,6 +796,7 @@ func (s *Offload) trackDispatch(a Assignment) {
 	fl.clientID = a.Req.ClientID
 	fl.key = a.Req.Key
 	req, wk, att, id := a.Req, a.Worker, fl.attempt, a.Req.ID
+	//lint:allow hotalloc fault-layer-only path: one timer per dispatch sits off the steady-state loop and the closure snapshots request identity at arm time
 	fl.timer = s.eng.AfterTimer(s.flt.AttemptTimeout(att), func() {
 		s.queueMgr.Submit(qcNotif, qEvent{kind: evTimeout, worker: wk, req: req, id: id, attempt: att})
 	})
@@ -829,6 +857,8 @@ func (s *Offload) handleTimeout(as []Assignment, now sim.Time, ev qEvent) []Assi
 // maybeStart begins the next stashed request if the core is free. The
 // pickup cost models pulling the packet out of the VF's RX ring and
 // spawning or resuming a context (§3.4.3).
+//
+//mindgap:noalloc
 func (w *offWorker) maybeStart() {
 	if w.exec.Busy() || w.post || w.pickupPending || w.vf.Pending() == 0 {
 		return
@@ -839,6 +869,8 @@ func (w *offWorker) maybeStart() {
 
 // workerPickup fires once the pickup cost has elapsed: pull the frame out
 // of the VF ring and start (or resume) the request it carries.
+//
+//mindgap:noalloc
 func workerPickup(recv, _ any, _ uint64) {
 	w := recv.(*offWorker)
 	w.pickupPending = false
@@ -875,6 +907,8 @@ func workerPickup(recv, _ any, _ uint64) {
 
 // armRemoteSlice models the §5.1(3) ablation: the NIC tracks the slice and
 // posts an interrupt over the low-latency path when it expires.
+//
+//mindgap:noalloc
 func (w *offWorker) armRemoteSlice(req *task.Request) {
 	slice := w.sys.cfg.Slice
 	delivery := w.sys.cfg.P.CXLOneWay
@@ -885,6 +919,8 @@ func (w *offWorker) armRemoteSlice(req *task.Request) {
 }
 
 // remoteSliceFire posts the NIC-tracked preemption interrupt (§5.1(3)).
+//
+//mindgap:noalloc
 func remoteSliceFire(recv, obj any, gen uint64) {
 	w := recv.(*offWorker)
 	req := obj.(*task.Request)
@@ -895,6 +931,8 @@ func remoteSliceFire(recv, obj any, gen uint64) {
 
 // onComplete handles a finished request: build and send the client response
 // and the FINISH notification, then pick up the next stashed request.
+//
+//mindgap:noalloc
 func (w *offWorker) onComplete(req *task.Request) {
 	p := w.sys.cfg.P
 	sys := w.sys
@@ -916,6 +954,8 @@ func (w *offWorker) onComplete(req *task.Request) {
 // workerResponseBuilt fires once the worker has built the response packet:
 // transmit it, then (unless the request was degraded-steered) build the
 // FINISH notification.
+//
+//mindgap:noalloc
 func workerResponseBuilt(recv, obj any, deg uint64) {
 	w := recv.(*offWorker)
 	sys := w.sys
@@ -935,6 +975,8 @@ func workerResponseBuilt(recv, obj any, deg uint64) {
 }
 
 // egressRespond fires when the response frame reaches the client.
+//
+//mindgap:noalloc
 func egressRespond(recv, obj any, _ uint64) {
 	s := recv.(*Offload)
 	req := obj.(*task.Request)
@@ -945,6 +987,8 @@ func egressRespond(recv, obj any, _ uint64) {
 
 // workerNotifyFinish fires once the FINISH notification is built. id is the
 // finished request's ID, snapshotted before the response could recycle it.
+//
+//mindgap:noalloc
 func workerNotifyFinish(recv, obj any, id uint64) {
 	w := recv.(*offWorker)
 	w.notifyDispatcher(qEvent{kind: evFinish, worker: w.id, req: obj.(*task.Request), id: id})
@@ -955,6 +999,8 @@ func workerNotifyFinish(recv, obj any, id uint64) {
 // onPreempt handles a slice expiry: notify the dispatcher (the request body
 // and context stay in host DRAM; only the descriptor travels, §3.4.3) and
 // start the next stashed request.
+//
+//mindgap:noalloc
 func (w *offWorker) onPreempt(req *task.Request) {
 	p := w.sys.cfg.P
 	sys := w.sys
@@ -971,6 +1017,8 @@ func (w *offWorker) onPreempt(req *task.Request) {
 }
 
 // workerNotifyPreempt fires once the PREEMPTED notification is built.
+//
+//mindgap:noalloc
 func workerNotifyPreempt(recv, obj any, id uint64) {
 	w := recv.(*offWorker)
 	w.notifyDispatcher(qEvent{kind: evPreempted, worker: w.id, req: obj.(*task.Request), id: id})
@@ -980,6 +1028,8 @@ func workerNotifyPreempt(recv, obj any, id uint64) {
 
 // notifyDispatcher sends a worker→dispatcher control frame through the NIC
 // to the ARM complex's interface.
+//
+//mindgap:noalloc
 func (w *offWorker) notifyDispatcher(ev qEvent) {
 	s := w.sys
 	qe := s.qevGet()
@@ -999,11 +1049,14 @@ func (w *offWorker) notifyDispatcher(ev qEvent) {
 // remaining work executing plus remaining work stashed in the VF ring.
 // This is both what reportLoad tells the NIC and the ground truth the
 // decision audit compares estimates against.
+//
+//mindgap:noalloc
 func (w *offWorker) trueLoad() int64 {
 	var load int64
 	if cur := w.exec.Current(); cur != nil {
 		load += int64(cur.Remaining)
 	}
+	//lint:allow hotalloc non-escaping iterator closure: the compiler stack-allocates it, which the escape budget verifies
 	w.vf.Each(func(f nicmodel.Frame) {
 		switch p := f.Payload.(type) {
 		case *task.Request:
@@ -1017,6 +1070,8 @@ func (w *offWorker) trueLoad() int64 {
 
 // reportLoad sends the worker's instantaneous load (remaining work in ns,
 // executing plus stashed) to the NIC — the fine-grained feedback of §3.1.
+//
+//mindgap:noalloc
 func (w *offWorker) reportLoad() {
 	w.notifyDispatcher(qEvent{kind: evLoad, worker: w.id, load: w.trueLoad()})
 }

@@ -127,14 +127,19 @@ func (e *Exec) RegisterTelemetry(reg *telemetry.Registry, component string) {
 
 // Start begins executing req. It panics if the core is already busy —
 // callers must serialize through their own queues.
+//
+//mindgap:noalloc
 func (e *Exec) Start(req *task.Request) { e.start(req, true) }
 
 // StartRTC begins executing req run-to-completion: no slice timer is
 // armed (and no arm cost charged), so the request holds the core until
 // it finishes. The degraded hash-steering path uses it — RSS-style
 // steering has no preemption (§2.1).
+//
+//mindgap:noalloc
 func (e *Exec) StartRTC(req *task.Request) { e.start(req, false) }
 
+//mindgap:noalloc
 func (e *Exec) start(req *task.Request, allowSlice bool) {
 	if e.busy {
 		panic("cores: Start on busy core")
@@ -173,18 +178,24 @@ func (e *Exec) start(req *task.Request, allowSlice bool) {
 }
 
 // execSliceExpired fires when the self-armed preemption timer expires.
+//
+//mindgap:noalloc
 func execSliceExpired(recv, _ any, _ uint64) {
 	e := recv.(*Exec)
 	e.slice(e.cfg.Slice)
 }
 
 // execCompleted fires when the current request's remaining work elapses.
+//
+//mindgap:noalloc
 func execCompleted(recv, _ any, _ uint64) {
 	recv.(*Exec).complete()
 }
 
 // execPreempted fires after the interrupt-receipt and context-save
 // overhead of a preemption; obj is the preempted request.
+//
+//mindgap:noalloc
 func execPreempted(recv, obj any, _ uint64) {
 	e := recv.(*Exec)
 	e.finishRun()
@@ -192,6 +203,8 @@ func execPreempted(recv, obj any, _ uint64) {
 }
 
 // stretched dilates a busy-time amount through the fault timeline.
+//
+//mindgap:noalloc
 func (e *Exec) stretched(d time.Duration) time.Duration {
 	if e.cfg.Stretch == nil {
 		return d
@@ -200,6 +213,8 @@ func (e *Exec) stretched(d time.Duration) time.Duration {
 }
 
 // complete finishes the current request.
+//
+//mindgap:noalloc
 func (e *Exec) complete() {
 	req := e.cur
 	req.Remaining = 0
@@ -210,6 +225,8 @@ func (e *Exec) complete() {
 
 // slice handles expiry of the self-armed timer: charge the interrupt
 // receipt and context save, then hand the request back.
+//
+//mindgap:noalloc
 func (e *Exec) slice(ran time.Duration) {
 	req := e.cur
 	req.Remaining -= ran
@@ -227,6 +244,8 @@ func (e *Exec) slice(ran time.Duration) {
 // already finished the request — the benign race of §3.4.4 where an
 // interrupt arrives after completion. The preempted request is reported
 // through onPreempt after interrupt-receipt and context-save costs.
+//
+//mindgap:noalloc
 func (e *Exec) Interrupt() bool {
 	if !e.busy || e.cur == nil {
 		return false
@@ -255,6 +274,7 @@ func (e *Exec) Interrupt() bool {
 	return true
 }
 
+//mindgap:noalloc
 func (e *Exec) finishRun() {
 	e.busy = false
 	e.cur = nil

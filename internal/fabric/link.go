@@ -116,6 +116,8 @@ func callClosure(recv, _ any, _ uint64) { recv.(func())() }
 
 // SendT is the typed, zero-alloc Send: fn(recv, obj, arg) runs at the
 // receiver once serialization and propagation complete.
+//
+//mindgap:noalloc
 func (l *Link) SendT(bytes int, fn sim.EventFunc, recv, obj any, arg uint64) bool {
 	return l.SendTEx(bytes, fn, recv, obj, arg) == SendAccepted
 }
@@ -125,6 +127,8 @@ func (l *Link) SendT(bytes int, fn sim.EventFunc, recv, obj any, arg uint64) boo
 // serialization, then delivery after propagation — so the engine's event
 // sequence (and therefore every golden) is unchanged; only the callback
 // representation differs.
+//
+//mindgap:noalloc
 func (l *Link) SendTEx(bytes int, fn sim.EventFunc, recv, obj any, arg uint64) SendOutcome {
 	if l.cfg.QueueLimit > 0 && l.queued >= l.cfg.QueueLimit {
 		l.dropped++
@@ -168,6 +172,8 @@ func (l *Link) SendTEx(bytes int, fn sim.EventFunc, recv, obj any, arg uint64) S
 
 // linkDepart fires when a message finishes serialization: the transmit
 // queue slot frees and the propagation leg begins.
+//
+//mindgap:noalloc
 func linkDepart(recv, _ any, slot uint64) {
 	l := recv.(*Link)
 	l.queued--
@@ -176,6 +182,8 @@ func linkDepart(recv, _ any, slot uint64) {
 
 // linkDeliver fires at the receiver and hands off to the message's
 // callback after releasing the in-flight slot.
+//
+//mindgap:noalloc
 func linkDeliver(recv, _ any, slot uint64) {
 	l := recv.(*Link)
 	p := l.pend[slot]
@@ -190,6 +198,8 @@ func linkDeliver(recv, _ any, slot uint64) {
 
 // serialization returns how long a message of the given size occupies the
 // transmitter.
+//
+//mindgap:noalloc
 func (l *Link) serialization(bytes int) time.Duration {
 	if l.cfg.BandwidthBps <= 0 || bytes <= 0 {
 		return 0

@@ -86,6 +86,8 @@ func (s *MultiStage[T]) SetBurst(n int) {
 
 // Submit offers an item to the given class queue. It reports false (and
 // counts a drop) when that class's bounded queue is full.
+//
+//mindgap:noalloc
 func (s *MultiStage[T]) Submit(class int, item T) bool {
 	if !s.busy {
 		s.busy = true
@@ -108,6 +110,8 @@ func (s *MultiStage[T]) Submit(class int, item T) bool {
 func (s *MultiStage[T]) SetStretch(f func(sim.Time, time.Duration) time.Duration) { s.stretch = f }
 
 // serve processes one item then pulls the next in round-robin class order.
+//
+//mindgap:noalloc
 func (s *MultiStage[T]) serve(item T) {
 	var d time.Duration
 	if s.cost != nil {
@@ -122,6 +126,8 @@ func (s *MultiStage[T]) serve(item T) {
 
 // multiStageServed fires when the in-service item's processing time
 // elapses.
+//
+//mindgap:noalloc
 func multiStageServed[T any](recv, _ any, _ uint64) {
 	s := recv.(*MultiStage[T])
 	item := s.cur
@@ -139,6 +145,8 @@ func multiStageServed[T any](recv, _ any, _ uint64) {
 
 // next picks the following item: continue the current class while its
 // burst allowance lasts, then rotate round-robin.
+//
+//mindgap:noalloc
 func (s *MultiStage[T]) next() (T, bool) {
 	n := len(s.qs)
 	if s.inRun < s.burst {

@@ -67,6 +67,8 @@ func FixedCost[T any](d time.Duration) func(T) time.Duration {
 
 // Submit offers an item to the stage. It reports false (and counts a drop)
 // if the bounded queue is full.
+//
+//mindgap:noalloc
 func (s *Stage[T]) Submit(item T) bool {
 	if !s.busy {
 		s.start(item)
@@ -85,6 +87,7 @@ func (s *Stage[T]) Submit(item T) bool {
 // func type so it does not depend on the faults package.
 func (s *Stage[T]) SetStretch(f func(sim.Time, time.Duration) time.Duration) { s.stretch = f }
 
+//mindgap:noalloc
 func (s *Stage[T]) start(item T) {
 	s.busy = true
 	s.busyTrack.SetBusy(s.eng.Now(), true)
@@ -100,6 +103,8 @@ func (s *Stage[T]) start(item T) {
 }
 
 // stageServed fires when the in-service item's processing time elapses.
+//
+//mindgap:noalloc
 func stageServed[T any](recv, _ any, _ uint64) {
 	s := recv.(*Stage[T])
 	item := s.cur
@@ -163,8 +168,10 @@ type deque[T any] struct {
 	head  int
 }
 
+//mindgap:noalloc
 func (d *deque[T]) len() int { return len(d.items) - d.head }
 
+//mindgap:noalloc
 func (d *deque[T]) pushBack(v T) {
 	// Compact when the dead prefix dominates, keeping memory bounded.
 	if d.head > 64 && d.head*2 >= len(d.items) {
@@ -179,6 +186,7 @@ func (d *deque[T]) pushBack(v T) {
 	d.items = append(d.items, v)
 }
 
+//mindgap:noalloc
 func (d *deque[T]) popFront() (T, bool) {
 	var zero T
 	if d.len() == 0 {

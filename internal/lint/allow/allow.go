@@ -33,6 +33,9 @@ var Known = map[string]bool{
 	"maporder":   true,
 	"floateq":    true,
 	"lockedsend": true,
+	"poolsafe":   true,
+	"hotalloc":   true,
+	"timerstop":  true,
 }
 
 // Directive is one parsed //lint:allow comment.

@@ -1,0 +1,336 @@
+// Package escapes implements the mindgap-lint escape-budget gate.
+//
+// The hotalloc analyzer proves the absence of *syntactic* allocation
+// (closures, boxing, fmt) in //mindgap:noalloc functions, but the
+// compiler's escape analysis is the ground truth for what actually
+// reaches the heap. This gate runs `go build -gcflags=-m`, attributes
+// every "escapes to heap" / "moved to heap" diagnostic to the annotated
+// function enclosing it, and compares the per-function counts against a
+// checked-in budget file (ESCAPES.json at the module root). Any
+// annotated function that gains a heap escape relative to its budget
+// fails the build, so a regression in the zero-alloc hot path is caught
+// at lint time rather than by a benchmark's allocs/op drifting later.
+//
+// Two classes of diagnostics inside annotated functions are exempt:
+//
+//   - Escapes on the line range of a panic(...) call. Panic arguments
+//     (fmt.Sprintf and its operands) escape by construction, and a
+//     panicking simulation is dead anyway — the steady-state path never
+//     executes them.
+//
+//   - Escapes whose exact position also carries an "inlining call to"
+//     diagnostic. The compiler reports an inlined callee's escapes at
+//     the call site, so an annotated caller of the (deliberately
+//     unannotated, deliberately allocating) event allocator would
+//     otherwise inherit the free-list-miss &event{} allocation. The
+//     callee is still compiled standalone and reports the same escape
+//     at its own line, so annotated callees lose no coverage from this
+//     exemption; only attribution across the inlining boundary is
+//     suppressed. (Syntactic allocation at a call site — fmt, closures
+//     — is hotalloc's job and is caught before this gate runs.)
+package escapes
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mindgap/internal/lint/hotalloc"
+)
+
+// BudgetFile is the name of the checked-in budget, relative to the
+// module root.
+const BudgetFile = "ESCAPES.json"
+
+// Budget maps a fully qualified function key — e.g.
+// "mindgap/internal/sim.(*Engine).AtE" — to its allowed number of heap
+// escapes. The checked-in budget is all zeros; the file exists so that
+// a future, deliberate exception is an explicit reviewed diff rather
+// than a silent drift.
+type Budget map[string]int
+
+// fn is one annotated function found in the source tree.
+type fn struct {
+	key        string // pkgpath.(*Recv).Name
+	file       string // path relative to module root, slash-separated
+	start, end int    // body line range, inclusive
+	panics     []lineRange
+}
+
+type lineRange struct{ start, end int }
+
+// ModuleDir resolves the root directory of the main module.
+func ModuleDir() (string, error) {
+	out, err := exec.Command("go", "list", "-m", "-f", "{{.Dir}}").Output()
+	if err != nil {
+		return "", fmt.Errorf("escapes: resolving module root: %w", err)
+	}
+	return strings.TrimSpace(string(out)), nil
+}
+
+// listPackages returns Dir and GoFiles for every package in the module.
+func listPackages(moduleDir string) (dirs map[string][]string, pkgPaths map[string]string, err error) {
+	cmd := exec.Command("go", "list", "-e", "-json=Dir,ImportPath,GoFiles", "./...")
+	cmd.Dir = moduleDir
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("escapes: go list: %w", err)
+	}
+	dirs = map[string][]string{}
+	pkgPaths = map[string]string{}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		var p struct {
+			Dir, ImportPath string
+			GoFiles         []string
+		}
+		if err := dec.Decode(&p); err != nil {
+			return nil, nil, fmt.Errorf("escapes: decoding go list output: %w", err)
+		}
+		dirs[p.Dir] = p.GoFiles
+		pkgPaths[p.Dir] = p.ImportPath
+	}
+	return dirs, pkgPaths, nil
+}
+
+// funcKey renders a FuncDecl as "(*Recv).Name", "Recv.Name" or "Name".
+// Type parameters are dropped: the budget is per generic origin, with
+// shape-instantiation diagnostics deduplicated by source position.
+func funcKey(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return d.Name.Name
+	}
+	t := d.Recv.List[0].Type
+	ptr := false
+	if s, ok := t.(*ast.StarExpr); ok {
+		ptr = true
+		t = s.X
+	}
+	if ix, ok := t.(*ast.IndexExpr); ok {
+		t = ix.X
+	}
+	if ix, ok := t.(*ast.IndexListExpr); ok {
+		t = ix.X
+	}
+	name := "?"
+	if id, ok := t.(*ast.Ident); ok {
+		name = id.Name
+	}
+	if ptr {
+		return "(*" + name + ")." + d.Name.Name
+	}
+	return name + "." + d.Name.Name
+}
+
+// annotated parses every package file and returns the //mindgap:noalloc
+// functions with their line ranges and panic-call ranges.
+func annotated(moduleDir string) ([]fn, error) {
+	dirs, pkgPaths, err := listPackages(moduleDir)
+	if err != nil {
+		return nil, err
+	}
+	var fns []fn
+	fset := token.NewFileSet()
+	for dir, files := range dirs {
+		for _, base := range files {
+			path := filepath.Join(dir, base)
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("escapes: parsing %s: %w", path, err)
+			}
+			rel, err := filepath.Rel(moduleDir, path)
+			if err != nil {
+				return nil, err
+			}
+			rel = filepath.ToSlash(rel)
+			for _, decl := range f.Decls {
+				d, ok := decl.(*ast.FuncDecl)
+				if !ok || d.Body == nil || !hasDirective(d) {
+					continue
+				}
+				e := fn{
+					key:   pkgPaths[dir] + "." + funcKey(d),
+					file:  rel,
+					start: fset.Position(d.Body.Pos()).Line,
+					end:   fset.Position(d.Body.End()).Line,
+				}
+				ast.Inspect(d.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+						e.panics = append(e.panics, lineRange{
+							start: fset.Position(call.Pos()).Line,
+							end:   fset.Position(call.End()).Line,
+						})
+					}
+					return true
+				})
+				fns = append(fns, e)
+			}
+		}
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].key < fns[j].key })
+	return fns, nil
+}
+
+// hasDirective reports whether the declaration's doc group contains the
+// //mindgap:noalloc directive (same recognition rule as hotalloc).
+func hasDirective(d *ast.FuncDecl) bool {
+	if d.Doc == nil {
+		return false
+	}
+	for _, c := range d.Doc.List {
+		if c.Text == hotalloc.Directive || strings.HasPrefix(c.Text, hotalloc.Directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// diagLine matches one `-m` diagnostic: path:line:col: message.
+var diagLine = regexp.MustCompile(`^([^:#][^:]*\.go):(\d+):(\d+): (.*)$`)
+
+type pos struct {
+	file      string
+	line, col int
+}
+
+// Collect runs the compiler's escape analysis over the whole module and
+// returns the observed per-annotated-function escape counts. Every
+// annotated function appears in the result, so a function with zero
+// escapes is an explicit zero, and Check can detect budget entries for
+// functions that no longer exist.
+func Collect(moduleDir string) (Budget, error) {
+	fns, err := annotated(moduleDir)
+	if err != nil {
+		return nil, err
+	}
+
+	// -a defeats the build cache: a cached package emits no diagnostics,
+	// which would silently under-count. The rebuild is the price of a
+	// trustworthy reading.
+	cmd := exec.Command("go", "build", "-a", "-gcflags=-m", "./...")
+	cmd.Dir = moduleDir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	cmd.Stdout = os.Stdout
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("escapes: go build -gcflags=-m failed: %w\n%s", err, stderr.String())
+	}
+
+	// First pass: positions that are inlined call sites. Escapes there
+	// belong to the (standalone-compiled) callee, not the caller.
+	inlined := map[pos]bool{}
+	type escape struct {
+		p   pos
+		msg string
+	}
+	var escs []escape
+	seen := map[string]bool{} // dedupe shape-instantiation repeats
+	for _, line := range strings.Split(stderr.String(), "\n") {
+		m := diagLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		l, _ := strconv.Atoi(m[2])
+		c, _ := strconv.Atoi(m[3])
+		p := pos{file: filepath.ToSlash(m[1]), line: l, col: c}
+		msg := m[4]
+		switch {
+		case strings.HasPrefix(msg, "inlining call to "):
+			inlined[p] = true
+		case strings.HasSuffix(msg, "escapes to heap") || strings.HasPrefix(msg, "moved to heap"):
+			if !seen[line] {
+				seen[line] = true
+				escs = append(escs, escape{p: p, msg: msg})
+			}
+		}
+	}
+
+	counts := Budget{}
+	for _, f := range fns {
+		counts[f.key] = 0
+	}
+	for _, e := range escs {
+		if inlined[e.p] {
+			continue
+		}
+		for i := range fns {
+			f := &fns[i]
+			if f.file != e.p.file || e.p.line < f.start || e.p.line > f.end {
+				continue
+			}
+			exempt := false
+			for _, pr := range f.panics {
+				if e.p.line >= pr.start && e.p.line <= pr.end {
+					exempt = true
+					break
+				}
+			}
+			if !exempt {
+				counts[f.key]++
+			}
+			break
+		}
+	}
+	return counts, nil
+}
+
+// Load reads the budget file under moduleDir.
+func Load(moduleDir string) (Budget, error) {
+	data, err := os.ReadFile(filepath.Join(moduleDir, BudgetFile))
+	if err != nil {
+		return nil, err
+	}
+	var b Budget
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("escapes: parsing %s: %w", BudgetFile, err)
+	}
+	return b, nil
+}
+
+// Save writes the budget file with sorted keys.
+func Save(moduleDir string, b Budget) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(moduleDir, BudgetFile), append(data, '\n'), 0o644)
+}
+
+// Check compares observed counts against the budget and returns one
+// human-readable violation per mismatch, sorted. An empty slice means
+// the gate passes.
+func Check(observed, budget Budget) []string {
+	var out []string
+	for key, n := range observed {
+		want, ok := budget[key]
+		switch {
+		case !ok:
+			out = append(out, fmt.Sprintf("%s: annotated //mindgap:noalloc but missing from %s (run mindgap-lint -escapes -write and review the diff)", key, BudgetFile))
+		case n > want:
+			out = append(out, fmt.Sprintf("%s: %d heap escape(s), budget allows %d — the zero-alloc hot path regressed", key, n, want))
+		case n < want:
+			out = append(out, fmt.Sprintf("%s: %d heap escape(s), budget allows %d — tighten the budget (run mindgap-lint -escapes -write)", key, n, want))
+		}
+	}
+	for key := range budget {
+		if _, ok := observed[key]; !ok {
+			out = append(out, fmt.Sprintf("%s: budgeted in %s but no //mindgap:noalloc function with this name exists (stale entry?)", key, BudgetFile))
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"mindgap/internal/lint/hotalloc"
+	"mindgap/internal/lint/linttest"
+)
+
+func TestNoalloc(t *testing.T) {
+	linttest.Run(t, hotalloc.Analyzer, "mindgap/internal/core", "testdata/hot")
+}

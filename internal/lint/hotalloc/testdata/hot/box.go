@@ -1,0 +1,31 @@
+// Interface-boxing fixtures: storing a non-pointer-shaped value in an
+// any allocates; pointers, constants, nil and interface-to-interface
+// moves do not.
+package core
+
+import "mindgap/internal/task"
+
+func consume(v any) {}
+
+type box struct{ payload any }
+
+//mindgap:noalloc
+func hotBox(id uint64, req *task.Request, v any) {
+	consume(id)       // want `uint64 boxed into an interface allocates; pass a pointer or use the event's scalar arg \(annotated //mindgap:noalloc\)`
+	consume(req)      // pointer-shaped: stored inline
+	consume(nil)      // nil: no allocation
+	consume("static") // constant: static data
+	consume(v)        // interface to interface: no re-boxing
+}
+
+//mindgap:noalloc
+func hotAssign(x int) {
+	var v any
+	v = x // want `int boxed into an interface allocates; pass a pointer or use the event's scalar arg \(annotated //mindgap:noalloc\)`
+	_ = v
+}
+
+//mindgap:noalloc
+func hotLit(n int64) box {
+	return box{payload: n} // want `int64 boxed into an interface allocates; pass a pointer or use the event's scalar arg \(annotated //mindgap:noalloc\)`
+}

@@ -1,0 +1,34 @@
+// Transitivity fixtures: the obligation propagates through static
+// same-package calls, and panic arguments are exempt everywhere on the
+// path (a dying simulation may format its last words).
+package core
+
+import (
+	"fmt"
+
+	"mindgap/internal/sim"
+)
+
+//mindgap:noalloc
+func hotRoot(eng *sim.Engine) {
+	helper(eng)
+}
+
+// helper is unannotated but reachable from hotRoot.
+func helper(eng *sim.Engine) {
+	eng.After(0, func() {}) // want `After schedules a closure and allocates; use the typed AfterE form \(on the //mindgap:noalloc path via hotRoot\)`
+}
+
+//mindgap:noalloc
+func hotPanic(t sim.Time) {
+	if t < 0 {
+		panic(fmt.Sprintf("negative time %v", t)) // exempt: panic arguments
+	}
+}
+
+//mindgap:noalloc
+func hotAllowed(ms []int) {
+	//lint:allow hotalloc boot-time banner outside the steady-state loop
+	fmt.Println(ms)
+	fmt.Println(ms) // want `fmt\.Println allocates on every call \(annotated //mindgap:noalloc\)`
+}

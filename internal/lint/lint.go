@@ -1,10 +1,16 @@
 // Package lint assembles the mindgap-lint analyzer suite.
 //
-// The suite enforces the invariants the reproduction's evaluation
-// methodology rests on: simulation output must be a deterministic
-// function of (config, seed), byte-identical at -j1 and -jN. See the
-// individual analyzer packages for the rules, and package allow for the
-// //lint:allow <analyzer> <reason> suppression mechanism.
+// The suite enforces two families of invariants. The determinism
+// family (simclock, maporder, floateq, lockedsend) guards the
+// evaluation methodology: simulation output must be a deterministic
+// function of (config, seed), byte-identical at -j1 and -jN. The
+// hot-path family (poolsafe, hotalloc, timerstop) guards the
+// performance architecture introduced by the pooling/timing-wheel
+// rewrite: pooled requests must not be read after release, annotated
+// //mindgap:noalloc functions must not allocate, and armed timers must
+// not leak. See the individual analyzer packages for the rules, and
+// package allow for the //lint:allow <analyzer> <reason> suppression
+// mechanism.
 package lint
 
 import (
@@ -12,9 +18,12 @@ import (
 
 	"mindgap/internal/lint/allow"
 	"mindgap/internal/lint/floateq"
+	"mindgap/internal/lint/hotalloc"
 	"mindgap/internal/lint/lockedsend"
 	"mindgap/internal/lint/maporder"
+	"mindgap/internal/lint/poolsafe"
 	"mindgap/internal/lint/simclock"
+	"mindgap/internal/lint/timerstop"
 )
 
 // Analyzers returns the full suite in a fixed order.
@@ -24,6 +33,9 @@ func Analyzers() []*analysis.Analyzer {
 		maporder.Analyzer,
 		floateq.Analyzer,
 		lockedsend.Analyzer,
+		poolsafe.Analyzer,
+		hotalloc.Analyzer,
+		timerstop.Analyzer,
 		allow.Analyzer,
 	}
 }

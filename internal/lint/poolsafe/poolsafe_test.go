@@ -1,0 +1,16 @@
+package poolsafe_test
+
+import (
+	"testing"
+
+	"mindgap/internal/lint/linttest"
+	"mindgap/internal/lint/poolsafe"
+)
+
+func TestSimPackage(t *testing.T) {
+	linttest.Run(t, poolsafe.Analyzer, "mindgap/internal/core", "testdata/core")
+}
+
+func TestLiveExempt(t *testing.T) {
+	linttest.Run(t, poolsafe.Analyzer, "mindgap/internal/live", "testdata/exempt")
+}

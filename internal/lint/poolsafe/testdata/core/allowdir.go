@@ -1,0 +1,17 @@
+// Suppression fixtures: a well-formed //lint:allow poolsafe directive
+// (with a reason) silences a diagnostic; a reasonless one does not.
+package core
+
+import "mindgap/internal/task"
+
+func suppressedRead(pool *task.Pool, req *task.Request) uint64 {
+	pool.Put(req)
+	//lint:allow poolsafe audit-only read: this fixture pool is single-owner and drained
+	return req.ID
+}
+
+func reasonlessRead(pool *task.Pool, req *task.Request) uint64 {
+	pool.Put(req)
+	//lint:allow poolsafe
+	return req.ID // want `read of recyclable field ID after Pool\.Put released the request back to the pool`
+}

@@ -1,0 +1,25 @@
+// Negative fixture for the generation-guard escape hatch: a hazardous
+// callback may re-read identity fields under an if whose condition
+// compares the request's Gen, because a recycled request fails the
+// compare before the read executes.
+package core
+
+import "mindgap/internal/task"
+
+// notifyGuarded races respond (scheduled together in guardedBuild) but
+// every identity read is dominated by a Gen compare.
+func notifyGuarded(recv, obj any, arg uint64) {
+	w := recv.(*worker)
+	req := obj.(*task.Request)
+	if uint64(req.Gen) == arg {
+		_ = req.ID // guarded: no diagnostic
+	}
+	w.credits++
+}
+
+func guardedBuild(recv, obj any, _ uint64) {
+	w := recv.(*worker)
+	req := obj.(*task.Request)
+	w.s.eng.AfterE(1, respond, w.s, req, 0)
+	w.s.eng.AfterE(2, notifyGuarded, w, req, uint64(req.Gen))
+}

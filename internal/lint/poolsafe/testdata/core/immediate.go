@@ -1,0 +1,34 @@
+// Rule-1 fixtures: identity reads lexically after an immediate release
+// in the same block.
+package core
+
+import "mindgap/internal/task"
+
+// finishOK copies before releasing — the sanctioned order.
+func finishOK(pool *task.Pool, req *task.Request) uint64 {
+	id := req.ID
+	pool.Put(req)
+	return id
+}
+
+func finishLeak(pool *task.Pool, req *task.Request) uint64 {
+	pool.Put(req)
+	return req.ID // want `read of recyclable field ID after Pool\.Put released the request back to the pool; copy the field before releasing`
+}
+
+// Delivery through a func(*task.Request) value — the done/sink
+// ownership-transfer convention — is a release too.
+func deliver(s *sys, req *task.Request) {
+	s.done(req)
+	_ = req.Arrival // want `read of recyclable field Arrival after the delivery callback released the request back to the pool; copy the field before releasing`
+}
+
+// A conditional release only poisons its own block: the read below is
+// on the not-released path. (Cross-event ordering is rule 2's job.)
+func conditional(pool *task.Pool, req *task.Request, shed bool) uint64 {
+	if shed {
+		pool.Put(req)
+		return 0
+	}
+	return req.ID
+}

@@ -1,0 +1,59 @@
+// Fixture reproducing the PR-7 flight-control credit leak: a response
+// path that recycles the request races a FINISH notification that
+// re-reads the request's identity. Reverting the snapshot fix must
+// re-introduce exactly the diagnostic below.
+package core
+
+import (
+	"mindgap/internal/sim"
+	"mindgap/internal/task"
+)
+
+type sys struct {
+	eng  *sim.Engine
+	pool *task.Pool
+	done func(*task.Request) // delivery: ownership returns to the pool
+}
+
+type worker struct {
+	s       *sys
+	credits int
+}
+
+// respond delivers the response. The delivery callback recycles the
+// request, so respond is a releasing callback.
+func respond(recv, obj any, _ uint64) {
+	s := recv.(*sys)
+	req := obj.(*task.Request)
+	s.done(req)
+}
+
+// notifyFinish fires when the FINISH notification crosses the fabric —
+// in simulated time, possibly after respond already ran.
+func notifyFinish(recv, obj any, _ uint64) {
+	w := recv.(*worker)
+	req := obj.(*task.Request)
+	w.credits++
+	_ = req.ID // want `read of recyclable field ID in event callback notifyFinish, which can fire after respond releases the request back to the pool \(both are scheduled in responseBuilt\); snapshot the field into the event arg at build time or guard the read with a Gen compare`
+}
+
+// notifySnapshot is the fixed shape: the identity travels in the
+// event's scalar arg, snapshotted at build time, and the pointer is
+// never re-read.
+func notifySnapshot(recv, _ any, arg uint64) {
+	w := recv.(*worker)
+	w.credits++
+	_ = arg
+}
+
+// responseBuilt schedules the response delivery and the FINISH
+// notification for the same request: the hazard pairing.
+func responseBuilt(recv, obj any, _ uint64) {
+	w := recv.(*worker)
+	req := obj.(*task.Request)
+	w.s.eng.AfterE(1, respond, w.s, req, 0)
+	w.s.eng.AfterE(2, notifyFinish, w, req, 0)
+	// Reading req.ID here, at build time, is the sanctioned snapshot
+	// idiom: the request is still live while its events are scheduled.
+	w.s.eng.AfterE(2, notifySnapshot, w, nil, req.ID)
+}

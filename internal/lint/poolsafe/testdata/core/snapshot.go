@@ -1,0 +1,29 @@
+// Rule-3 fixtures: structs that pair a pooled request pointer with a
+// build-time snapshot of one of its identity fields exist precisely
+// because the pointer may be stale when the struct is consumed;
+// re-deriving the value through the pointer defeats the snapshot.
+package core
+
+import "mindgap/internal/task"
+
+// qev mirrors the dispatcher's queue event.
+type qev struct {
+	req *task.Request
+	id  uint64
+}
+
+func consumeQev(ev qev) uint64 {
+	return ev.req.ID // want `ev\.req\.ID re-derives ID through a pooled request pointer that may already be recycled; read the build-time snapshot field ev\.id instead`
+}
+
+func consumeQevOK(ev qev) uint64 {
+	return ev.id
+}
+
+// holder has no snapshot field: it owns a live request, so reading
+// through the pointer is the only way and is not flagged.
+type holder struct{ req *task.Request }
+
+func consumeHolder(h holder) uint64 {
+	return h.req.ID
+}

@@ -1,0 +1,11 @@
+// Loaded under the exempt import path mindgap/internal/live: poolsafe
+// applies only to simulation packages, so the rule-1 violation below
+// must produce no diagnostics.
+package live
+
+import "mindgap/internal/task"
+
+func finishLeak(pool *task.Pool, req *task.Request) uint64 {
+	pool.Put(req)
+	return req.ID
+}

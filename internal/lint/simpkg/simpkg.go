@@ -13,11 +13,15 @@ import "strings"
 
 // simSegments are the final path segments of packages in which the
 // determinism rules (simclock, floateq) apply. The list mirrors the
-// simulation core enumerated in ISSUE 3: everything that runs between
-// parsing a config and emitting a latency number.
+// simulation core enumerated in ISSUE 3 — everything that runs between
+// parsing a config and emitting a latency number — plus the segments
+// ISSUE 8 found missing: core (the Offload dispatcher), the four
+// systems/* models, and the telemetry/trace exporters whose output
+// feeds golden files.
 var simSegments = map[string]bool{
 	"sim":        true,
 	"attr":       true,
+	"core":       true,
 	"queue":      true,
 	"nicmodel":   true,
 	"cores":      true,
@@ -31,6 +35,13 @@ var simSegments = map[string]bool{
 	"stats":      true,
 	"scenario":   true,
 	"scenarios":  true,
+	"shinjuku":   true,
+	"rtc":        true,
+	"rpcvalet":   true,
+	"erss":       true,
+	"idealnic":   true,
+	"telemetry":  true,
+	"trace":      true,
 }
 
 // exemptPrefixes are path fragments that are never simulation packages

@@ -1,0 +1,28 @@
+// Struct-field timer fixtures: an armed field needs a Stop through the
+// same (type, field) somewhere in the package, not necessarily in the
+// arming function.
+package core
+
+import "mindgap/internal/sim"
+
+type leaky struct{ tm *sim.Timer }
+
+func (l *leaky) arm(eng *sim.Engine) {
+	l.tm = eng.AfterTimerE(0, cb, nil, nil, 0) // want `timer field leaky\.tm armed by AfterTimerE has no Stop anywhere in package mindgap/internal/core; a completion that outruns it leaks the armed event`
+}
+
+type careful struct{ tm sim.Timer }
+
+func (c *careful) arm(eng *sim.Engine) {
+	eng.ArmAfterE(&c.tm, 0, cb, nil, nil, 0)
+}
+
+func (c *careful) cancel() {
+	c.tm.Stop()
+}
+
+func allowLeak(eng *sim.Engine) {
+	//lint:allow timerstop fires exactly once at teardown; cancellation is impossible by construction
+	t := eng.AfterTimerE(0, cb, nil, nil, 0)
+	_ = t
+}

@@ -1,0 +1,38 @@
+// Fixtures for timer lifecycle checking: discarded handles, armed
+// locals without a Stop, armed fields without a package-wide Stop.
+package core
+
+import "mindgap/internal/sim"
+
+func cb(_, _ any, _ uint64) {}
+
+func discarded(eng *sim.Engine) {
+	eng.AfterTimer(0, func() {})            // want `result of Engine\.AfterTimer discarded: the timer can never be stopped; use After if the event must always fire`
+	eng.AfterTimerE(0, cb, nil, nil, 0)     // want `result of Engine\.AfterTimerE discarded: the timer can never be stopped; use AfterE if the event must always fire`
+	_ = eng.AfterTimerE(0, cb, nil, nil, 0) // want `result of Engine\.AfterTimerE discarded: the timer can never be stopped`
+}
+
+func leakLocal(eng *sim.Engine) {
+	t := eng.AfterTimerE(0, cb, nil, nil, 0) // want `timer t armed by AfterTimerE is never stopped in leakLocal and never escapes; call Stop on every non-firing path or use AfterE`
+	_ = t
+}
+
+func leakArm(eng *sim.Engine) {
+	var t sim.Timer
+	eng.ArmAfterE(&t, 0, cb, nil, nil, 0) // want `timer t armed by ArmAfterE is never stopped in leakArm and never escapes; call Stop on every non-firing path or use AfterE`
+}
+
+// stoppedLocal cancels on one path: existence of a Stop satisfies the
+// (deliberately path-insensitive) check.
+func stoppedLocal(eng *sim.Engine, cond bool) {
+	t := eng.AfterTimerE(0, cb, nil, nil, 0)
+	if cond {
+		t.Stop()
+	}
+}
+
+// escaping handles are someone else's responsibility.
+func escapingLocal(eng *sim.Engine) *sim.Timer {
+	t := eng.AfterTimerE(0, cb, nil, nil, 0)
+	return t
+}

@@ -1,0 +1,306 @@
+// Package timerstop checks the lifecycle of cancellable engine timers.
+//
+// The timing wheel makes armed timers cheap, which makes leaking them
+// cheap too: a Timer handle that is dropped without firing or being
+// Stopped keeps its event slot live and — worse — keeps whatever the
+// event captured (a pooled request, a worker) reachable and able to
+// fire against recycled state. The fault layer's dispatch-timeout
+// machinery arms one timer per in-flight request; one missed Stop per
+// completion is a linear leak.
+//
+// Two rules:
+//
+//  1. A discarded AfterTimer/AfterTimerE result can never be stopped.
+//     If the event should always fire, the non-cancellable After/AfterE
+//     forms say so and are cheaper; if it should sometimes not fire,
+//     the handle was needed.
+//
+//  2. An armed timer must be stoppable and stopped somewhere: a local
+//     handle (t := eng.AfterTimerE(...) or eng.ArmAfterE(&t, ...))
+//     must have a t.Stop() in the same function unless it escapes (is
+//     returned, stored, or passed on); a struct-field handle
+//     (x.timer = eng.AfterTimer(...), eng.ArmAfterE(&x.timer, ...))
+//     must have a Stop through the same field somewhere in the package.
+//
+// The check is existence-based, not path-sensitive: it catches the
+// leak class where cancellation was never written, not conditional
+// paths that skip it.
+package timerstop
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"mindgap/internal/lint/allow"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "timerstop",
+	Doc:  "every armed sim.Timer must be stopped (or provably allowed to fire); discarded AfterTimer handles are leaks",
+	Run:  run,
+}
+
+const simPkg = "mindgap/internal/sim"
+
+// engineTimerMethod returns the method name if fn is one of Engine's
+// timer-arming methods.
+func engineTimerMethod(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != simPkg {
+		return ""
+	}
+	switch fn.Name() {
+	case "AfterTimer", "AfterTimerE", "ArmAfterE":
+		return fn.Name()
+	}
+	return ""
+}
+
+func isTimerStop(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != simPkg || fn.Name() != "Stop" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Name() == "Timer"
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// fieldKey identifies a struct-field timer slot (named type + field).
+type fieldKey struct {
+	typ   string
+	field string
+}
+
+// fieldKeyOf resolves a selector like e.doneTimer or fl.timer to its
+// (owner type, field) key, or ok=false.
+func fieldKeyOf(info *types.Info, sel *ast.SelectorExpr) (fieldKey, bool) {
+	s := info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return fieldKey{}, false
+	}
+	recv := s.Recv()
+	if p, ok := recv.Underlying().(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	n, ok := recv.(*types.Named)
+	if !ok {
+		if p, ok2 := recv.(*types.Pointer); ok2 {
+			n, ok = p.Elem().(*types.Named)
+		}
+		if !ok {
+			return fieldKey{}, false
+		}
+	}
+	return fieldKey{typ: n.Obj().Name(), field: s.Obj().Name()}, true
+}
+
+type armSite struct {
+	pos    ast.Node
+	method string
+	// exactly one of these is set
+	local types.Object
+	field *fieldKey
+	fn    *ast.FuncDecl
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	var arms []armSite
+	stoppedFields := map[fieldKey]bool{}
+	stoppedLocals := map[types.Object]bool{}
+	escaped := map[types.Object]bool{}
+
+	callOf := func(n ast.Node) (*ast.CallExpr, *types.Func) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return nil, nil
+		}
+		sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return nil, nil
+		}
+		fn, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		return call, fn
+	}
+
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				// Rule 1: discarded handle.
+				if es, ok := n.(*ast.ExprStmt); ok {
+					if _, fn := callOf(es.X); fn != nil {
+						if m := engineTimerMethod(fn); m == "AfterTimer" || m == "AfterTimerE" {
+							allow.Reportf(pass, es.Pos(),
+								"result of Engine.%s discarded: the timer can never be stopped; use %s if the event must always fire",
+								m, strings.TrimSuffix(strings.Replace(m, "AfterTimer", "After", 1), "Timer"))
+						}
+					}
+				}
+				// Arm sites via assignment: X = eng.AfterTimer*(...).
+				if as, ok := n.(*ast.AssignStmt); ok && len(as.Lhs) == len(as.Rhs) {
+					for i, rhs := range as.Rhs {
+						_, fn := callOf(rhs)
+						m := engineTimerMethod(fn)
+						if m != "AfterTimer" && m != "AfterTimerE" {
+							continue
+						}
+						switch lhs := unparen(as.Lhs[i]).(type) {
+						case *ast.Ident:
+							if lhs.Name == "_" {
+								allow.Reportf(pass, as.Pos(),
+									"result of Engine.%s discarded: the timer can never be stopped", m)
+								continue
+							}
+							obj := pass.TypesInfo.Defs[lhs]
+							if obj == nil {
+								obj = pass.TypesInfo.Uses[lhs]
+							}
+							if obj != nil {
+								arms = append(arms, armSite{pos: rhs, method: m, local: obj, fn: fd})
+							}
+						case *ast.SelectorExpr:
+							if k, ok := fieldKeyOf(pass.TypesInfo, lhs); ok {
+								k := k
+								arms = append(arms, armSite{pos: rhs, method: m, field: &k, fn: fd})
+							}
+						}
+					}
+				}
+				// Arm sites via ArmAfterE(&X, ...).
+				if call, fn := callOf(n); fn != nil && engineTimerMethod(fn) == "ArmAfterE" && len(call.Args) > 0 {
+					if u, ok := unparen(call.Args[0]).(*ast.UnaryExpr); ok {
+						switch target := unparen(u.X).(type) {
+						case *ast.Ident:
+							if obj := pass.TypesInfo.Uses[target]; obj != nil {
+								arms = append(arms, armSite{pos: call, method: "ArmAfterE", local: obj, fn: fd})
+							}
+						case *ast.SelectorExpr:
+							if k, ok := fieldKeyOf(pass.TypesInfo, target); ok {
+								k := k
+								arms = append(arms, armSite{pos: call, method: "ArmAfterE", field: &k, fn: fd})
+							}
+						}
+					}
+				}
+				// Stop sites.
+				if call, fn := callOf(n); call != nil && isTimerStop(fn) {
+					sel := unparen(call.Fun).(*ast.SelectorExpr)
+					switch x := unparen(sel.X).(type) {
+					case *ast.Ident:
+						if obj := pass.TypesInfo.Uses[x]; obj != nil {
+							stoppedLocals[obj] = true
+						}
+					case *ast.SelectorExpr:
+						if k, ok := fieldKeyOf(pass.TypesInfo, x); ok {
+							stoppedFields[k] = true
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Locals that escape their function (returned, stored into a
+	// struct/map, passed as an argument) are someone else's
+	// responsibility; only strictly local handles must be stopped here.
+	localArms := map[types.Object]bool{}
+	for _, a := range arms {
+		if a.local != nil {
+			localArms[a.local] = true
+		}
+	}
+	if len(localArms) > 0 {
+		for _, a := range arms {
+			if a.local == nil {
+				continue
+			}
+			ast.Inspect(a.fn.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.ReturnStmt:
+					for _, r := range n.Results {
+						if usesObj(pass.TypesInfo, r, a.local) {
+							escaped[a.local] = true
+						}
+					}
+				case *ast.CallExpr:
+					if _, fn := callOf(n); fn != nil && (engineTimerMethod(fn) != "" || isTimerStop(fn)) {
+						return true
+					}
+					for _, arg := range n.Args {
+						if usesObj(pass.TypesInfo, arg, a.local) {
+							escaped[a.local] = true
+						}
+					}
+				case *ast.AssignStmt:
+					for i, r := range n.Rhs {
+						if i < len(n.Lhs) && usesObj(pass.TypesInfo, r, a.local) {
+							if _, isIdent := unparen(n.Lhs[i]).(*ast.Ident); !isIdent {
+								escaped[a.local] = true
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	sort.Slice(arms, func(i, j int) bool { return arms[i].pos.Pos() < arms[j].pos.Pos() })
+	for _, a := range arms {
+		switch {
+		case a.local != nil:
+			if !stoppedLocals[a.local] && !escaped[a.local] {
+				allow.Reportf(pass, a.pos.Pos(),
+					"timer %s armed by %s is never stopped in %s and never escapes; call Stop on every non-firing path or use AfterE",
+					a.local.Name(), a.method, a.fn.Name.Name)
+			}
+		case a.field != nil:
+			if !stoppedFields[*a.field] {
+				allow.Reportf(pass, a.pos.Pos(),
+					"timer field %s.%s armed by %s has no Stop anywhere in package %s; a completion that outruns it leaks the armed event",
+					a.field.typ, a.field.field, a.method, pass.Pkg.Path())
+			}
+		}
+	}
+	return nil, nil
+}
+
+// usesObj reports whether expr mentions the object.
+func usesObj(info *types.Info, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package timerstop_test
+
+import (
+	"testing"
+
+	"mindgap/internal/lint/linttest"
+	"mindgap/internal/lint/timerstop"
+)
+
+func TestTimerLifecycle(t *testing.T) {
+	linttest.Run(t, timerstop.Analyzer, "mindgap/internal/core", "testdata/timer")
+}

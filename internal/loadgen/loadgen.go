@@ -80,6 +80,8 @@ func (g *Generator) Arrivals() uint64 { return g.arrivals }
 // genArrive fires at each arrival instant: build (or recycle) the request,
 // hand it to the sink, and schedule the next arrival. Typed event + pooled
 // request make the steady-state arrival path allocation-free.
+//
+//mindgap:noalloc
 func genArrive(recv, _ any, _ uint64) {
 	g := recv.(*Generator)
 	if g.cfg.MaxArrivals > 0 && g.arrivals >= g.cfg.MaxArrivals {
@@ -102,6 +104,8 @@ func genArrive(recv, _ any, _ uint64) {
 }
 
 // interarrival draws the next Poisson gap.
+//
+//mindgap:noalloc
 func (g *Generator) interarrival() time.Duration {
 	mean := float64(time.Second) / g.cfg.RPS
 	d := time.Duration(g.rng.ExpFloat64() * mean)

@@ -136,6 +136,8 @@ func (n *NIC) AddFunction(name string, mac wire.MAC, ringCap int) *Function {
 // Send steers a frame by destination MAC through the NIC. It reports false
 // (and counts the drop) when the MAC is unknown or the target ring is full
 // at delivery time.
+//
+//mindgap:noalloc
 func (n *NIC) Send(f Frame) bool {
 	target, ok := n.macTable[f.Dst]
 	if !ok {
@@ -167,6 +169,8 @@ func (n *NIC) Send(f Frame) bool {
 // nicDeliver fires when a steered frame crosses the NIC-internal fabric
 // into its target function: release the in-flight slot, then land the
 // frame in the RX ring (or drop it if the ring is full, like hardware).
+//
+//mindgap:noalloc
 func nicDeliver(recv, _ any, slot uint64) {
 	target := recv.(*Function)
 	n := target.nic
@@ -219,9 +223,13 @@ func (f *Function) OnDrop(fn func(Frame)) { f.onDrop = fn }
 func (f *Function) OnWireDrop(fn func(Frame)) { f.onWireDrop = fn }
 
 // Poll removes the oldest frame from the RX ring.
+//
+//mindgap:noalloc
 func (f *Function) Poll() (Frame, bool) { return f.rx.Pop() }
 
 // Pending returns the RX ring occupancy.
+//
+//mindgap:noalloc
 func (f *Function) Pending() int { return f.rx.Len() }
 
 // Each visits the queued frames, oldest first, without removing them.

@@ -22,6 +22,8 @@ type FIFO[T any] struct {
 }
 
 // Len returns the number of queued items.
+//
+//mindgap:noalloc
 func (q *FIFO[T]) Len() int { return len(q.items) - q.head }
 
 // Pushes returns the total number of items ever enqueued.
@@ -34,6 +36,8 @@ func (q *FIFO[T]) Pops() uint64 { return q.pops }
 func (q *FIFO[T]) HighWater() int { return q.highWat }
 
 // Push appends v to the tail.
+//
+//mindgap:noalloc
 func (q *FIFO[T]) Push(v T) {
 	if q.head > 64 && q.head*2 >= len(q.items) {
 		n := copy(q.items, q.items[q.head:])
@@ -52,6 +56,8 @@ func (q *FIFO[T]) Push(v T) {
 }
 
 // Pop removes and returns the head. ok is false on an empty queue.
+//
+//mindgap:noalloc
 func (q *FIFO[T]) Pop() (v T, ok bool) {
 	var zero T
 	if q.Len() == 0 {
@@ -69,6 +75,8 @@ func (q *FIFO[T]) Pop() (v T, ok bool) {
 }
 
 // Peek returns the head without removing it.
+//
+//mindgap:noalloc
 func (q *FIFO[T]) Peek() (v T, ok bool) {
 	var zero T
 	if q.Len() == 0 {
@@ -88,6 +96,8 @@ func (q *FIFO[T]) Do(fn func(T)) {
 
 // PopTail removes and returns the tail — used by work-stealing baselines
 // (ZygOS steals from the far end of a sibling's queue).
+//
+//mindgap:noalloc
 func (q *FIFO[T]) PopTail() (v T, ok bool) {
 	var zero T
 	if q.Len() == 0 {
@@ -141,6 +151,8 @@ func (r *Ring[T]) Full() bool { return r.count == len(r.buf) }
 func (r *Ring[T]) Empty() bool { return r.count == 0 }
 
 // Push appends v; it reports false if the ring is full.
+//
+//mindgap:noalloc
 func (r *Ring[T]) Push(v T) bool {
 	if r.count == len(r.buf) {
 		r.rejected++
@@ -156,6 +168,8 @@ func (r *Ring[T]) Push(v T) bool {
 }
 
 // Pop removes and returns the oldest item.
+//
+//mindgap:noalloc
 func (r *Ring[T]) Pop() (v T, ok bool) {
 	var zero T
 	if r.count == 0 {
@@ -182,6 +196,8 @@ func (r *Ring[T]) Rejected() uint64 { return r.rejected }
 func (r *Ring[T]) HighWater() int { return r.highWat }
 
 // Peek returns the oldest item without removing it.
+//
+//mindgap:noalloc
 func (r *Ring[T]) Peek() (v T, ok bool) {
 	var zero T
 	if r.count == 0 {

@@ -139,6 +139,8 @@ func runClosure(recv, _ any, _ uint64) { recv.(func())() }
 // AtE schedules the typed event fn(recv, obj, arg) at the absolute instant
 // t. Scheduling in the past panics. AtE performs no heap allocation in
 // steady state (once the event free list is warm).
+//
+//mindgap:noalloc
 func (e *Engine) AtE(t Time, fn EventFunc, recv, obj any, arg uint64) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v which is before now %v", t, e.now))
@@ -156,6 +158,8 @@ func (e *Engine) After(d time.Duration, fn func()) {
 
 // AfterE schedules the typed event fn(recv, obj, arg) to run d after the
 // current instant. Negative d panics.
+//
+//mindgap:noalloc
 func (e *Engine) AfterE(d time.Duration, fn EventFunc, recv, obj any, arg uint64) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
@@ -189,6 +193,8 @@ func (e *Engine) alloc(t Time, fn EventFunc, recv, obj any, arg uint64) *event {
 // steady-state simulation can never consume recycled events faster than it
 // fires them, so the pool that sufficed at peak backlog suffices forever
 // after, and the cap adapts to the workload instead of a magic constant.
+//
+//mindgap:noalloc
 func (e *Engine) recycle(ev *event) {
 	ev.gen++
 	ev.fn = nil
@@ -202,6 +208,8 @@ func (e *Engine) recycle(ev *event) {
 
 // schedule enters a freshly allocated event into the wheel (or overflow
 // heap) and maintains the pending high-water mark.
+//
+//mindgap:noalloc
 func (e *Engine) schedule(ev *event) {
 	e.pending++
 	if e.pending > e.highWater {
@@ -246,6 +254,8 @@ func (e *Engine) AfterTimerE(d time.Duration, fn EventFunc, recv, obj any, arg u
 // of allocating a handle — for components that re-arm one timer per work
 // item (e.g. a core's slice/completion timer). tm must not be pending;
 // stale handles from fired or stopped events are fine.
+//
+//mindgap:noalloc
 func (e *Engine) ArmAfterE(tm *Timer, d time.Duration, fn EventFunc, recv, obj any, arg uint64) {
 	if tm.live() {
 		panic("sim: ArmAfterE on a pending timer")
@@ -265,6 +275,8 @@ func (e *Engine) ArmAfterE(tm *Timer, d time.Duration, fn EventFunc, recv, obj a
 // live reports whether the handle still refers to its original, pending
 // event (recycled events bump their generation; cancelled-while-ready
 // events are tombstoned with locReadyDead).
+//
+//mindgap:noalloc
 func (t *Timer) live() bool {
 	if t == nil || t.ev == nil || t.ev.gen != t.gen {
 		return false
@@ -278,6 +290,8 @@ func (t *Timer) live() bool {
 
 // Stop cancels the timer. It reports whether the timer was still pending:
 // false means the event already fired (or Stop was already called).
+//
+//mindgap:noalloc
 func (t *Timer) Stop() bool {
 	if !t.live() {
 		return false
@@ -288,6 +302,8 @@ func (t *Timer) Stop() bool {
 }
 
 // Pending reports whether the timer has yet to fire.
+//
+//mindgap:noalloc
 func (t *Timer) Pending() bool { return t.live() }
 
 // Deadline returns the instant the timer will fire. It is only meaningful
@@ -301,6 +317,8 @@ func (t *Timer) Deadline() Time {
 
 // Step executes the single earliest pending event. It reports false when the
 // queue is empty or the engine has been halted.
+//
+//mindgap:noalloc
 func (e *Engine) Step() bool {
 	if e.halted {
 		return false

@@ -57,6 +57,8 @@ const (
 // file places ev into the wheel level selected by the XOR-prefix rule, or
 // into the overflow heap when at is beyond the wheel horizon from base.
 // Requires ev.at >= e.base.
+//
+//mindgap:noalloc
 func (e *Engine) file(ev *event) {
 	diff := uint64(ev.at) ^ uint64(e.base)
 	if e.refHeap || diff>>wheelSpan != 0 {
@@ -76,6 +78,8 @@ func (e *Engine) file(ev *event) {
 
 // lowestOccupied returns the lowest level > 0 with any occupied slot, or 0
 // when levels 1..6 are all empty (level 0 is checked by the caller).
+//
+//mindgap:noalloc
 func (e *Engine) lowestOccupied() int {
 	for lvl := 1; lvl < wheelLevels; lvl++ {
 		if e.occ[lvl] != 0 {
@@ -89,6 +93,8 @@ func (e *Engine) lowestOccupied() int {
 // instant's events in seq order, cascading higher wheel levels and the
 // overflow heap as needed. It reports false when nothing is pending. Only
 // Step may call it: it advances the wheel origin.
+//
+//mindgap:noalloc
 func (e *Engine) ensureReady() bool {
 	for {
 		// Drain cursor first: skip tombstones left by Timer.Stop on events
@@ -173,6 +179,8 @@ func (e *Engine) ensureReady() bool {
 
 // next returns the earliest pending event, removed from the schedule, or
 // nil when none is pending.
+//
+//mindgap:noalloc
 func (e *Engine) next() *event {
 	if !e.ensureReady() {
 		return nil
@@ -188,6 +196,8 @@ func (e *Engine) next() *event {
 // (no cascade, no origin advance): RunUntil probes the schedule between
 // steps, when user code may still schedule events at any t >= now, so the
 // origin must not move past now here.
+//
+//mindgap:noalloc
 func (e *Engine) peekTime() (Time, bool) {
 	for e.readyPos < len(e.ready) {
 		ev := e.ready[e.readyPos]
@@ -221,6 +231,8 @@ func (e *Engine) peekTime() (Time, bool) {
 // remove cancels a pending event wherever it currently lives. Events
 // already drained into the ready buffer are tombstoned in place (the drain
 // cursor recycles them); wheel and heap residents are removed immediately.
+//
+//mindgap:noalloc
 func (e *Engine) remove(ev *event) {
 	switch ev.loc {
 	case locWheel:
@@ -250,6 +262,8 @@ func (e *Engine) remove(ev *event) {
 // sortBySeq orders one drained slot by sequence number (all entries share a
 // timestamp; seqs are unique). Insertion sort: slots hold a handful of
 // same-instant events, and the common burst arrives already ordered.
+//
+//mindgap:noalloc
 func sortBySeq(sl []*event) {
 	for i := 1; i < len(sl); i++ {
 		ev := sl[i]
@@ -266,6 +280,7 @@ func sortBySeq(sl []*event) {
 // with index-tracked removal. Doubles as the reference implementation when
 // refHeap is set.
 
+//mindgap:noalloc
 func heapLess(a, b *event) bool {
 	if a.at != b.at {
 		return a.at < b.at
@@ -273,6 +288,7 @@ func heapLess(a, b *event) bool {
 	return a.seq < b.seq
 }
 
+//mindgap:noalloc
 func (e *Engine) heapPush(ev *event) {
 	ev.loc = locHeap
 	ev.idx = int32(len(e.heap))
@@ -280,6 +296,7 @@ func (e *Engine) heapPush(ev *event) {
 	e.heapUp(int(ev.idx))
 }
 
+//mindgap:noalloc
 func (e *Engine) heapPop() *event {
 	ev := e.heap[0]
 	last := len(e.heap) - 1
@@ -294,6 +311,7 @@ func (e *Engine) heapPop() *event {
 	return ev
 }
 
+//mindgap:noalloc
 func (e *Engine) heapRemove(ev *event) {
 	i := int(ev.idx)
 	last := len(e.heap) - 1
@@ -311,6 +329,7 @@ func (e *Engine) heapRemove(ev *event) {
 	ev.loc = locNone
 }
 
+//mindgap:noalloc
 func (e *Engine) heapUp(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
@@ -322,6 +341,7 @@ func (e *Engine) heapUp(i int) {
 	}
 }
 
+//mindgap:noalloc
 func (e *Engine) heapDown(i int) {
 	n := len(e.heap)
 	for {
@@ -341,6 +361,7 @@ func (e *Engine) heapDown(i int) {
 	}
 }
 
+//mindgap:noalloc
 func (e *Engine) heapSwap(i, j int) {
 	e.heap[i], e.heap[j] = e.heap[j], e.heap[i]
 	e.heap[i].idx = int32(i)

@@ -124,6 +124,8 @@ func (s *ERSS) Inject(req *task.Request) {
 
 // erssIngress fires when a request frame reaches the NIC: RSS hash over
 // the provisioned set only.
+//
+//mindgap:noalloc
 func erssIngress(recv, obj any, _ uint64) {
 	s := recv.(*ERSS)
 	req := obj.(*task.Request)
@@ -133,12 +135,16 @@ func erssIngress(recv, obj any, _ uint64) {
 }
 
 // erssReprovision is the periodic reprovisioning tick.
+//
+//mindgap:noalloc
 func erssReprovision(recv, _ any, _ uint64) {
 	recv.(*ERSS).reprovision()
 }
 
 // reprovision implements the elastic part: watermark-based resizing of the
 // RSS indirection set from instantaneous queue-depth feedback.
+//
+//mindgap:noalloc
 func (s *ERSS) reprovision() {
 	backlog := 0
 	for i := 0; i < s.provisioned; i++ {
@@ -161,6 +167,7 @@ func (s *ERSS) reprovision() {
 	s.eng.AfterE(s.cfg.Interval, erssReprovision, s, nil, 0)
 }
 
+//mindgap:noalloc
 func (w *worker) maybeStart() {
 	if w.exec.Busy() || w.starting || w.post || w.q.Len() == 0 {
 		return
@@ -171,6 +178,8 @@ func (w *worker) maybeStart() {
 }
 
 // erssPickup fires once parse+pickup has elapsed.
+//
+//mindgap:noalloc
 func erssPickup(recv, _ any, _ uint64) {
 	w := recv.(*worker)
 	w.starting = false
@@ -179,12 +188,15 @@ func erssPickup(recv, _ any, _ uint64) {
 	}
 }
 
+//mindgap:noalloc
 func (w *worker) onComplete(req *task.Request) {
 	w.post = true
 	w.sys.eng.AfterE(w.sys.cfg.P.WorkerResponseCost, erssResponseBuilt, w, req, 0)
 }
 
 // erssResponseBuilt fires once the worker has built the response packet.
+//
+//mindgap:noalloc
 func erssResponseBuilt(recv, obj any, _ uint64) {
 	w := recv.(*worker)
 	sys := w.sys
@@ -194,6 +206,8 @@ func erssResponseBuilt(recv, obj any, _ uint64) {
 }
 
 // erssRespond fires when the response frame reaches the client.
+//
+//mindgap:noalloc
 func erssRespond(recv, obj any, _ uint64) {
 	recv.(*ERSS).done(obj.(*task.Request))
 }
@@ -232,6 +246,8 @@ func (s *ERSS) Completions() uint64 {
 }
 
 // splitmix64 is the SplitMix64 finalizer (the stand-in RSS hash).
+//
+//mindgap:noalloc
 func splitmix64(x uint64) uint64 {
 	x += 0x9e3779b97f4a7c15
 	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9

@@ -127,11 +127,14 @@ func (s *Valet) Inject(req *task.Request) {
 }
 
 // niIngress fires when a request frame reaches the integrated NI.
+//
+//mindgap:noalloc
 func niIngress(recv, obj any, _ uint64) {
 	s := recv.(*Valet)
 	s.ni.Submit(ncNew, niEvent{kind: evNew, req: obj.(*task.Request)})
 }
 
+//mindgap:noalloc
 func (s *Valet) handleNIEvent(ev niEvent) {
 	as := s.asScratch[:0]
 	switch ev.kind {
@@ -148,15 +151,19 @@ func (s *Valet) handleNIEvent(ev niEvent) {
 }
 
 // niDeliver fires when an assignment crosses the NI→core link.
+//
+//mindgap:noalloc
 func niDeliver(recv, obj any, _ uint64) {
 	recv.(*worker).receive(obj.(*task.Request))
 }
 
+//mindgap:noalloc
 func (w *worker) receive(req *task.Request) {
 	w.stash = append(w.stash, req)
 	w.maybeStart()
 }
 
+//mindgap:noalloc
 func (w *worker) maybeStart() {
 	if w.exec.Busy() || w.starting || w.post || len(w.stash) == 0 {
 		return
@@ -166,6 +173,8 @@ func (w *worker) maybeStart() {
 }
 
 // niPickup fires once the pickup cost has elapsed.
+//
+//mindgap:noalloc
 func niPickup(recv, _ any, _ uint64) {
 	w := recv.(*worker)
 	w.starting = false
@@ -177,12 +186,15 @@ func niPickup(recv, _ any, _ uint64) {
 	w.exec.Start(req)
 }
 
+//mindgap:noalloc
 func (w *worker) onComplete(req *task.Request) {
 	w.post = true
 	w.sys.eng.AfterE(w.sys.cfg.P.WorkerResponseCost, niResponseBuilt, w, req, 0)
 }
 
 // niResponseBuilt fires once the worker has built the response packet.
+//
+//mindgap:noalloc
 func niResponseBuilt(recv, obj any, _ uint64) {
 	w := recv.(*worker)
 	sys := w.sys
@@ -194,11 +206,15 @@ func niResponseBuilt(recv, obj any, _ uint64) {
 }
 
 // niRespond fires when the response frame reaches the client.
+//
+//mindgap:noalloc
 func niRespond(recv, obj any, _ uint64) {
 	recv.(*Valet).done(obj.(*task.Request))
 }
 
 // niNotifyFinish fires when the completion notification reaches the NI.
+//
+//mindgap:noalloc
 func niNotifyFinish(recv, _ any, _ uint64) {
 	w := recv.(*worker)
 	w.sys.ni.Submit(ncNotif, niEvent{kind: evFinish, worker: w.id})

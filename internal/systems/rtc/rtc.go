@@ -136,6 +136,8 @@ func (s *Pool) Inject(req *task.Request) {
 }
 
 // rtcIngress fires when a request frame reaches the NIC: steer it.
+//
+//mindgap:noalloc
 func rtcIngress(recv, obj any, _ uint64) {
 	recv.(*Pool).steer(obj.(*task.Request))
 }
@@ -143,11 +145,14 @@ func rtcIngress(recv, obj any, _ uint64) {
 // trueLoad returns the worker's resident backlog in ns — remaining work
 // executing plus remaining work queued — the decision audit's ground
 // truth.
+//
+//mindgap:noalloc
 func (w *worker) trueLoad() int64 {
 	var load int64
 	if cur := w.exec.Current(); cur != nil {
 		load += int64(cur.Remaining)
 	}
+	//lint:allow hotalloc non-escaping iterator closure: the compiler stack-allocates it, which the escape budget verifies
 	w.q.Do(func(r *task.Request) { load += int64(r.Remaining) })
 	return load
 }
@@ -157,6 +162,8 @@ func (w *worker) trueLoad() int64 {
 // about core backlogs, so the audit measures how often blind placement
 // lands on a busy core while an idle one waits — the load imbalance of
 // §2.2 stated as a mis-dispatch rate.
+//
+//mindgap:noalloc
 func (s *Pool) auditSteer(now sim.Time, req *task.Request, chosen int) {
 	truth := s.attr.TruthScratch(len(s.workers))
 	for i, w := range s.workers {
@@ -166,6 +173,8 @@ func (s *Pool) auditSteer(now sim.Time, req *task.Request, chosen int) {
 }
 
 // steer implements the NIC steering function.
+//
+//mindgap:noalloc
 func (s *Pool) steer(req *task.Request) {
 	var w int
 	switch s.cfg.Steering {
@@ -208,6 +217,8 @@ func (s *Pool) steer(req *task.Request) {
 }
 
 // wakeStealer finds an idle worker and has it steal from victim's queue.
+//
+//mindgap:noalloc
 func (s *Pool) wakeStealer(victim int) {
 	for _, w := range s.workers {
 		if w.exec.Busy() || w.starting || w.post || w.q.Len() > 0 {
@@ -221,6 +232,8 @@ func (s *Pool) wakeStealer(victim int) {
 
 // rtcSteal fires once the steal cost has elapsed: take the victim's queue
 // tail (it may have drained in the meantime).
+//
+//mindgap:noalloc
 func rtcSteal(recv, _ any, victim uint64) {
 	w := recv.(*worker)
 	s := w.sys
@@ -233,6 +246,8 @@ func rtcSteal(recv, _ any, victim uint64) {
 }
 
 // maybeStart begins the next queued request on this core.
+//
+//mindgap:noalloc
 func (w *worker) maybeStart() {
 	if w.exec.Busy() || w.starting || w.post || w.q.Len() == 0 {
 		return
@@ -245,6 +260,8 @@ func (w *worker) maybeStart() {
 }
 
 // rtcPickup fires once parse+pickup has elapsed: start the queue head.
+//
+//mindgap:noalloc
 func rtcPickup(recv, _ any, _ uint64) {
 	w := recv.(*worker)
 	w.starting = false
@@ -253,11 +270,13 @@ func rtcPickup(recv, _ any, _ uint64) {
 	}
 }
 
+//mindgap:noalloc
 func (s *Pool) begin(w *worker, req *task.Request) {
 	s.attr.Start(s.eng.Now(), req.ID)
 	w.exec.Start(req)
 }
 
+//mindgap:noalloc
 func (w *worker) onComplete(req *task.Request) {
 	sys := w.sys
 	sys.attr.Complete(sys.eng.Now(), req.ID)
@@ -266,6 +285,8 @@ func (w *worker) onComplete(req *task.Request) {
 }
 
 // rtcResponseBuilt fires once the worker has built the response packet.
+//
+//mindgap:noalloc
 func rtcResponseBuilt(recv, obj any, _ uint64) {
 	w := recv.(*worker)
 	sys := w.sys
@@ -280,6 +301,8 @@ func rtcResponseBuilt(recv, obj any, _ uint64) {
 }
 
 // rtcRespond fires when the response frame reaches the client.
+//
+//mindgap:noalloc
 func rtcRespond(recv, obj any, _ uint64) {
 	s := recv.(*Pool)
 	req := obj.(*task.Request)
@@ -288,6 +311,8 @@ func rtcRespond(recv, obj any, _ uint64) {
 }
 
 // stealInto has idle worker w steal from the longest sibling queue.
+//
+//mindgap:noalloc
 func (s *Pool) stealInto(w *worker) {
 	victim, best := -1, 0
 	for i, v := range s.workers {
@@ -344,6 +369,8 @@ func (s *Pool) String() string {
 
 // splitmix64 is the SplitMix64 finalizer — a cheap, well-mixed hash
 // standing in for the NIC's Toeplitz RSS hash.
+//
+//mindgap:noalloc
 func splitmix64(x uint64) uint64 {
 	x += 0x9e3779b97f4a7c15
 	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9

@@ -194,6 +194,8 @@ func (s *Shinjuku) Inject(req *task.Request) {
 }
 
 // shinIngress fires when a request frame reaches the host NIC.
+//
+//mindgap:noalloc
 func shinIngress(recv, obj any, _ uint64) {
 	s := recv.(*Shinjuku)
 	req := obj.(*task.Request)
@@ -203,6 +205,8 @@ func shinIngress(recv, obj any, _ uint64) {
 
 // shmArrive fires when a new request crosses the networker→dispatcher
 // cache-line channel.
+//
+//mindgap:noalloc
 func shmArrive(recv, obj any, _ uint64) {
 	s := recv.(*Shinjuku)
 	s.dispatcher.Submit(dcNew, dEvent{kind: evNew, req: obj.(*task.Request)})
@@ -211,6 +215,8 @@ func shmArrive(recv, obj any, _ uint64) {
 // trueLoad returns the worker's resident backlog in ns — remaining work
 // executing plus remaining work stashed — the decision audit's ground
 // truth.
+//
+//mindgap:noalloc
 func (w *worker) trueLoad() int64 {
 	var load int64
 	if cur := w.exec.Current(); cur != nil {
@@ -226,6 +232,8 @@ func (w *worker) trueLoad() int64 {
 // Vanilla Shinjuku's dispatcher reads worker state over cache lines, so
 // its view is far fresher than a NIC's — the audit quantifies exactly how
 // much fresher.
+//
+//mindgap:noalloc
 func (s *Shinjuku) auditDispatch(now sim.Time, a core.Assignment) {
 	truth := s.attr.TruthScratch(len(s.workers))
 	for i, w := range s.workers {
@@ -236,6 +244,7 @@ func (s *Shinjuku) auditDispatch(now sim.Time, a core.Assignment) {
 	s.attr.Audit(d)
 }
 
+//mindgap:noalloc
 func (s *Shinjuku) handleDispatcherEvent(ev dEvent) {
 	as := s.asScratch[:0]
 	now := s.eng.Now()
@@ -262,6 +271,8 @@ func (s *Shinjuku) handleDispatcherEvent(ev dEvent) {
 
 // dispDeliver fires when an assignment crosses the dispatcher→worker
 // cache-line channel.
+//
+//mindgap:noalloc
 func dispDeliver(recv, obj any, _ uint64) {
 	w := recv.(*worker)
 	w.receive(obj.(*task.Request))
@@ -273,6 +284,8 @@ func dispDeliver(recv, obj any, _ uint64) {
 // tracking costs the dispatcher nothing extra — the real implementation
 // folds it into its polling loop — while interrupt receipt is charged on
 // the worker by Exec.Interrupt.
+//
+//mindgap:noalloc
 func (s *Shinjuku) armSlice(w *worker, req *task.Request) {
 	// The generation guards against pooled-request reuse: req may complete,
 	// recycle, and restart on this worker before the slice expires.
@@ -280,6 +293,8 @@ func (s *Shinjuku) armSlice(w *worker, req *task.Request) {
 }
 
 // shinSliceFire posts the dispatcher-tracked preemption interrupt.
+//
+//mindgap:noalloc
 func shinSliceFire(recv, obj any, gen uint64) {
 	w := recv.(*worker)
 	req := obj.(*task.Request)
@@ -290,6 +305,8 @@ func shinSliceFire(recv, obj any, gen uint64) {
 
 // socket returns the worker's socket index (workers are split into
 // contiguous blocks across sockets).
+//
+//mindgap:noalloc
 func (w *worker) socket() int {
 	s := w.sys.cfg.Sockets
 	if s <= 1 {
@@ -299,12 +316,15 @@ func (w *worker) socket() int {
 }
 
 // receive accepts an assignment on the worker core.
+//
+//mindgap:noalloc
 func (w *worker) receive(req *task.Request) {
 	w.sys.attr.HostArrive(w.sys.eng.Now(), req.ID)
 	w.stash = append(w.stash, req)
 	w.maybeStart()
 }
 
+//mindgap:noalloc
 func (w *worker) maybeStart() {
 	if w.exec.Busy() || w.post || w.pendingPickup || len(w.stash) == 0 {
 		return
@@ -321,6 +341,8 @@ func (w *worker) maybeStart() {
 
 // shinPickup fires once the pickup cost has elapsed: start the oldest
 // stashed request.
+//
+//mindgap:noalloc
 func shinPickup(recv, _ any, _ uint64) {
 	w := recv.(*worker)
 	w.pendingPickup = false
@@ -336,6 +358,7 @@ func shinPickup(recv, _ any, _ uint64) {
 	}
 }
 
+//mindgap:noalloc
 func (w *worker) onComplete(req *task.Request) {
 	sys := w.sys
 	sys.attr.Complete(sys.eng.Now(), req.ID)
@@ -345,6 +368,8 @@ func (w *worker) onComplete(req *task.Request) {
 
 // shinResponseBuilt fires once the worker has built the response packet:
 // transmit it and raise the completion flag.
+//
+//mindgap:noalloc
 func shinResponseBuilt(recv, obj any, _ uint64) {
 	w := recv.(*worker)
 	sys := w.sys
@@ -358,6 +383,8 @@ func shinResponseBuilt(recv, obj any, _ uint64) {
 }
 
 // shinRespond fires when the response frame reaches the client.
+//
+//mindgap:noalloc
 func shinRespond(recv, obj any, _ uint64) {
 	s := recv.(*Shinjuku)
 	req := obj.(*task.Request)
@@ -367,11 +394,14 @@ func shinRespond(recv, obj any, _ uint64) {
 
 // shinNotifyFinish fires when the completion flag's cache line reaches the
 // dispatcher.
+//
+//mindgap:noalloc
 func shinNotifyFinish(recv, _ any, _ uint64) {
 	w := recv.(*worker)
 	w.sys.dispatcher.Submit(dcNotif, dEvent{kind: evFinish, worker: w.id})
 }
 
+//mindgap:noalloc
 func (w *worker) onPreempt(req *task.Request) {
 	sys := w.sys
 	sys.attr.Preempt(sys.eng.Now(), req.ID)
@@ -386,6 +416,8 @@ func (w *worker) onPreempt(req *task.Request) {
 
 // shinNotifyPreempt fires when the preemption flag's cache line reaches
 // the dispatcher.
+//
+//mindgap:noalloc
 func shinNotifyPreempt(recv, obj any, _ uint64) {
 	w := recv.(*worker)
 	w.sys.dispatcher.Submit(dcNotif, dEvent{kind: evPreempted, worker: w.id, req: obj.(*task.Request)})

@@ -61,6 +61,8 @@ func New(id uint64, arrival sim.Time, service time.Duration) *Request {
 }
 
 // Done reports whether the request has no work left.
+//
+//mindgap:noalloc
 func (r *Request) Done() bool { return r.Remaining <= 0 }
 
 // Pool recycles Request objects. A simulation sweep allocates one request
@@ -83,6 +85,8 @@ type Pool struct {
 
 // Get returns a request with the full service time remaining, recycled
 // from the pool when possible.
+//
+//mindgap:noalloc
 func (p *Pool) Get(id uint64, arrival sim.Time, service time.Duration) *Request {
 	p.live++
 	if p.live > p.high {
@@ -109,6 +113,8 @@ func (p *Pool) Get(id uint64, arrival sim.Time, service time.Duration) *Request 
 // Put releases a request back to the pool. The caller must hold the only
 // live reference (a request is released exactly once, at the instant its
 // response reaches the client). Put panics on double release.
+//
+//mindgap:noalloc
 func (p *Pool) Put(r *Request) {
 	if r.pooled {
 		panic("task: Put on an already-released request")
@@ -129,6 +135,8 @@ func (p *Pool) HighWater() int { return p.high }
 
 // Latency returns the client-observed latency assuming the response reached
 // the client at instant respAt.
+//
+//mindgap:noalloc
 func (r *Request) Latency(respAt sim.Time) time.Duration {
 	return respAt.Sub(r.Arrival)
 }
