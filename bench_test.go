@@ -10,14 +10,17 @@ import (
 	"time"
 
 	"mindgap/internal/core"
+	"mindgap/internal/dist"
 	"mindgap/internal/experiment"
 	"mindgap/internal/fabric"
 	"mindgap/internal/params"
+	"mindgap/internal/scenario"
 	"mindgap/internal/sim"
 	"mindgap/internal/stats"
 	"mindgap/internal/systems/idealnic"
 	"mindgap/internal/systems/shinjuku"
 	"mindgap/internal/task"
+	"mindgap/internal/telemetry"
 )
 
 // benchQ keeps benchmark iterations affordable while preserving shapes.
@@ -378,6 +381,67 @@ func BenchmarkRequestPool(b *testing.B) {
 		ring[slot] = pool.Get(uint64(i), sim.Time(i), time.Microsecond)
 	}
 	b.ReportMetric(float64(pool.HighWater()), "live_highwater")
+}
+
+// BenchmarkFlowRulePoint measures one X14 flow-rule offload point: the
+// figure-flowrule threshold-16 configuration at its 4096-flow anchor
+// population, flow-keyed generator and all. allocs/op covers the full
+// point — flow records and rule-table state are pooled, so the number
+// must stay flat as Measure grows. Tracked by cmd/mindgap-perf against
+// BENCH.json; fast_hit_% is the headline steering split.
+func BenchmarkFlowRulePoint(b *testing.B) {
+	sp := scenario.Spec{
+		System:   "flowrule",
+		Workload: "fixed:170ns",
+		Flow: &scenario.FlowSpec{
+			Flows:            4096,
+			ElephantFraction: 0.2,
+			RatTrain:         16,
+		},
+		Knobs: &scenario.Knobs{
+			Workers:          1,
+			RuleCapacity:     1536,
+			InsertRate:       20_000,
+			InsertQueue:      256,
+			OffloadThreshold: 16,
+			IdleTimeout:      scenario.Duration(50 * time.Millisecond),
+			SlowQueue:        512,
+		},
+	}
+	if err := sp.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var hit float64
+	var completed int64
+	for i := 0; i < b.N; i++ {
+		reg := telemetry.NewRegistry()
+		f, err := scenario.BuildWith(sp, scenario.Options{Metrics: reg})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := experiment.RunPoint(experiment.PointConfig{
+			Factory:    f,
+			Service:    dist.Fixed{D: 170 * time.Nanosecond},
+			Flow:       sp.Flow,
+			OfferedRPS: 400_000,
+			Warmup:     benchQ.Warmup,
+			Measure:    benchQ.Measure,
+			Seed:       benchQ.Seed,
+		})
+		completed = r.Completed
+		fast, _ := reg.GaugeValue("flowrule/fast_packets")
+		slow, _ := reg.GaugeValue("flowrule/slow_packets")
+		drop, _ := reg.GaugeValue("flowrule/drop_packets")
+		if total := fast + slow + drop; total > 0 {
+			hit = fast / total
+		}
+	}
+	reqs := float64(completed) * float64(b.N)
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "points/sec")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/reqs, "ns/request")
+	b.ReportMetric(hit*100, "fast_hit_%")
 }
 
 // BenchmarkSimulatorEventRate measures raw simulator throughput: simulated

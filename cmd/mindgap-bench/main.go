@@ -41,8 +41,8 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "", "figure to run: 2, 3, 3burst, 4, 5, 6, 6cxl, 6linerate, baselines, faults-niccrash, faults-lossyfabric (empty = all)")
-		table    = flag.String("table", "", "table to run: timer, ipc, wait, latency, dispersion, policy, affinity, attribution, tenants, faults (empty = all)")
+		fig      = flag.String("fig", "", "figure to run: 2, 3, 3burst, 4, 5, 6, 6cxl, 6linerate, baselines, faults-niccrash, faults-lossyfabric, flowrule (empty = all)")
+		table    = flag.String("table", "", "table to run: timer, ipc, wait, latency, dispersion, policy, affinity, attribution, tenants, faults, flowrule (empty = all)")
 		quality  = flag.String("quality", "full", "sample counts: quick or full")
 		quick    = flag.Bool("quick", false, "shorthand for -quality quick")
 		csv      = flag.Bool("csv", false, "CSV output for figures")
@@ -98,6 +98,7 @@ func main() {
 			{"baselines", "baselines"},
 			{"faults-niccrash", "figure-faults-niccrash"},
 			{"faults-lossyfabric", "figure-faults-lossyfabric"},
+			{"flowrule", "figure-flowrule"},
 		} {
 			fmt.Printf("  %-10s scenarios/%s.json\n", e[0], e[1])
 		}
@@ -109,6 +110,7 @@ func main() {
 			{"affinity", "scenarios/table-affinity.json"}, {"attribution", "scenarios/table-attribution.json"},
 			{"tenants", "scenarios/table-tenants.json"},
 			{"faults", "scenarios/figure-faults-*.json"},
+			{"flowrule", "scenarios/figure-flowrule.json"},
 		} {
 			fmt.Printf("  %-10s %s\n", e[0], e[1])
 		}
@@ -180,9 +182,10 @@ func main() {
 
 		"faults-niccrash":    experiment.FigureFaultsNICCrashSpec,
 		"faults-lossyfabric": experiment.FigureFaultsLossyFabricSpec,
+		"flowrule":           experiment.FigureFlowRuleSpec,
 	}
 	order := []string{"2", "3", "3burst", "4", "5", "6", "6cxl", "6linerate", "baselines",
-		"faults-niccrash", "faults-lossyfabric"}
+		"faults-niccrash", "faults-lossyfabric", "flowrule"}
 
 	runFigure := func(id string) {
 		build, ok := figures[id]
@@ -313,6 +316,20 @@ func main() {
 				fmt.Printf("  retries=%d timeout_drops=%d degraded=%d loss_drops=%d delay_hits=%d drops=%d\n\n",
 					r.Retries, r.TimeoutDrops, r.Degraded, r.LossDrops, r.DelayHits, r.RecorderDrops)
 			}
+		}
+		if which == "" || which == "flowrule" {
+			fmt.Println("== X14: flow-rule offload detail (rule-table telemetry behind the figure)")
+			fmt.Printf("%-34s %10s %8s %12s %10s %10s %10s %10s %10s %8s %8s\n",
+				"policy", "flows", "hit", "p99", "fast", "slow", "drop", "inserted", "refused", "evicted", "thr")
+			rows, err := experiment.FlowRuleTableWith(ctx, rn, q)
+			for _, r := range rows {
+				fmt.Printf("%-34s %10d %7.1f%% %12v %10.0f %10.0f %10.0f %10.0f %10.0f %8.0f %8.0f\n",
+					r.Label, r.Flows, r.FastHitRate*100, r.Result.P99,
+					r.FastPackets, r.SlowPackets, r.DropPackets,
+					r.Insertions, r.OffloadRefused, r.LRUEvictions+r.IdleEvictions, r.Threshold)
+			}
+			interrupted(err)
+			fmt.Println()
 		}
 		if which == "" || which == "tenants" {
 			fmt.Println("== X9: multi-tenant isolation (FIFO vs strict class priority)")

@@ -33,12 +33,15 @@ import (
 // the same point with the internal/attr collector attached, so its drift
 // bounds the observability layer's cost; EngineSchedule and RequestPool
 // isolate the event engine's schedule+fire cycle and the request pool's
-// recycle path, the two hot-path primitives everything else rides on.
+// recycle path, the two hot-path primitives everything else rides on;
+// FlowRulePoint covers the flow-keyed generator and the rule-table
+// fast/slow steering machinery end to end.
 var trackedBenchmarks = []string{
 	"BenchmarkPointThroughput",
 	"BenchmarkAttributionOverhead",
 	"BenchmarkEngineSchedule",
 	"BenchmarkRequestPool",
+	"BenchmarkFlowRulePoint",
 }
 
 // trackedMetrics maps each compared unit to its regression direction:

@@ -31,10 +31,15 @@ type (
 type PointConfig struct {
 	// Factory builds the system under test.
 	Factory Factory
-	// Service is the fake-work service-time distribution.
+	// Service is the fake-work service-time distribution. For flow
+	// workloads it is the slow-path per-packet processing cost.
 	Service dist.Distribution
 	// Keys optionally samples per-request application keys.
 	Keys *dist.ZipfKeys
+	// Flow, when set, drives the point with the flow-keyed generator
+	// (population, elephant/rat mix, batches, trains) instead of the
+	// open-loop i.i.d. stream; OfferedRPS is then the batch rate.
+	Flow *scenario.FlowSpec
 	// OfferedRPS is the open-loop arrival rate.
 	OfferedRPS float64
 	// Warmup completions are discarded; Measure completions are recorded.
@@ -113,14 +118,34 @@ func RunPoint(cfg PointConfig) Result {
 		sys.ArmWorkerTrackers(0)
 	}
 
-	gen := loadgen.New(eng, loadgen.Config{
-		RPS:     cfg.OfferedRPS,
-		Service: cfg.Service,
-		Keys:    cfg.Keys,
-		Seed:    cfg.Seed,
-		Pool:    pool,
-	}, sys.Inject)
-	gen.Start()
+	if fl := cfg.Flow; fl != nil {
+		// Flow records are pooled like requests; records are released by
+		// whichever side (generator or system) drops a flow's last
+		// reference.
+		fgen := loadgen.NewFlow(eng, loadgen.FlowConfig{
+			RPS:              cfg.OfferedRPS,
+			Service:          cfg.Service,
+			Flows:            fl.Flows,
+			ElephantFraction: fl.ElephantFraction,
+			RatBatch:         fl.RatBatch,
+			ElephantBatch:    fl.ElephantBatch,
+			RatTrain:         fl.RatTrain,
+			ElephantTrain:    fl.ElephantTrain,
+			Seed:             cfg.Seed,
+			Pool:             pool,
+			FlowPool:         &task.FlowPool{},
+		}, sys.Inject)
+		fgen.Start()
+	} else {
+		gen := loadgen.New(eng, loadgen.Config{
+			RPS:     cfg.OfferedRPS,
+			Service: cfg.Service,
+			Keys:    cfg.Keys,
+			Seed:    cfg.Seed,
+			Pool:    pool,
+		}, sys.Inject)
+		gen.Start()
+	}
 
 	maxT := cfg.MaxSimTime
 	if maxT == 0 {

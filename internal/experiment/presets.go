@@ -112,6 +112,7 @@ func pointConfigFor(sp scenario.Spec, q Quality) (PointConfig, error) {
 	if sp.Keys != nil {
 		cfg.Keys = sp.Keys.Keys()
 	}
+	cfg.Flow = sp.Flow
 	return cfg, nil
 }
 
@@ -122,6 +123,9 @@ func pointConfigFor(sp scenario.Spec, q Quality) (PointConfig, error) {
 func specSeries(sweepID, label string, sp scenario.Spec, q Quality) (runner.Series[Result], error) {
 	if sp.Load != nil && sp.Load.KSweep != nil {
 		return kSweepSeries(sweepID, label, sp, q)
+	}
+	if sp.Load != nil && sp.Load.FSweep != nil {
+		return fSweepSeries(sweepID, label, sp, q)
 	}
 	cfg, err := pointConfigFor(sp, q)
 	if err != nil {
@@ -165,6 +169,37 @@ func kSweepSeries(sweepID, label string, sp scenario.Spec, q Quality) (runner.Se
 			Run: func() Result {
 				r := RunPoint(cfg)
 				r.Point.OfferedRPS = float64(k) // x-axis is k, not load
+				return r
+			},
+		})
+	}
+	return runner.Series[Result]{Label: label, Points: pts}, nil
+}
+
+// fSweepSeries compiles an fsweep spec: the concurrent-flow population
+// sweeps the geometric grid at the spec's fixed offered batch rate, and
+// the reported x-coordinate is the population. Unlike load grids there
+// is no early stop after saturation — the sweep's whole point is to
+// show life on both sides of the fast-path crossover, including the
+// million-flow tail.
+func fSweepSeries(sweepID, label string, sp scenario.Spec, q Quality) (runner.Series[Result], error) {
+	fs := sp.Load.FSweep
+	flows := fs.Points()
+	pts := make([]runner.Point[Result], 0, len(flows))
+	for _, n := range flows {
+		n := n
+		spn := sp.WithFlows(n)
+		cfg, err := pointConfigFor(spn, q)
+		if err != nil {
+			return runner.Series[Result]{}, err
+		}
+		cfg.OfferedRPS = sp.Load.RPS
+		pts = append(pts, runner.Point[Result]{
+			Key: specPointKey(sweepID, spn, qualityFor(spn, q), sp.Load.RPS,
+				"flows="+strconv.Itoa(n)),
+			Run: func() Result {
+				r := RunPoint(cfg)
+				r.Point.OfferedRPS = float64(n) // x-axis is the flow population
 				return r
 			},
 		})

@@ -69,7 +69,7 @@ var auditedSuppressions = map[string]int{
 	"internal/dist/dist.go floateq":        3,
 	"internal/faults/faults.go floateq":    3,
 	"internal/live/dispatcher.go maporder": 2,
-	"internal/scenario/spec.go floateq":    2,
+	"internal/scenario/spec.go floateq":    3,
 	"internal/systems/rtc/rtc.go hotalloc": 1,
 }
 

@@ -16,8 +16,8 @@ import "strings"
 // simulation core enumerated in ISSUE 3 — everything that runs between
 // parsing a config and emitting a latency number — plus the segments
 // ISSUE 8 found missing: core (the Offload dispatcher), the four
-// systems/* models, and the telemetry/trace exporters whose output
-// feeds golden files.
+// systems/* models (ISSUE 9 adds flowrule), and the telemetry/trace
+// exporters whose output feeds golden files.
 var simSegments = map[string]bool{
 	"sim":        true,
 	"attr":       true,
@@ -40,6 +40,7 @@ var simSegments = map[string]bool{
 	"rpcvalet":   true,
 	"erss":       true,
 	"idealnic":   true,
+	"flowrule":   true,
 	"telemetry":  true,
 	"trace":      true,
 }

@@ -39,13 +39,16 @@ type Config struct {
 // Generator produces requests on a simulation engine and hands them to a
 // sink (a System's Inject method) at their arrival instants.
 type Generator struct {
+	// Counters holds the shared arrival accounting (Arrivals, Packets,
+	// Flows accessors).
+	Counters
+
 	eng  *sim.Engine
 	cfg  Config
 	rng  *rand.Rand
 	sink func(*task.Request)
 
-	nextID   uint64
-	arrivals uint64
+	nextID uint64
 }
 
 // New creates a generator. sink is called exactly at each request's arrival
@@ -74,9 +77,6 @@ func (g *Generator) Start() {
 	g.eng.AfterE(g.interarrival(), genArrive, g, nil, 0)
 }
 
-// Arrivals returns the number of requests generated so far.
-func (g *Generator) Arrivals() uint64 { return g.arrivals }
-
 // genArrive fires at each arrival instant: build (or recycle) the request,
 // hand it to the sink, and schedule the next arrival. Typed event + pooled
 // request make the steady-state arrival path allocation-free.
@@ -89,6 +89,7 @@ func genArrive(recv, _ any, _ uint64) {
 	}
 	g.nextID++
 	g.arrivals++
+	g.packets++
 	var req *task.Request
 	if g.cfg.Pool != nil {
 		req = g.cfg.Pool.Get(g.nextID, g.eng.Now(), g.cfg.Service.Sample(g.rng))
@@ -107,10 +108,5 @@ func genArrive(recv, _ any, _ uint64) {
 //
 //mindgap:noalloc
 func (g *Generator) interarrival() time.Duration {
-	mean := float64(time.Second) / g.cfg.RPS
-	d := time.Duration(g.rng.ExpFloat64() * mean)
-	if d <= 0 {
-		d = 1
-	}
-	return d
+	return expGap(g.rng, g.cfg.RPS)
 }

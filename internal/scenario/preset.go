@@ -23,9 +23,10 @@ type Preset struct {
 	Title  string `json:"title,omitempty"`
 	XLabel string `json:"xlabel,omitempty"`
 	YLabel string `json:"ylabel,omitempty"`
-	// Workload, Keys, Load and Seed are series defaults.
+	// Workload, Keys, Flow, Load and Seed are series defaults.
 	Workload string    `json:"workload,omitempty"`
 	Keys     *KeysSpec `json:"keys,omitempty"`
+	Flow     *FlowSpec `json:"flow,omitempty"`
 	Load     *LoadSpec `json:"load,omitempty"`
 	Seed     uint64    `json:"seed,omitempty"`
 	// Series holds one entry per measured curve.
@@ -71,6 +72,9 @@ func (p Preset) SpecFor(i int) Spec {
 	}
 	if sp.Keys == nil {
 		sp.Keys = p.Keys
+	}
+	if sp.Flow == nil {
+		sp.Flow = p.Flow
 	}
 	if sp.Load == nil {
 		sp.Load = p.Load

@@ -11,6 +11,7 @@ import (
 	"mindgap/internal/sim"
 	"mindgap/internal/stats"
 	"mindgap/internal/systems/erss"
+	"mindgap/internal/systems/flowrule"
 	"mindgap/internal/systems/idealnic"
 	"mindgap/internal/systems/rpcvalet"
 	"mindgap/internal/systems/rtc"
@@ -65,6 +66,11 @@ type Builder struct {
 	// phase marks and dispatch audits. Others refuse, instead of silently
 	// returning empty waterfalls.
 	Attributable bool
+	// FlowWorkload marks systems that key on flow identity: they require
+	// a Spec.Flow block (and are driven by the flow generator), while
+	// every other system rejects one — the workload model is part of the
+	// contract, not a silent default.
+	FlowWorkload bool
 	// Build assembles the factory from the validated spec (knobs have
 	// passed checkKnobs; faulted specs have passed the fault gate).
 	Build func(o Options, sp Spec) (Factory, error)
@@ -156,6 +162,9 @@ func BuildWith(sp Spec, o Options) (Factory, error) {
 	}
 	if (o.Tracer != nil || o.Metrics != nil || sp.Trace || sp.Telemetry) && !b.Observable {
 		return nil, fmt.Errorf("scenario: system %q does not support tracing/telemetry", sp.System)
+	}
+	if err := sp.checkFlow(b); err != nil {
+		return nil, err
 	}
 	if (o.Attr != nil || sp.Attribution) && !b.Attributable {
 		return nil, fmt.Errorf("scenario: system %q does not support latency attribution", sp.System)
@@ -330,6 +339,42 @@ func init() {
 			}
 			return func(eng *sim.Engine, rec *stats.Recorder, done func(*task.Request)) System {
 				return erss.New(eng, cfg, rec, done)
+			}, nil
+		},
+	})
+
+	Register(Builder{
+		Name: "flowrule",
+		Doc:  "SmartNIC flow-rule offload: bounded rule insertion, LRU table, fast/slow path steering",
+		Knobs: []string{"workers", "rule_capacity", "insert_rate", "insert_queue",
+			"offload_threshold", "adaptive_threshold", "adapt_interval", "idle_timeout",
+			"fast_latency", "slow_latency", "slow_queue"},
+		Observable:   true,
+		Attributable: true,
+		FlowWorkload: true,
+		Build: func(o Options, sp Spec) (Factory, error) {
+			if o.Tracer != nil || sp.Trace {
+				return nil, fmt.Errorf("scenario: flowrule exposes telemetry probes, not request traces")
+			}
+			k := sp.KnobsOrZero()
+			cfg := flowrule.Config{
+				P:              o.params(),
+				Workers:        k.Workers,
+				RuleCapacity:   k.RuleCapacity,
+				InsertRate:     k.InsertRate,
+				InsertQueueCap: k.InsertQueue,
+				Threshold:      k.OffloadThreshold,
+				Adaptive:       k.AdaptiveThreshold,
+				AdaptInterval:  k.AdaptInterval.D(),
+				IdleTimeout:    k.IdleTimeout.D(),
+				FastLatency:    k.FastLatency.D(),
+				SlowLatency:    k.SlowLatency.D(),
+				SlowQueueCap:   k.SlowQueue,
+				Metrics:        o.Metrics,
+				Attr:           o.Attr,
+			}
+			return func(eng *sim.Engine, rec *stats.Recorder, done func(*task.Request)) System {
+				return flowrule.New(eng, cfg, rec, done)
 			}, nil
 		},
 	})

@@ -25,6 +25,7 @@ func TestRegistryCompleteness(t *testing.T) {
 		"internal/systems/rpcvalet": {"rpcvalet"},
 		"internal/systems/erss":     {"erss"},
 		"internal/systems/idealnic": {"idealnic"},
+		"internal/systems/flowrule": {"flowrule"},
 	}
 	var want []string
 	for _, names := range inventory {
@@ -60,10 +61,15 @@ func TestBuildEverySystem(t *testing.T) {
 		"rpcvalet": {Workers: 2},
 		"erss":     {Workers: 4, MinWorkers: 1},
 		"idealnic": {Workers: 2, Outstanding: 2, CXL: true},
+		"flowrule": {Workers: 1},
 	}
 	wantName := map[string]string{
 		"offload":  "shinjuku-offload",
 		"idealnic": "idealnic/cxl",
+	}
+	// Flow-workload systems refuse to build without a flow block.
+	flows := map[string]*FlowSpec{
+		"flowrule": {Flows: 64},
 	}
 	for _, name := range SystemNames() {
 		k, ok := knobs[name]
@@ -72,7 +78,7 @@ func TestBuildEverySystem(t *testing.T) {
 			continue
 		}
 		kn := k
-		f, err := Build(Spec{System: name, Knobs: &kn})
+		f, err := Build(Spec{System: name, Knobs: &kn, Flow: flows[name]})
 		if err != nil {
 			t.Errorf("Build(%q): %v", name, err)
 			continue

@@ -100,6 +100,25 @@ type Knobs struct {
 	CXL              bool `json:"cxl,omitempty"`
 	LineRate         bool `json:"linerate,omitempty"`
 	DirectInterrupts bool `json:"directirq,omitempty"`
+	// RuleCapacity, InsertRate and InsertQueue bound the fast-path rule
+	// table and its insertion pipeline (flowrule).
+	RuleCapacity int     `json:"rule_capacity,omitempty"`
+	InsertRate   float64 `json:"insert_rate,omitempty"`
+	InsertQueue  int     `json:"insert_queue,omitempty"`
+	// OffloadThreshold is the packets-seen bar a flow must clear to earn
+	// a fast-path rule; AdaptiveThreshold hands the bar to the adaptive
+	// controller, adjusting every AdaptInterval (flowrule).
+	OffloadThreshold  int      `json:"offload_threshold,omitempty"`
+	AdaptiveThreshold bool     `json:"adaptive_threshold,omitempty"`
+	AdaptInterval     Duration `json:"adapt_interval,omitempty"`
+	// IdleTimeout evicts rules for flows gone quiet (flowrule).
+	IdleTimeout Duration `json:"idle_timeout,omitempty"`
+	// FastLatency and SlowLatency are the hardware fast-path transit
+	// time and the software slow-path traversal overhead; SlowQueue
+	// bounds the slow path's queue in batches (flowrule).
+	FastLatency Duration `json:"fast_latency,omitempty"`
+	SlowLatency Duration `json:"slow_latency,omitempty"`
+	SlowQueue   int      `json:"slow_queue,omitempty"`
 }
 
 // set returns the JSON names of every non-zero knob, in declaration
@@ -129,6 +148,16 @@ func (k Knobs) set() []string {
 	add("cxl", k.CXL)
 	add("linerate", k.LineRate)
 	add("directirq", k.DirectInterrupts)
+	add("rule_capacity", k.RuleCapacity != 0)
+	add("insert_rate", k.InsertRate != 0) //lint:allow floateq exact zero means "field unset", not a computed value
+	add("insert_queue", k.InsertQueue != 0)
+	add("offload_threshold", k.OffloadThreshold != 0)
+	add("adaptive_threshold", k.AdaptiveThreshold)
+	add("adapt_interval", k.AdaptInterval != 0)
+	add("idle_timeout", k.IdleTimeout != 0)
+	add("fast_latency", k.FastLatency != 0)
+	add("slow_latency", k.SlowLatency != 0)
+	add("slow_queue", k.SlowQueue != 0)
 	return out
 }
 
@@ -177,6 +206,69 @@ type KSweep struct {
 	Hi int `json:"hi"`
 }
 
+// FSweep varies the concurrent-flow population geometrically (Lo,
+// Lo·Mul, ... up to Hi) at a fixed offered load — the x-axis of the
+// flow-rule figure, where the question is how the fast-path hit rate
+// and the slow path's headroom survive millions of concurrent flows.
+// Points are exact integers, never accumulated floats.
+type FSweep struct {
+	Lo  int `json:"lo"`
+	Hi  int `json:"hi"`
+	Mul int `json:"mul"`
+}
+
+// Points materializes the population sweep.
+func (f FSweep) Points() []int {
+	if f.Lo < 1 || f.Mul < 2 || f.Hi < f.Lo {
+		return nil
+	}
+	var out []int
+	for n := f.Lo; n <= f.Hi; n *= f.Mul {
+		out = append(out, n)
+		if n > f.Hi/f.Mul {
+			break // n*Mul would overflow past Hi
+		}
+	}
+	return out
+}
+
+// FlowSpec keys the workload by flow identity: a fixed concurrent-flow
+// population with an exact elephant/rat split, per-class packet trains,
+// and per-class DPDK-style batch sizes. Systems that offload per-flow
+// state (flowrule) require it; classic i.i.d. systems reject it. All
+// fields beyond Flows are optional, with the loadgen defaults (4/64
+// batches, 4/1024 trains) filling the gaps.
+type FlowSpec struct {
+	// Flows is the concurrent flow population (an fsweep load overrides
+	// it per point).
+	Flows int `json:"flows"`
+	// ElephantFraction is the exact fraction of spawned flows that are
+	// elephants.
+	ElephantFraction float64 `json:"elephant_fraction,omitempty"`
+	// RatBatch and ElephantBatch are packets per emitted batch.
+	RatBatch      int `json:"rat_batch,omitempty"`
+	ElephantBatch int `json:"elephant_batch,omitempty"`
+	// RatTrain and ElephantTrain are packets per flow lifetime.
+	RatTrain      int `json:"rat_train,omitempty"`
+	ElephantTrain int `json:"elephant_train,omitempty"`
+}
+
+func (f FlowSpec) validate(hasFSweep bool) error {
+	if f.Flows <= 0 && !hasFSweep {
+		return fmt.Errorf("scenario: flow workload needs flows > 0 (or an fsweep load)")
+	}
+	if f.Flows < 0 {
+		return fmt.Errorf("scenario: negative flow population %d", f.Flows)
+	}
+	if f.ElephantFraction < 0 || f.ElephantFraction > 1 {
+		return fmt.Errorf("scenario: elephant_fraction %g outside [0, 1]", f.ElephantFraction)
+	}
+	if f.RatBatch < 0 || f.ElephantBatch < 0 || f.RatTrain < 0 || f.ElephantTrain < 0 {
+		return fmt.Errorf("scenario: negative flow batch/train sizes")
+	}
+	return nil
+}
+
 // LoadSpec declares how a scenario is loaded. Exactly one of RPS, Rho
 // or Grid applies; KSweep additionally requires RPS (the saturating
 // load the k sweep runs at).
@@ -190,6 +282,9 @@ type LoadSpec struct {
 	Grid *Grid `json:"grid,omitempty"`
 	// KSweep sweeps the outstanding limit at the fixed RPS.
 	KSweep *KSweep `json:"ksweep,omitempty"`
+	// FSweep sweeps the concurrent-flow population at the fixed RPS
+	// (flow-keyed workloads only).
+	FSweep *FSweep `json:"fsweep,omitempty"`
 }
 
 // QualitySpec optionally pins sample counts inside a spec; most specs
@@ -222,8 +317,14 @@ type Spec struct {
 	Workload string `json:"workload,omitempty"`
 	// Keys optionally samples per-request application keys.
 	Keys *KeysSpec `json:"keys,omitempty"`
+	// Flow keys the workload by flow identity: population, elephant/rat
+	// mix, batch and train sizes. Only systems whose builders declare
+	// FlowWorkload accept it — and they require it. Absent (nil), the
+	// field is omitted from the canonical encoding, so pre-flow specs
+	// keep their fingerprints.
+	Flow *FlowSpec `json:"flow,omitempty"`
 	// Load declares the offered load (single point, utilization-derived
-	// point, load grid, or k sweep).
+	// point, load grid, k sweep, or flow-population sweep).
 	Load *LoadSpec `json:"load,omitempty"`
 	// Quality optionally pins sample counts.
 	Quality *QualitySpec `json:"quality,omitempty"`
@@ -278,6 +379,18 @@ func (s Spec) WithSlice(d time.Duration) Spec {
 	kn := s.KnobsOrZero()
 	kn.Slice = Duration(d)
 	s.Knobs = &kn
+	return s
+}
+
+// WithFlows returns a copy of the spec with the concurrent-flow
+// population replaced (the fsweep axis).
+func (s Spec) WithFlows(n int) Spec {
+	var fl FlowSpec
+	if s.Flow != nil {
+		fl = *s.Flow
+	}
+	fl.Flows = n
+	s.Flow = &fl
 	return s
 }
 
@@ -346,6 +459,9 @@ func (s Spec) Validate() error {
 	if s.Keys != nil && (s.Keys.N <= 0 || s.Keys.Skew < 0) {
 		return fmt.Errorf("scenario: keys need n > 0 and skew >= 0 (got n=%d skew=%g)", s.Keys.N, s.Keys.Skew)
 	}
+	if err := s.checkFlow(b); err != nil {
+		return err
+	}
 	if s.Load != nil {
 		if err := s.Load.validate(); err != nil {
 			return err
@@ -371,6 +487,26 @@ func (s Spec) Validate() error {
 	return nil
 }
 
+// checkFlow gates the flow-workload block: flow-keyed systems require
+// it, classic i.i.d. systems reject it — a spec can't quietly run a
+// rule-table system on a flowless stream or vice versa.
+func (s Spec) checkFlow(b Builder) error {
+	hasFSweep := s.Load != nil && s.Load.FSweep != nil
+	if hasFSweep && !b.FlowWorkload {
+		return fmt.Errorf("scenario: fsweep needs a flow-keyed system, and %q is not one", s.System)
+	}
+	if s.Flow != nil && !b.FlowWorkload {
+		return fmt.Errorf("scenario: system %q takes an i.i.d. request stream and rejects a flow workload block", s.System)
+	}
+	if s.Flow == nil && b.FlowWorkload {
+		return fmt.Errorf("scenario: system %q keys on flow identity and needs a flow workload block", s.System)
+	}
+	if s.Flow != nil {
+		return s.Flow.validate(hasFSweep)
+	}
+	return nil
+}
+
 func (l LoadSpec) validate() error {
 	modes := 0
 	if l.RPS < 0 || l.Rho < 0 {
@@ -388,6 +524,9 @@ func (l LoadSpec) validate() error {
 			return fmt.Errorf("scenario: bad load grid lo=%g hi=%g step=%g", l.Grid.Lo, l.Grid.Hi, l.Grid.Step)
 		}
 	}
+	if l.KSweep != nil && l.FSweep != nil {
+		return fmt.Errorf("scenario: ksweep and fsweep are exclusive")
+	}
 	if l.KSweep != nil {
 		if l.KSweep.Lo < 1 || l.KSweep.Hi < l.KSweep.Lo {
 			return fmt.Errorf("scenario: bad ksweep lo=%d hi=%d", l.KSweep.Lo, l.KSweep.Hi)
@@ -397,6 +536,19 @@ func (l LoadSpec) validate() error {
 		}
 		if l.Grid != nil || l.Rho > 0 {
 			return fmt.Errorf("scenario: ksweep combines only with rps")
+		}
+		return nil
+	}
+	if l.FSweep != nil {
+		if len(l.FSweep.Points()) == 0 {
+			return fmt.Errorf("scenario: bad fsweep lo=%d hi=%d mul=%d (need lo>=1, mul>=2, hi>=lo)",
+				l.FSweep.Lo, l.FSweep.Hi, l.FSweep.Mul)
+		}
+		if l.RPS <= 0 {
+			return fmt.Errorf("scenario: fsweep needs a fixed rps load")
+		}
+		if l.Grid != nil || l.Rho > 0 {
+			return fmt.Errorf("scenario: fsweep combines only with rps")
 		}
 		return nil
 	}

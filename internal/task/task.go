@@ -41,6 +41,18 @@ type Request struct {
 	// Enqueued is the last instant the request entered a scheduler queue;
 	// policies and debugging use it.
 	Enqueued sim.Time
+	// FlowID identifies the parent flow for flow-keyed workloads; zero
+	// for the classic i.i.d. request streams.
+	FlowID FlowID
+	// FlowState points at the parent flow's pooled state record. A
+	// flow-aware system reads it once at classification and must nil it
+	// there: the record can be recycled the instant the flow's last
+	// reference drops, so holding the pointer past classification is a
+	// use-after-release bug waiting to happen.
+	FlowState *Flow
+	// Packets is how many wire packets this request stands for (a
+	// DPDK-style batch for flow workloads); zero means a single packet.
+	Packets uint32
 	// Gen counts reuses of this struct through a Pool. A component that
 	// must detect whether "its" request was recycled under it snapshots
 	// (pointer, Gen) and compares later.
