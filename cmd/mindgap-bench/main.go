@@ -21,6 +21,7 @@
 //	mindgap-bench -csv               # machine-readable output
 //	mindgap-bench -plot              # ASCII charts of the tail curves
 //	mindgap-bench -list              # figure/table ids and their presets
+//	mindgap-bench -hypothesis all    # execute the checked-in hypothesis corpus
 package main
 
 import (
@@ -31,9 +32,12 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
+	"mindgap/hypotheses"
 	"mindgap/internal/experiment"
+	"mindgap/internal/hypothesis"
 	"mindgap/internal/params"
 	"mindgap/internal/runner"
 	"mindgap/internal/telemetry"
@@ -52,7 +56,8 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "overall deadline; on expiry, completed points are printed (0 = none)")
 		cacheDir = flag.String("cache", "", "directory for the on-disk result cache (empty = no caching)")
 		progress = flag.Bool("progress", false, "live point-completion progress on stderr")
-		list     = flag.Bool("list", false, "list figure/table ids and their scenario presets, then exit")
+		list     = flag.Bool("list", false, "list figure/table/hypothesis ids and their scenario presets, then exit")
+		hyp      = flag.String("hypothesis", "", "hypothesis to execute: a corpus name, a spec file path, or \"all\" (prints FINDINGS; exits 1 on a FAIL verdict)")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
@@ -113,6 +118,10 @@ func main() {
 			{"flowrule", "scenarios/figure-flowrule.json"},
 		} {
 			fmt.Printf("  %-10s %s\n", e[0], e[1])
+		}
+		fmt.Println("hypotheses (-hypothesis ID, spec in hypotheses/):")
+		for _, name := range hypotheses.Names() {
+			fmt.Printf("  %s\n", name)
 		}
 		return
 	}
@@ -350,7 +359,50 @@ func main() {
 		}
 	}
 
+	// runHypotheses executes checked-in or on-disk hypotheses through the
+	// same cached runner as the figures and prints their FINDINGS. A FAIL
+	// verdict — a claim the simulator no longer supports — exits nonzero.
+	runHypotheses := func(which string) {
+		load := func(name string) (hypothesis.Spec, error) {
+			if strings.ContainsAny(name, "/.") {
+				b, err := os.ReadFile(name)
+				if err != nil {
+					return hypothesis.Spec{}, err
+				}
+				s, err := hypothesis.Decode(b)
+				if err != nil {
+					return hypothesis.Spec{}, err
+				}
+				return s, s.Validate()
+			}
+			return hypotheses.Load(name)
+		}
+		names := []string{which}
+		if which == "all" {
+			names = hypotheses.Names()
+		}
+		for _, name := range names {
+			s, err := load(name)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mindgap-bench: %v\n", err)
+				os.Exit(2)
+			}
+			rep, err := hypothesis.Run(ctx, rn, s, q)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mindgap-bench: %v\n", err)
+				exitCode = 1
+				continue
+			}
+			os.Stdout.Write(rep.Render())
+			if !rep.Pass {
+				exitCode = 1
+			}
+		}
+	}
+
 	switch {
+	case *hyp != "":
+		runHypotheses(*hyp)
 	case *fig != "":
 		runFigure(*fig)
 	case *table != "":

@@ -1,0 +1,81 @@
+// Package hypotheses holds the checked-in hypothesis corpus: the
+// repository's headline comparisons stated as machine-checked claims
+// (see internal/hypothesis). Each subdirectory pairs a canonical
+// hypothesis.json with the FINDINGS.md its execution rendered — the
+// golden record of the verdict and the measured numbers. A regression
+// that flips a verdict, or any nondeterminism that drifts a measured
+// byte, fails the corpus tests instead of silently rewriting a
+// conclusion.
+//
+// Files are canonical: for every spec,
+// hypothesis.Decode(file).Encode() reproduces the file byte for byte
+// (enforced by TestSpecsAreCanonical; regenerate with
+// `go test ./hypotheses -run TestSpecsAreCanonical -update`).
+// FINDINGS.md is regenerated with
+// `go test ./hypotheses -run TestFindingsGolden -update`.
+package hypotheses
+
+import (
+	"embed"
+	"fmt"
+	"sort"
+	"strings"
+
+	"mindgap/internal/hypothesis"
+)
+
+//go:embed */hypothesis.json */FINDINGS.md
+var files embed.FS
+
+// Names returns every embedded hypothesis ID (the directory names),
+// sorted.
+func Names() []string {
+	ents, err := files.ReadDir(".")
+	if err != nil {
+		// The embedded FS root always reads; guard for completeness.
+		return nil
+	}
+	out := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if e.IsDir() {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Raw returns the canonical bytes of a hypothesis spec.
+func Raw(name string) ([]byte, error) {
+	b, err := files.ReadFile(name + "/hypothesis.json")
+	if err != nil {
+		return nil, fmt.Errorf("hypotheses: unknown hypothesis %q (known: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return b, nil
+}
+
+// Load decodes and validates a hypothesis by name.
+func Load(name string) (hypothesis.Spec, error) {
+	b, err := Raw(name)
+	if err != nil {
+		return hypothesis.Spec{}, err
+	}
+	s, err := hypothesis.Decode(b)
+	if err != nil {
+		return hypothesis.Spec{}, fmt.Errorf("hypotheses: %s: %w", name, err)
+	}
+	if err := s.Validate(); err != nil {
+		return hypothesis.Spec{}, err
+	}
+	return s, nil
+}
+
+// Findings returns the golden FINDINGS document of a hypothesis.
+func Findings(name string) ([]byte, error) {
+	b, err := files.ReadFile(name + "/FINDINGS.md")
+	if err != nil {
+		return nil, fmt.Errorf("hypotheses: hypothesis %q has no FINDINGS.md", name)
+	}
+	return b, nil
+}

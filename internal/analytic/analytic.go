@@ -1,8 +1,11 @@
-// Package analysis provides closed-form queueing-theory results used to
-// validate the simulator: if an idealized configuration of the event
-// engine does not match M/M/c theory, no figure built on it can be
-// trusted. The tests in this package run that cross-check.
-package analysis
+// Package analytic provides closed-form queueing-theory results used to
+// validate the simulator and to serve as analytic twins for hypotheses:
+// if an idealized configuration of the event engine does not match M/M/c
+// theory, no figure built on it can be trusted, and a hypothesis whose
+// baseline arm disagrees with its declared closed form is flagged before
+// any A/B verdict is rendered. The tests in this package run the
+// engine-vs-theory cross-check.
+package analytic
 
 import (
 	"math"
@@ -14,10 +17,10 @@ import (
 // 0 <= rho < 1.
 func ErlangC(c int, rho float64) float64 {
 	if c <= 0 {
-		panic("analysis: need at least one server")
+		panic("analytic: need at least one server")
 	}
 	if rho < 0 || rho >= 1 {
-		panic("analysis: utilization must be in [0,1)")
+		panic("analytic: utilization must be in [0,1)")
 	}
 	a := float64(c) * rho // offered load in Erlangs
 	// Sum a^k/k! for k<c, computed iteratively for stability.
@@ -40,11 +43,39 @@ func MMcMeanWait(c int, rho float64, meanService time.Duration) time.Duration {
 	return time.Duration(w)
 }
 
+// MMcMeanResponse returns the mean response time (wait + service) of an
+// M/M/c queue.
+func MMcMeanResponse(c int, rho float64, meanService time.Duration) time.Duration {
+	return MMcMeanWait(c, rho, meanService) + meanService
+}
+
+// MMcMeanQueueLen returns the mean number of customers waiting (not in
+// service) in an M/M/c queue: Lq = Pw·rho/(1−rho).
+func MMcMeanQueueLen(c int, rho float64) float64 {
+	return ErlangC(c, rho) * rho / (1 - rho)
+}
+
+// MMcWaitQuantile returns the q-quantile of the M/M/c queueing delay Wq.
+// The conditional delay given Wq>0 is exponential with rate cµ−λ, so the
+// quantile is ln(Pw/(1−q))/(cµ−λ) when Pw > 1−q, and 0 otherwise (the
+// quantile then sits on the Pw atom at zero).
+func MMcWaitQuantile(c int, rho float64, meanService time.Duration, q float64) time.Duration {
+	if q <= 0 || q >= 1 {
+		panic("analytic: quantile must be in (0,1)")
+	}
+	pw := ErlangC(c, rho)
+	if pw <= 1-q {
+		return 0
+	}
+	drain := float64(c) * (1 - rho) / meanService.Seconds() // cµ−λ, per second
+	return time.Duration(math.Log(pw/(1-q)) / drain * float64(time.Second))
+}
+
 // MM1MeanResponse returns the mean response time (wait + service) of an
 // M/M/1 queue.
 func MM1MeanResponse(rho float64, meanService time.Duration) time.Duration {
 	if rho < 0 || rho >= 1 {
-		panic("analysis: utilization must be in [0,1)")
+		panic("analytic: utilization must be in [0,1)")
 	}
 	return time.Duration(float64(meanService) / (1 - rho))
 }
@@ -54,7 +85,7 @@ func MM1MeanResponse(rho float64, meanService time.Duration) time.Duration {
 // and utilization rho.
 func MG1MeanWait(rho, cs2 float64, meanService time.Duration) time.Duration {
 	if rho < 0 || rho >= 1 {
-		panic("analysis: utilization must be in [0,1)")
+		panic("analytic: utilization must be in [0,1)")
 	}
 	w := rho / (1 - rho) * (1 + cs2) / 2 * float64(meanService)
 	return time.Duration(w)
@@ -64,7 +95,7 @@ func MG1MeanWait(rho, cs2 float64, meanService time.Duration) time.Duration {
 // (exponentially distributed with mean MM1MeanResponse).
 func MM1ResponseQuantile(rho float64, meanService time.Duration, q float64) time.Duration {
 	if q <= 0 || q >= 1 {
-		panic("analysis: quantile must be in (0,1)")
+		panic("analytic: quantile must be in (0,1)")
 	}
 	mean := float64(MM1MeanResponse(rho, meanService))
 	return time.Duration(-mean * math.Log(1-q))

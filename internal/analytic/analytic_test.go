@@ -1,4 +1,4 @@
-package analysis
+package analytic
 
 import (
 	"math"
@@ -31,6 +31,51 @@ func TestErlangCKnownValues(t *testing.T) {
 	}
 }
 
+// TestMM1MMcConsistency pins that the M/M/c forms reduce to the M/M/1
+// forms at c=1: mean response, wait quantiles, and queue length must all
+// agree with the single-server closed forms.
+func TestMM1MMcConsistency(t *testing.T) {
+	meanSvc := 10 * time.Microsecond
+	for _, rho := range []float64{0.1, 0.5, 0.7, 0.9} {
+		if got, want := MMcMeanResponse(1, rho, meanSvc), MM1MeanResponse(rho, meanSvc); got != want {
+			t.Errorf("rho=%v: MMcMeanResponse(1) = %v, MM1MeanResponse = %v", rho, got, want)
+		}
+		// M/M/1 queue length: Lq = rho²/(1−rho).
+		if got, want := MMcMeanQueueLen(1, rho), rho*rho/(1-rho); math.Abs(got-want) > 1e-12 {
+			t.Errorf("rho=%v: MMcMeanQueueLen(1) = %v, want %v", rho, got, want)
+		}
+		// M/M/1 wait quantile: P(Wq > t) = rho·e^(−(µ−λ)t), so for
+		// q above 1−rho the M/M/c quantile must match the shifted
+		// response-quantile identity ln(rho/(1−q))·meanSvc/(1−rho).
+		q := 0.99
+		want := time.Duration(math.Log(rho/(1-q)) / (1 - rho) * float64(meanSvc))
+		if rho <= 1-q {
+			want = 0
+		}
+		got := MMcWaitQuantile(1, rho, meanSvc, q)
+		if diff := math.Abs(float64(got - want)); diff > 1 {
+			t.Errorf("rho=%v: MMcWaitQuantile(1) = %v, want %v", rho, got, want)
+		}
+	}
+}
+
+// TestMMcWaitQuantileAtoms pins the zero atom: when fewer than 1−q of
+// arrivals wait at all, the q-quantile of Wq is exactly zero.
+func TestMMcWaitQuantileAtoms(t *testing.T) {
+	// M/M/8 at rho=0.3: Pw ≈ 0.0129 > 0.01, so p99 is tiny but nonzero
+	// while the p90 sits on the atom.
+	if got := MMcWaitQuantile(8, 0.3, 10*time.Microsecond, 0.90); got != 0 {
+		t.Errorf("p90 with Pw≈1.3%% = %v, want 0", got)
+	}
+	if got := MMcWaitQuantile(8, 0.3, 10*time.Microsecond, 0.999); got <= 0 {
+		t.Errorf("p99.9 with Pw≈1.3%% = %v, want > 0", got)
+	}
+	// Quantiles are monotone in q once off the atom.
+	if MMcWaitQuantile(4, 0.8, 10*time.Microsecond, 0.999) <= MMcWaitQuantile(4, 0.8, 10*time.Microsecond, 0.99) {
+		t.Error("wait quantile not increasing in q")
+	}
+}
+
 func TestErlangCValidation(t *testing.T) {
 	for _, f := range []func(){
 		func() { ErlangC(0, 0.5) },
@@ -39,6 +84,9 @@ func TestErlangCValidation(t *testing.T) {
 		func() { MM1MeanResponse(1.0, time.Microsecond) },
 		func() { MG1MeanWait(1.0, 1, time.Microsecond) },
 		func() { MM1ResponseQuantile(0.5, time.Microsecond, 0) },
+		func() { MMcWaitQuantile(2, 0.5, time.Microsecond, 1.0) },
+		func() { MMcMeanQueueLen(2, 1.0) },
+		func() { MMcMeanResponse(2, -0.5, time.Microsecond) },
 	} {
 		func() {
 			defer func() {

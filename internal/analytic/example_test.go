@@ -1,18 +1,18 @@
-package analysis_test
+package analytic_test
 
 import (
 	"fmt"
 	"time"
 
-	"mindgap/internal/analysis"
+	"mindgap/internal/analytic"
 )
 
 // Closed-form queueing results used to validate the simulator.
 func ExampleErlangC() {
 	// Probability an arrival waits in an M/M/4 queue at 70% utilization.
-	fmt.Printf("P(wait) = %.3f\n", analysis.ErlangC(4, 0.7))
+	fmt.Printf("P(wait) = %.3f\n", analytic.ErlangC(4, 0.7))
 	// Mean queueing delay for 10µs mean service.
-	w := analysis.MMcMeanWait(4, 0.7, 10*time.Microsecond)
+	w := analytic.MMcMeanWait(4, 0.7, 10*time.Microsecond)
 	fmt.Printf("mean wait = %v\n", w.Round(100*time.Nanosecond))
 	// Output:
 	// P(wait) = 0.429

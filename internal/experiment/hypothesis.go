@@ -1,0 +1,53 @@
+package experiment
+
+import (
+	"mindgap/internal/dist"
+	"mindgap/internal/scenario"
+)
+
+// This file exports the preset-compilation internals that the hypothesis
+// layer (internal/hypothesis) builds on. A hypothesis arm is an inline
+// scenario.Spec measured through exactly the same path as a preset
+// series point — same PointConfig compilation, same fingerprint-derived
+// cache keys — so A/B verdicts share the runner cache with the figures
+// and tables that measure the same scenarios.
+
+// QualityFor resolves the effective sample counts and seed for one spec:
+// the run-time quality, overridden by any spec-pinned QualitySpec, with a
+// spec-pinned seed winning over the quality's.
+func QualityFor(sp scenario.Spec, q Quality) Quality { return qualityFor(sp, q) }
+
+// PointConfigFor compiles a spec into a runnable point config (offered
+// load left to the caller): registry build, workload parse, keys, and
+// effective quality.
+func PointConfigFor(sp scenario.Spec, q Quality) (PointConfig, error) {
+	return pointConfigFor(sp, q)
+}
+
+// SpecPointKey builds the cache identity of one measured point from the
+// spec fingerprint with the offered load, effective quality and seed
+// baked in. Two callers that describe the same scenario share cache
+// entries regardless of which sweep asked first.
+func SpecPointKey(sweepID string, sp scenario.Spec, q Quality, rps float64, extra ...string) string {
+	return specPointKey(sweepID, sp, q, rps, extra...)
+}
+
+// SpecLoads resolves a spec's load declaration into offered-RPS values
+// using the same rho·workers/mean formula the preset compiler applies,
+// so utilization-derived hypothesis arms produce bit-identical loads —
+// and therefore shared cache keys — with any preset describing the same
+// scenario.
+func SpecLoads(sp scenario.Spec) ([]float64, error) {
+	svc, err := dist.Parse(sp.Workload)
+	if err != nil {
+		return nil, err
+	}
+	return specLoads(sp, svc), nil
+}
+
+// RunAttributionPoint measures one spec at one offered load with a fresh
+// attribution collector attached (never shared across concurrent sweep
+// points), returning the waterfall and decision-audit row.
+func RunAttributionPoint(sp scenario.Spec, eq Quality, rps float64) AttributionRow {
+	return runAttributionPoint(sp, eq, rps)
+}

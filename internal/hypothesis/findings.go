@@ -1,0 +1,170 @@
+package hypothesis
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Render writes the report as a deterministic FINDINGS document:
+// markdown, byte-identical at any runner parallelism and across
+// platforms. Checked-in hypotheses commit this output as a golden file,
+// so a verdict flip — or any drift in the measured numbers — shows up
+// as a diff.
+func (r Report) Render() []byte {
+	var b bytes.Buffer
+	h := r.Spec
+	def := metrics[h.Metric]
+
+	fmt.Fprintf(&b, "# FINDINGS — %s\n\n", h.ID)
+	if h.Title != "" {
+		fmt.Fprintf(&b, "%s\n\n", h.Title)
+	}
+	fmt.Fprintf(&b, "**Claim.** %s\n\n", h.Claim)
+	verdict := "FAIL"
+	if r.Pass {
+		verdict = "PASS"
+	}
+	fmt.Fprintf(&b, "## Verdict: %s\n\n", verdict)
+	fmt.Fprintf(&b, "%s.\n\n", r.Reason)
+
+	dir := "lower is better"
+	if !def.LowerBetter {
+		dir = "higher is better"
+	}
+	fmt.Fprintf(&b, "- hypothesis: `%s` (schema %s)\n", r.Fingerprint, SchemaVersion)
+	fmt.Fprintf(&b, "- metric: %s (%s, %s)\n", h.Metric, def.Unit, dir)
+	fmt.Fprintf(&b, "- criterion: %s\n", criterionLine(h.Criterion))
+	fmt.Fprintf(&b, "- quality: warmup=%d measure=%d\n", r.Quality.Warmup, r.Quality.Measure)
+	fmt.Fprintf(&b, "- seeds: %s\n", seedList(h.Seeds))
+	fmt.Fprintf(&b, "- arm A: %s (`%s`)\n", h.A.Label, h.A.Scenario.System)
+	fmt.Fprintf(&b, "- arm B: %s (`%s`)\n", h.B.Label, h.B.Scenario.System)
+	fmt.Fprintf(&b, "- varied: %s\n", strings.Join(h.Varied, ", "))
+	if len(h.Controlled) > 0 {
+		fmt.Fprintf(&b, "- controlled: %s\n", strings.Join(h.Controlled, ", "))
+	}
+	b.WriteString("\n")
+
+	if r.Grid != nil {
+		renderGrid(&b, r, def)
+	} else {
+		renderSeeds(&b, r, def)
+	}
+	if r.Twin != nil {
+		renderTwin(&b, *r.Twin)
+	}
+	return b.Bytes()
+}
+
+func renderSeeds(b *bytes.Buffer, r Report, def MetricDef) {
+	h := r.Spec
+	fmt.Fprintf(b, "## Per-seed results\n\n")
+	fmt.Fprintf(b, "| seed | A: %s | B: %s | winner | margin (A) |\n", h.A.Label, h.B.Label)
+	fmt.Fprintf(b, "|---|---|---|---|---|\n")
+	var sumA, sumB float64
+	for _, row := range r.Rows {
+		m := relMargin(row.A, row.B, def.LowerBetter)
+		fmt.Fprintf(b, "| %d | %s | %s | %s | %+.1f%% |\n",
+			row.Seed, num(row.A), num(row.B), winner(m), m*100)
+		sumA += row.A
+		sumB += row.B
+	}
+	n := float64(len(r.Rows))
+	meanA, meanB := sumA/n, sumB/n
+	fmt.Fprintf(b, "| mean | %s | %s | %s | %+.1f%% |\n\n",
+		num(meanA), num(meanB), winner(relMargin(meanA, meanB, def.LowerBetter)),
+		relMargin(meanA, meanB, def.LowerBetter)*100)
+
+	switch h.Criterion.Kind {
+	case Dominance:
+		d := r.Dominance
+		fmt.Fprintf(b, "Win count: A %d, B %d, ties %d. Cross-seed mean margin %+.1f%%.\n\n",
+			d.Wins, d.Losses, d.Ties, d.MeanMargin*100)
+	case Equivalence:
+		e := r.Equivalence
+		fmt.Fprintf(b, "Worst per-seed gap %s (seed %d) against tolerance %s.\n\n",
+			pct(e.MaxGap), e.WorstSeed, pct(h.Criterion.Tolerance))
+	}
+}
+
+func renderGrid(b *bytes.Buffer, r Report, def MetricDef) {
+	h := r.Spec
+	fmt.Fprintf(b, "## Load grid (cross-seed means over %d seeds)\n\n", len(h.Seeds))
+	fmt.Fprintf(b, "| load (rps) | A: %s | B: %s | leader | margin (A) |\n", h.A.Label, h.B.Label)
+	fmt.Fprintf(b, "|---|---|---|---|---|\n")
+	for i, g := range r.Grid {
+		adv := r.Crossover.Advantage[i]
+		fmt.Fprintf(b, "| %s | %s | %s | %s | %+.1f%% |\n",
+			num(g.X), num(g.A), num(g.B), winner(adv), adv*100)
+	}
+	b.WriteString("\n")
+	if r.Crossover.Flips > 0 {
+		fmt.Fprintf(b, "Detected crossover bracket: [%s, %s] (claimed: [%s, %s]).\n\n",
+			num(r.Crossover.FlipLo), num(r.Crossover.FlipHi),
+			num(h.Criterion.Bracket.Lo), num(h.Criterion.Bracket.Hi))
+	} else {
+		fmt.Fprintf(b, "No crossover detected (claimed bracket: [%s, %s]).\n\n",
+			num(h.Criterion.Bracket.Lo), num(h.Criterion.Bracket.Hi))
+	}
+}
+
+func renderTwin(b *bytes.Buffer, t TwinReport) {
+	status := "DISAGREES"
+	if t.Pass {
+		status = "AGREES"
+	}
+	fmt.Fprintf(b, "## Analytic twin: %s\n\n", status)
+	fmt.Fprintf(b, "%s.\n\n", t.Reason)
+	fmt.Fprintf(b, "- model: %s (c=%d) on arm %s\n", t.Model, t.Servers, strings.ToUpper(t.Arm))
+	fmt.Fprintf(b, "- predicted %s: %s ns\n", t.Metric, num(t.Predicted))
+	fmt.Fprintf(b, "- simulated %s (cross-seed mean): %s ns\n", t.Metric, num(t.Simulated))
+	fmt.Fprintf(b, "- relative error: %s (documented tolerance %s)\n", pct(t.RelErr), pct(t.Tolerance))
+}
+
+// criterionLine renders the criterion parameters.
+func criterionLine(c CriterionSpec) string {
+	switch c.Kind {
+	case Dominance:
+		winFrac := c.MinWinFrac
+		if winFrac <= 0 {
+			winFrac = 1
+		}
+		return fmt.Sprintf("dominance (min_margin %s, min_win_frac %s)", pct(c.MinMargin), pct(winFrac))
+	case Equivalence:
+		return fmt.Sprintf("equivalence (tolerance %s)", pct(c.Tolerance))
+	case Crossover:
+		return fmt.Sprintf("crossover (bracket [%s, %s])", num(c.Bracket.Lo), num(c.Bracket.Hi))
+	default:
+		return c.Kind
+	}
+}
+
+// winner names the leading arm for a signed margin in favor of A.
+func winner(margin float64) string {
+	switch {
+	case margin > 0:
+		return "A"
+	case margin < 0:
+		return "B"
+	default:
+		return "tie"
+	}
+}
+
+// num renders a measured value exactly and deterministically: the
+// shortest decimal that round-trips (strconv 'g' with precision -1), so
+// re-rendering a report can never change a byte without the underlying
+// measurement changing.
+func num(v float64) string {
+	return strconv.FormatFloat(v, 'f', -1, 64)
+}
+
+// seedList renders the pinned seeds.
+func seedList(seeds []uint64) string {
+	parts := make([]string, len(seeds))
+	for i, s := range seeds {
+		parts[i] = strconv.FormatUint(s, 10)
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,119 @@
+package hypothesis
+
+import (
+	"bytes"
+	"testing"
+
+	"mindgap/internal/experiment"
+	"mindgap/internal/scenario"
+)
+
+// craftedReport builds a fully in-memory dominance report so rendering
+// can be checked byte-for-byte without running any simulation.
+func craftedReport() Report {
+	h := base()
+	h.Title = "Stealing vs blind RSS"
+	rows := []SeedOutcome{
+		{Seed: 7, A: 290815, B: 655359},
+		{Seed: 11, A: 278527, B: 679935},
+	}
+	return Report{
+		Spec:        h,
+		Fingerprint: h.Fingerprint(),
+		Quality:     experiment.Quality{Warmup: 2000, Measure: 12000},
+		Rows:        rows,
+		Dominance:   EvalDominance(rows, true, h.Criterion.MinMargin, h.Criterion.MinWinFrac),
+		Pass:        true,
+		Reason:      "A wins 2/2 seeds with mean margin +57.2%",
+	}
+}
+
+func TestRenderGolden(t *testing.T) {
+	r := craftedReport()
+	want := "# FINDINGS — test-stealing\n" +
+		"\n" +
+		"Stealing vs blind RSS\n" +
+		"\n" +
+		"**Claim.** zygos beats rss on p99\n" +
+		"\n" +
+		"## Verdict: PASS\n" +
+		"\n" +
+		"A wins 2/2 seeds with mean margin +57.2%.\n" +
+		"\n" +
+		"- hypothesis: `" + r.Fingerprint + "` (schema mindgap-hypothesis/1)\n" +
+		"- metric: p99 (ns, lower is better)\n" +
+		"- criterion: dominance (min_margin 10.0%, min_win_frac 100.0%)\n" +
+		"- quality: warmup=2000 measure=12000\n" +
+		"- seeds: 7, 11\n" +
+		"- arm A: zygos (`zygos`)\n" +
+		"- arm B: rss (`rss`)\n" +
+		"- varied: system\n" +
+		"- controlled: workload, workers, load\n" +
+		"\n" +
+		"## Per-seed results\n" +
+		"\n" +
+		"| seed | A: zygos | B: rss | winner | margin (A) |\n" +
+		"|---|---|---|---|---|\n" +
+		"| 7 | 290815 | 655359 | A | +55.6% |\n" +
+		"| 11 | 278527 | 679935 | A | +59.0% |\n" +
+		"| mean | 284671 | 667647 | A | +57.4% |\n" +
+		"\n" +
+		"Win count: A 2, B 0, ties 0. Cross-seed mean margin +57.3%.\n" +
+		"\n"
+	got := string(r.Render())
+	if got != want {
+		t.Fatalf("rendered FINDINGS drifted:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	r := craftedReport()
+	first := r.Render()
+	for i := 0; i < 3; i++ {
+		if !bytes.Equal(first, r.Render()) {
+			t.Fatal("Render must be byte-stable across calls")
+		}
+	}
+}
+
+func TestRenderGridAndTwin(t *testing.T) {
+	h := base()
+	h.Criterion = CriterionSpec{Kind: Crossover, Bracket: &Bracket{Lo: 150, Hi: 350}}
+	g := &scenario.Grid{Lo: 100, Hi: 400, Step: 100}
+	h.A.Scenario.Load = &scenario.LoadSpec{Grid: g}
+	h.B.Scenario.Load = &scenario.LoadSpec{Grid: g}
+	grid := cross(
+		[]float64{100, 200, 300, 400},
+		[]float64{110, 105, 95, 80},
+		[]float64{100, 100, 100, 100})
+	v := EvalCrossover(grid, true, *h.Criterion.Bracket)
+	r := Report{
+		Spec:        h,
+		Fingerprint: h.Fingerprint(),
+		Quality:     experiment.Quality{Warmup: 2000, Measure: 12000},
+		Grid:        grid,
+		Crossover:   v,
+		Twin: &TwinReport{
+			Model: "mm1-percore", Arm: "b", Servers: 4, Metric: "mean",
+			Tolerance: 0.25, Predicted: 125000, Simulated: 138604,
+			RelErr: 0.1088, Pass: true,
+			Reason: "simulated rss mean tracks mm1-percore within 25.0% of theory",
+		},
+		Pass:   v.Pass,
+		Reason: v.Reason,
+	}
+	out := string(r.Render())
+	for _, frag := range []string{
+		"## Load grid (cross-seed means over 2 seeds)",
+		"| 100 | 110 | 100 | B | -9.1% |",
+		"Detected crossover bracket: [200, 300] (claimed: [150, 350]).",
+		"## Analytic twin: AGREES",
+		"- model: mm1-percore (c=4) on arm B",
+		"- predicted mean: 125000 ns",
+		"- relative error: 10.9% (documented tolerance 25.0%)",
+	} {
+		if !bytes.Contains([]byte(out), []byte(frag)) {
+			t.Fatalf("grid+twin FINDINGS missing %q:\n%s", frag, out)
+		}
+	}
+}

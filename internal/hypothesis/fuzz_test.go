@@ -1,0 +1,50 @@
+package hypothesis
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSpecDecode guards the hypothesis-file surface: no input may panic
+// the strict decoder, any accepted input must reach a canonical fixed
+// point (encode → decode → encode yields the same bytes), and the
+// fingerprint must survive the round trip — otherwise a re-encoded
+// hypothesis could silently detach from its FINDINGS.
+func FuzzSpecDecode(f *testing.F) {
+	if enc, err := base().Encode(); err == nil {
+		f.Add(enc)
+	}
+	f.Add([]byte(`{"id":"x","claim":"c","metric":"p99","seeds":[7],"varied":["system"],"a":{"label":"a","scenario":{"system":"rss","load":{"rps":1000}}},"b":{"label":"b","scenario":{"system":"zygos","load":{"rps":1000}}},"criterion":{"kind":"dominance","min_margin":0.1}}`))
+	f.Add([]byte(`{"id":"eq","claim":"c","metric":"mean","seeds":[1,2],"criterion":{"kind":"equivalence","tolerance":0.05}}`))
+	f.Add([]byte(`{"id":"cx","claim":"c","metric":"p99","seeds":[7],"criterion":{"kind":"crossover","bracket":{"lo":150000,"hi":300000}}}`))
+	f.Add([]byte(`{"id":"tw","claim":"c","metric":"p99","seeds":[7],"analytic":{"model":"mm1-percore","arm":"b","metric":"mean","tolerance":0.25}}`))
+	f.Add([]byte(`{"id":"q","claim":"c","metric":"drop_rate","seeds":[7],"quality":{"warmup":10000,"measure":30000}}`))
+	f.Add([]byte(`{}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data)
+		if err != nil {
+			return
+		}
+		fp := s.Fingerprint()
+		enc1, err := s.Encode()
+		if err != nil {
+			t.Fatalf("Encode after Decode failed: %v", err)
+		}
+		s2, err := Decode(enc1)
+		if err != nil {
+			t.Fatalf("Decode of canonical encoding failed: %v\n%s", err, enc1)
+		}
+		enc2, err := s2.Encode()
+		if err != nil {
+			t.Fatalf("second Encode failed: %v", err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("canonical encoding is not a fixed point:\n%s\nvs\n%s", enc1, enc2)
+		}
+		if s2.Fingerprint() != fp {
+			t.Fatalf("fingerprint changed across round trip: %s vs %s", fp, s2.Fingerprint())
+		}
+		// Validate must never panic, whatever it concludes.
+		_ = s2.Validate()
+	})
+}

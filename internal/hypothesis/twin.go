@@ -1,0 +1,94 @@
+package hypothesis
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"mindgap/internal/analytic"
+	"mindgap/internal/dist"
+)
+
+// TwinReport is the analytic-twin check of one executed hypothesis: the
+// closed-form prediction for the named arm against the cross-seed mean
+// of the simulation, with the documented tolerance.
+type TwinReport struct {
+	// Model, Arm, Servers, Metric and Tolerance echo the spec.
+	Model     string
+	Arm       string
+	Servers   int
+	Metric    string
+	Tolerance float64
+	// Predicted is the closed-form value; Simulated is the cross-seed
+	// mean of the simulated arm. Both in the metric's unit (ns).
+	Predicted, Simulated float64
+	// RelErr is |Simulated−Predicted| / Predicted.
+	RelErr float64
+	Pass   bool
+	Reason string
+}
+
+// evalTwin runs the closed form against the arm's measurements. The
+// hypothesis has already validated: exponential workload, known model,
+// resolvable server count, single load point.
+func evalTwin(h Spec, loadsA, loadsB []float64, mA, mB []measurement) TwinReport {
+	a := h.Analytic
+	arm, rps, ms := h.A, loadsA[0], mA
+	if a.Arm == "b" {
+		arm, rps, ms = h.B, loadsB[0], mB
+	}
+	t := TwinReport{
+		Model:     a.Model,
+		Arm:       a.Arm,
+		Servers:   a.servers(arm),
+		Metric:    a.Metric,
+		Tolerance: a.Tolerance,
+	}
+
+	svc, err := dist.Parse(arm.Scenario.Workload)
+	if err != nil {
+		// Validation parsed it already; defend anyway.
+		t.Reason = fmt.Sprintf("workload reparse failed: %v", err)
+		return t
+	}
+	meanSvc := svc.Mean()
+	c := t.Servers
+	rho := rps * meanSvc.Seconds() / float64(c)
+	if rho >= 1 {
+		t.Reason = fmt.Sprintf("utilization %.3f ≥ 1 — the closed form diverges, pick a stable load", rho)
+		return t
+	}
+
+	var predicted time.Duration
+	switch a.Model {
+	case "mm1-percore":
+		// c hash-partitioned cores, each an independent M/M/1 at λ/c and
+		// per-core utilization equal to the system utilization.
+		if a.Metric == "p99" {
+			predicted = analytic.MM1ResponseQuantile(rho, meanSvc, 0.99)
+		} else {
+			predicted = analytic.MM1MeanResponse(rho, meanSvc)
+		}
+	case "mmc":
+		predicted = analytic.MMcMeanResponse(c, rho, meanSvc)
+	}
+	t.Predicted = float64(predicted)
+
+	def := metrics[a.Metric]
+	var sum float64
+	for _, m := range ms {
+		sum += def.value(m)
+	}
+	t.Simulated = sum / float64(len(ms))
+	t.RelErr = math.Abs(t.Simulated-t.Predicted) / t.Predicted
+
+	if t.RelErr <= t.Tolerance {
+		t.Pass = true
+		t.Reason = fmt.Sprintf("simulated %s %s tracks %s within %s of theory (measured error %s)",
+			arm.Label, a.Metric, a.Model, pct(t.Tolerance), pct(t.RelErr))
+	} else {
+		t.Reason = fmt.Sprintf("simulated %s %s is %s from %s theory, beyond documented tolerance %s",
+			arm.Label, a.Metric, pct(t.RelErr), a.Model, pct(t.Tolerance))
+	}
+	return t
+}

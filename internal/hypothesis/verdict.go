@@ -1,0 +1,233 @@
+package hypothesis
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file is the pure statistical core: verdict functions take per-seed
+// (or per-load) metric vectors and criterion parameters, and return a
+// verdict with a human-readable reason. Nothing here touches the
+// simulator, the runner, or the clock — the table-driven unit tests
+// exercise every branch on crafted vectors.
+
+// SeedOutcome is one seed's A/B measurement pair.
+type SeedOutcome struct {
+	Seed uint64
+	A, B float64
+}
+
+// relMargin returns the direction-adjusted relative margin in favor of A:
+// positive when A is better, negative when B is, in [-1, 1]. The margin
+// is normalized by the larger magnitude, so a zero-vs-nonzero pair (a
+// faultless arm against one that drops requests) yields the full ±1
+// rather than a division by zero.
+func relMargin(a, b float64, lowerBetter bool) float64 {
+	adv := a - b
+	if lowerBetter {
+		adv = b - a
+	}
+	denom := math.Max(math.Abs(a), math.Abs(b))
+	if denom == 0 { //lint:allow floateq exact zero means "both arms measured nothing", not a computed value
+		return 0
+	}
+	return adv / denom
+}
+
+// symGap returns the symmetric relative gap |a−b| / ((a+b)/2), the
+// equivalence-test statistic. A zero-vs-zero pair gaps 0; a
+// zero-vs-nonzero pair gaps 2 (the statistic's maximum).
+func symGap(a, b float64) float64 {
+	mid := (math.Abs(a) + math.Abs(b)) / 2
+	if mid == 0 { //lint:allow floateq exact zero means "both arms measured nothing", not a computed value
+		return 0
+	}
+	return math.Abs(a-b) / mid
+}
+
+// DominanceVerdict is the outcome of a dominance test.
+type DominanceVerdict struct {
+	// Wins, Ties and Losses count seeds from A's perspective; ties never
+	// count as wins.
+	Wins, Ties, Losses int
+	// WinFrac is Wins over all seeds.
+	WinFrac float64
+	// Margins holds the per-seed relative margins in favor of A, in seed
+	// order; MeanMargin is their cross-seed mean.
+	Margins    []float64
+	MeanMargin float64
+	// Pass reports whether A dominates; Reason explains either way.
+	Pass   bool
+	Reason string
+}
+
+// EvalDominance tests whether A beats B: at least minWinFrac of the
+// seeds outright (0 means all of them), with a cross-seed mean relative
+// margin of at least minMargin (which must itself be positive — a "win"
+// on margin 0 would pass a tie-everywhere vector).
+func EvalDominance(rows []SeedOutcome, lowerBetter bool, minMargin, minWinFrac float64) DominanceVerdict {
+	if len(rows) == 0 {
+		return DominanceVerdict{Reason: "no seeds measured"}
+	}
+	if minWinFrac <= 0 {
+		minWinFrac = 1
+	}
+	v := DominanceVerdict{Margins: make([]float64, 0, len(rows))}
+	sum := 0.0
+	for _, r := range rows {
+		m := relMargin(r.A, r.B, lowerBetter)
+		v.Margins = append(v.Margins, m)
+		sum += m
+		switch {
+		case m > 0:
+			v.Wins++
+		case m < 0:
+			v.Losses++
+		default:
+			v.Ties++
+		}
+	}
+	v.WinFrac = float64(v.Wins) / float64(len(rows))
+	v.MeanMargin = sum / float64(len(rows))
+	switch {
+	case v.WinFrac < minWinFrac:
+		v.Reason = fmt.Sprintf("A wins %d/%d seeds (%d ties), below required fraction %s",
+			v.Wins, len(rows), v.Ties, pct(minWinFrac))
+	case v.MeanMargin <= minMargin:
+		v.Reason = fmt.Sprintf("mean margin %s does not clear required %s", pct(v.MeanMargin), pct(minMargin))
+	default:
+		v.Pass = true
+		v.Reason = fmt.Sprintf("A wins %d/%d seeds with mean margin %s (required: %s of seeds, margin > %s)",
+			v.Wins, len(rows), pct(v.MeanMargin), pct(minWinFrac), pct(minMargin))
+	}
+	return v
+}
+
+// EquivalenceVerdict is the outcome of an equivalence test.
+type EquivalenceVerdict struct {
+	// Gaps holds the per-seed symmetric relative gaps, in seed order;
+	// MaxGap is the worst of them and the test statistic.
+	Gaps   []float64
+	MaxGap float64
+	// WorstSeed is the seed producing MaxGap.
+	WorstSeed uint64
+	Pass      bool
+	Reason    string
+}
+
+// EvalEquivalence tests whether every seed's symmetric relative gap
+// stays within tolerance. The max (not the mean) is compared: a single
+// diverging seed is exactly the signal an equivalence claim must not
+// average away.
+func EvalEquivalence(rows []SeedOutcome, tolerance float64) EquivalenceVerdict {
+	if len(rows) == 0 {
+		return EquivalenceVerdict{Reason: "no seeds measured"}
+	}
+	v := EquivalenceVerdict{Gaps: make([]float64, 0, len(rows))}
+	for _, r := range rows {
+		g := symGap(r.A, r.B)
+		v.Gaps = append(v.Gaps, g)
+		if g > v.MaxGap || len(v.Gaps) == 1 {
+			v.MaxGap, v.WorstSeed = g, r.Seed
+		}
+	}
+	if v.MaxGap <= tolerance {
+		v.Pass = true
+		v.Reason = fmt.Sprintf("worst per-seed gap %s (seed %d) within tolerance %s", pct(v.MaxGap), v.WorstSeed, pct(tolerance))
+	} else {
+		v.Reason = fmt.Sprintf("seed %d gaps %s, beyond tolerance %s", v.WorstSeed, pct(v.MaxGap), pct(tolerance))
+	}
+	return v
+}
+
+// GridOutcome is one load point's cross-seed mean A/B pair.
+type GridOutcome struct {
+	// X is the offered load.
+	X float64
+	// A and B are cross-seed means of the metric at X.
+	A, B float64
+}
+
+// CrossoverVerdict is the outcome of a crossover test.
+type CrossoverVerdict struct {
+	// Advantage holds the per-load relative margins in favor of A, in
+	// grid order.
+	Advantage []float64
+	// FlipLo and FlipHi bracket the detected sign change (the last load
+	// where B led and the first where A led); zero when no flip exists.
+	FlipLo, FlipHi float64
+	// Flips counts sign changes across the grid; a clean crossover has
+	// exactly one.
+	Flips  int
+	Pass   bool
+	Reason string
+}
+
+// EvalCrossover tests for a single B→A crossover inside the bracket: B
+// must lead at the low end of the grid, A at the high end, the lead must
+// change exactly once, and the bracketing pair of loads must fall inside
+// [want.Lo, want.Hi]. Exact ties (margin 0) carry no sign and are
+// skipped; a tie sitting exactly at the flip widens the reported
+// bracket, it does not count as an extra crossing. Non-monotone series
+// that cross more than once fail: the claim "A wins above X" has no
+// single X.
+func EvalCrossover(grid []GridOutcome, lowerBetter bool, want Bracket) CrossoverVerdict {
+	v := CrossoverVerdict{Advantage: make([]float64, 0, len(grid))}
+	for _, g := range grid {
+		v.Advantage = append(v.Advantage, relMargin(g.A, g.B, lowerBetter))
+	}
+	// Collapse to the signed subsequence, remembering each sign's load.
+	type signed struct {
+		x    float64
+		sign int
+	}
+	var signs []signed
+	for i, adv := range v.Advantage {
+		s := 0
+		if adv > 0 {
+			s = 1
+		} else if adv < 0 {
+			s = -1
+		}
+		if s == 0 {
+			continue
+		}
+		signs = append(signs, signed{x: grid[i].X, sign: s})
+	}
+	for i := 1; i < len(signs); i++ {
+		if signs[i].sign != signs[i-1].sign {
+			v.Flips++
+			v.FlipLo, v.FlipHi = signs[i-1].x, signs[i].x
+		}
+	}
+	switch {
+	case len(grid) < 2:
+		v.Reason = "crossover needs at least two grid points"
+	case len(signs) == 0:
+		v.Reason = "the arms tie at every load — no crossover exists"
+	case v.Flips == 0:
+		leader := "A"
+		if signs[0].sign < 0 {
+			leader = "B"
+		}
+		v.Reason = fmt.Sprintf("%s leads across the whole grid — no crossover", leader)
+	case v.Flips > 1:
+		v.Reason = fmt.Sprintf("the lead changes %d times — no single crossover point", v.Flips)
+	case signs[0].sign != -1:
+		v.Reason = "A already leads at the low end — the claimed B-then-A crossover is inverted"
+	case v.FlipLo < want.Lo || v.FlipHi > want.Hi:
+		v.Reason = fmt.Sprintf("crossover sits in [%.0f, %.0f], outside the claimed bracket [%.0f, %.0f]",
+			v.FlipLo, v.FlipHi, want.Lo, want.Hi)
+	default:
+		v.Pass = true
+		v.Reason = fmt.Sprintf("B leads below and A above one flip in [%.0f, %.0f], inside the claimed bracket [%.0f, %.0f]",
+			v.FlipLo, v.FlipHi, want.Lo, want.Hi)
+	}
+	return v
+}
+
+// pct renders a fraction as a fixed-precision percentage — deterministic
+// output for FINDINGS files.
+func pct(f float64) string {
+	return fmt.Sprintf("%.1f%%", f*100)
+}

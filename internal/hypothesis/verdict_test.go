@@ -1,0 +1,289 @@
+package hypothesis
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// The verdict layer is pure: every test here runs on crafted vectors,
+// no simulation. Directions use "lower is better" unless stated.
+
+func TestDominanceCleanWin(t *testing.T) {
+	rows := []SeedOutcome{
+		{Seed: 1, A: 80, B: 100},
+		{Seed: 2, A: 90, B: 100},
+		{Seed: 3, A: 70, B: 100},
+	}
+	v := EvalDominance(rows, true, 0.05, 1.0)
+	if !v.Pass {
+		t.Fatalf("expected pass: %s", v.Reason)
+	}
+	if v.Wins != 3 || v.Ties != 0 || v.Losses != 0 {
+		t.Fatalf("wins/ties/losses = %d/%d/%d", v.Wins, v.Ties, v.Losses)
+	}
+	want := (0.20 + 0.10 + 0.30) / 3
+	if math.Abs(v.MeanMargin-want) > 1e-12 {
+		t.Fatalf("mean margin %v, want %v", v.MeanMargin, want)
+	}
+}
+
+func TestDominanceMarginTooThin(t *testing.T) {
+	rows := []SeedOutcome{
+		{Seed: 1, A: 99, B: 100},
+		{Seed: 2, A: 98, B: 100},
+	}
+	v := EvalDominance(rows, true, 0.10, 1.0)
+	if v.Pass {
+		t.Fatal("2% margin must not clear a 10% requirement")
+	}
+	if !strings.Contains(v.Reason, "margin") {
+		t.Fatalf("reason should name the margin: %q", v.Reason)
+	}
+}
+
+func TestDominanceExactMarginFails(t *testing.T) {
+	// Mean margin exactly equal to min_margin is not a clear win.
+	rows := []SeedOutcome{{Seed: 1, A: 90, B: 100}}
+	v := EvalDominance(rows, true, 0.10, 1.0)
+	if v.Pass {
+		t.Fatal("margin == min_margin must fail (strict inequality)")
+	}
+}
+
+func TestDominanceTiesAreNotWins(t *testing.T) {
+	rows := []SeedOutcome{
+		{Seed: 1, A: 50, B: 100},
+		{Seed: 2, A: 100, B: 100}, // tie
+	}
+	if v := EvalDominance(rows, true, 0, 1.0); v.Pass {
+		t.Fatal("a tie must break an every-seed dominance claim")
+	}
+	// With min_win_frac 0.5 the tie is tolerated.
+	v := EvalDominance(rows, true, 0, 0.5)
+	if !v.Pass {
+		t.Fatalf("expected pass at min_win_frac 0.5: %s", v.Reason)
+	}
+	if v.Ties != 1 || v.Wins != 1 {
+		t.Fatalf("wins/ties = %d/%d", v.Wins, v.Ties)
+	}
+}
+
+func TestDominanceZeroWinFracMeansAll(t *testing.T) {
+	rows := []SeedOutcome{
+		{Seed: 1, A: 50, B: 100},
+		{Seed: 2, A: 110, B: 100},
+	}
+	if v := EvalDominance(rows, true, 0, 0); v.Pass {
+		t.Fatal("min_win_frac 0 must default to every seed")
+	}
+}
+
+func TestDominanceHigherBetter(t *testing.T) {
+	// Goodput direction: A achieves more.
+	rows := []SeedOutcome{
+		{Seed: 1, A: 120, B: 100},
+		{Seed: 2, A: 130, B: 100},
+	}
+	v := EvalDominance(rows, false, 0.05, 1.0)
+	if !v.Pass {
+		t.Fatalf("expected pass: %s", v.Reason)
+	}
+	// Same vector under lower-is-better flips to a loss.
+	if v := EvalDominance(rows, true, 0, 1.0); v.Pass {
+		t.Fatal("direction must flip the verdict")
+	}
+}
+
+func TestDominanceZeroVsNonzero(t *testing.T) {
+	// A faultless arm (0 drops) against a dropping arm: full margin, no
+	// division by zero.
+	rows := []SeedOutcome{{Seed: 1, A: 0, B: 0.05}}
+	v := EvalDominance(rows, true, 0.5, 1.0)
+	if !v.Pass {
+		t.Fatalf("expected pass: %s", v.Reason)
+	}
+	if math.Abs(v.Margins[0]-1) > 1e-12 {
+		t.Fatalf("zero-vs-nonzero margin = %v, want 1", v.Margins[0])
+	}
+}
+
+func TestDominanceEmpty(t *testing.T) {
+	if v := EvalDominance(nil, true, 0, 1.0); v.Pass {
+		t.Fatal("no seeds must not pass")
+	}
+}
+
+func TestEquivalenceWithinTolerance(t *testing.T) {
+	rows := []SeedOutcome{
+		{Seed: 1, A: 100, B: 104},
+		{Seed: 2, A: 100, B: 97},
+	}
+	v := EvalEquivalence(rows, 0.05)
+	if !v.Pass {
+		t.Fatalf("expected pass: %s", v.Reason)
+	}
+	if v.WorstSeed != 1 {
+		t.Fatalf("worst seed = %d, want 1", v.WorstSeed)
+	}
+}
+
+func TestEquivalenceToleranceEdge(t *testing.T) {
+	// Gap exactly at tolerance passes (inclusive bound), a hair over
+	// fails.
+	rows := []SeedOutcome{{Seed: 1, A: 100, B: 100}}
+	if v := EvalEquivalence(rows, 0.01); !v.Pass {
+		t.Fatalf("identical arms must be equivalent: %s", v.Reason)
+	}
+	edge := []SeedOutcome{{Seed: 1, A: 95, B: 105}}
+	g := symGap(95, 105)
+	if v := EvalEquivalence(edge, g); !v.Pass {
+		t.Fatalf("gap exactly at tolerance must pass: %s", v.Reason)
+	}
+	if v := EvalEquivalence(edge, g*0.999); v.Pass {
+		t.Fatal("gap beyond tolerance must fail")
+	}
+}
+
+func TestEquivalenceOneDivergingSeed(t *testing.T) {
+	rows := []SeedOutcome{
+		{Seed: 1, A: 100, B: 101},
+		{Seed: 9, A: 100, B: 150},
+		{Seed: 3, A: 100, B: 99},
+	}
+	v := EvalEquivalence(rows, 0.05)
+	if v.Pass {
+		t.Fatal("one diverging seed must fail the max-gap test")
+	}
+	if v.WorstSeed != 9 {
+		t.Fatalf("worst seed = %d, want 9", v.WorstSeed)
+	}
+}
+
+func TestEquivalenceBothZero(t *testing.T) {
+	rows := []SeedOutcome{{Seed: 1, A: 0, B: 0}}
+	if v := EvalEquivalence(rows, 0.01); !v.Pass {
+		t.Fatalf("zero-vs-zero must gap 0: %s", v.Reason)
+	}
+}
+
+func cross(xs []float64, a, b []float64) []GridOutcome {
+	out := make([]GridOutcome, len(xs))
+	for i := range xs {
+		out[i] = GridOutcome{X: xs[i], A: a[i], B: b[i]}
+	}
+	return out
+}
+
+func TestCrossoverMonotone(t *testing.T) {
+	// B leads at 100 and 200, A from 300 on.
+	g := cross(
+		[]float64{100, 200, 300, 400},
+		[]float64{110, 105, 95, 80},
+		[]float64{100, 100, 100, 100})
+	v := EvalCrossover(g, true, Bracket{Lo: 150, Hi: 350})
+	if !v.Pass {
+		t.Fatalf("expected pass: %s", v.Reason)
+	}
+	if v.FlipLo != 200 || v.FlipHi != 300 {
+		t.Fatalf("flip bracket [%v, %v], want [200, 300]", v.FlipLo, v.FlipHi)
+	}
+	if v.Flips != 1 {
+		t.Fatalf("flips = %d, want 1", v.Flips)
+	}
+}
+
+func TestCrossoverOutsideBracket(t *testing.T) {
+	g := cross(
+		[]float64{100, 200, 300},
+		[]float64{110, 90, 80},
+		[]float64{100, 100, 100})
+	if v := EvalCrossover(g, true, Bracket{Lo: 250, Hi: 300}); v.Pass {
+		t.Fatal("flip at [100,200] must miss bracket [250,300]")
+	}
+}
+
+func TestCrossoverNoFlip(t *testing.T) {
+	g := cross(
+		[]float64{100, 200},
+		[]float64{90, 80},
+		[]float64{100, 100})
+	v := EvalCrossover(g, true, Bracket{Lo: 100, Hi: 200})
+	if v.Pass {
+		t.Fatal("A leading everywhere is not a crossover")
+	}
+	if !strings.Contains(v.Reason, "A leads") {
+		t.Fatalf("reason should name the constant leader: %q", v.Reason)
+	}
+}
+
+func TestCrossoverInverted(t *testing.T) {
+	// A leads at the low end, B at the high end: a flip exists but in
+	// the wrong direction for the claim.
+	g := cross(
+		[]float64{100, 200},
+		[]float64{90, 110},
+		[]float64{100, 100})
+	if v := EvalCrossover(g, true, Bracket{Lo: 100, Hi: 200}); v.Pass {
+		t.Fatal("an A-then-B flip must not satisfy a B-then-A claim")
+	}
+}
+
+func TestCrossoverNonMonotone(t *testing.T) {
+	// B, A, B, A: two crossings — no single crossover point.
+	g := cross(
+		[]float64{100, 200, 300, 400},
+		[]float64{110, 90, 110, 90},
+		[]float64{100, 100, 100, 100})
+	v := EvalCrossover(g, true, Bracket{Lo: 100, Hi: 400})
+	if v.Pass {
+		t.Fatal("a double crossing must fail")
+	}
+	if v.Flips != 3 {
+		t.Fatalf("flips = %d, want 3", v.Flips)
+	}
+}
+
+func TestCrossoverTieAtFlip(t *testing.T) {
+	// An exact tie between the signed points widens the bracket instead
+	// of counting as a crossing.
+	g := cross(
+		[]float64{100, 200, 300},
+		[]float64{110, 100, 90},
+		[]float64{100, 100, 100})
+	v := EvalCrossover(g, true, Bracket{Lo: 100, Hi: 300})
+	if !v.Pass {
+		t.Fatalf("expected pass: %s", v.Reason)
+	}
+	if v.FlipLo != 100 || v.FlipHi != 300 {
+		t.Fatalf("flip bracket [%v, %v], want the tie-widened [100, 300]", v.FlipLo, v.FlipHi)
+	}
+}
+
+func TestCrossoverAllTies(t *testing.T) {
+	g := cross(
+		[]float64{100, 200},
+		[]float64{100, 100},
+		[]float64{100, 100})
+	if v := EvalCrossover(g, true, Bracket{Lo: 100, Hi: 200}); v.Pass {
+		t.Fatal("identical arms have no crossover")
+	}
+}
+
+func TestCrossoverTooFewPoints(t *testing.T) {
+	g := cross([]float64{100}, []float64{90}, []float64{100})
+	if v := EvalCrossover(g, true, Bracket{Lo: 50, Hi: 150}); v.Pass {
+		t.Fatal("one grid point cannot bracket a crossover")
+	}
+}
+
+func TestRelMarginSymmetry(t *testing.T) {
+	// Swapping arms negates the margin exactly.
+	for _, pair := range [][2]float64{{80, 100}, {0, 5}, {3, 3}} {
+		m1 := relMargin(pair[0], pair[1], true)
+		m2 := relMargin(pair[1], pair[0], true)
+		if m1 != -m2 {
+			t.Fatalf("relMargin(%v,%v) = %v, swapped %v: not antisymmetric", pair[0], pair[1], m1, m2)
+		}
+	}
+}

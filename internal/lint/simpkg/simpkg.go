@@ -43,6 +43,12 @@ var simSegments = map[string]bool{
 	"flowrule":   true,
 	"telemetry":  true,
 	"trace":      true,
+	// ISSUE 10: the hypothesis layer renders golden FINDINGS and the
+	// analytic package feeds its twin checks — both must stay
+	// deterministic.
+	"hypothesis": true,
+	"analytic":   true,
+	"hypotheses": true,
 }
 
 // exemptPrefixes are path fragments that are never simulation packages

@@ -31,6 +31,7 @@ func TestRegistryCompleteness(t *testing.T) {
 	for _, names := range inventory {
 		want = append(want, names...)
 	}
+	sort.Strings(want)
 	got := SystemNames()
 	if len(got) != len(want) {
 		t.Errorf("registry has %d systems %v, DESIGN.md inventory has %d", len(got), got, len(want))

@@ -22,36 +22,23 @@ import (
 	"testing"
 	"time"
 
+	"mindgap/internal/analytic"
 	"mindgap/internal/dist"
 	"mindgap/internal/loadgen"
 	"mindgap/internal/sim"
 	"mindgap/internal/task"
 )
 
-// erlangC returns the probability an arrival waits in an M/M/c queue with
-// offered load a = λ/µ (in Erlangs) and c servers.
-func erlangC(c int, a float64) float64 {
-	// Σ_{k<c} a^k/k! and a^c/c!, computed incrementally.
-	sum := 0.0
-	term := 1.0
-	for k := 0; k < c; k++ {
-		sum += term
-		term *= a / float64(k+1)
-	}
-	rho := a / float64(c)
-	top := term / (1 - rho)
-	return top / (sum + top)
-}
-
 // mmcWait returns the closed-form mean and p99 of the queueing delay Wq
-// for an M/M/c queue. The conditional delay given Wq>0 is exponential
-// with rate cµ−λ, so p99(Wq) = ln(Pw/0.01)/(cµ−λ) when Pw > 1%.
+// for an M/M/c queue, delegating to internal/analytic (the reusable home
+// of the Erlang-C forms; this file keeps only the simulation harness).
 func mmcWait(c int, lambda, mu float64) (pw float64, mean, p99 time.Duration) {
-	pw = erlangC(c, lambda/mu)
-	drain := float64(c)*mu - lambda
-	mean = time.Duration(pw / drain * float64(time.Second))
+	rho := lambda / (float64(c) * mu)
+	meanSvc := time.Duration(float64(time.Second) / mu)
+	pw = analytic.ErlangC(c, rho)
+	mean = analytic.MMcMeanWait(c, rho, meanSvc)
 	if pw > 0.01 {
-		p99 = time.Duration(math.Log(pw/0.01) / drain * float64(time.Second))
+		p99 = analytic.MMcWaitQuantile(c, rho, meanSvc, 0.99)
 	}
 	return pw, mean, p99
 }
@@ -171,8 +158,8 @@ func TestMMCAgainstClosedForm(t *testing.T) {
 				within(t, "p99 wait", gotP99, wantP99, 0.10)
 			}
 			// M/M/1 sanity: Erlang C must reduce to Pw = ρ.
-			if tc.c == 1 && math.Abs(erlangC(1, tc.rho)-tc.rho) > 1e-12 {
-				t.Errorf("erlangC(1, %v) = %v, want ρ", tc.rho, erlangC(1, tc.rho))
+			if tc.c == 1 && math.Abs(analytic.ErlangC(1, tc.rho)-tc.rho) > 1e-12 {
+				t.Errorf("ErlangC(1, %v) = %v, want ρ", tc.rho, analytic.ErlangC(1, tc.rho))
 			}
 		})
 	}
@@ -205,5 +192,5 @@ func itoa(n int) string {
 func ftoa(f float64) string {
 	// Utilizations in this file have at most two decimals.
 	n := int(math.Round(f * 100))
-	return itoa(n / 100) + "." + itoa((n%100)/10) + itoa(n%10)
+	return itoa(n/100) + "." + itoa((n%100)/10) + itoa(n%10)
 }
